@@ -1,0 +1,18 @@
+"""E1: minimum guaranteed slots vs offered VoIP calls.
+
+Expected shape: min slots grow roughly linearly with calls; the
+delay-aware ILP needs no more slots than greedy while also bounding wraps.
+"""
+
+from conftest import run_experiment
+
+from repro.analysis.experiments import e01_min_slots
+
+
+def test_bench_e01_min_slots(benchmark):
+    result = run_experiment(benchmark, e01_min_slots,
+                            call_counts=(1, 2, 3, 4, 5, 6))
+    slots = [row[2] for row in result.rows if row[2] is not None]
+    assert slots == sorted(slots), "min slots must grow with load"
+    for row in result.rows:
+        assert row[2] is None or row[2] >= row[1], "ILP below lower bound"

@@ -1,0 +1,20 @@
+"""E2: end-to-end delay vs hop count per ordering policy.
+
+Expected shape: delay-aware orders (ILP, tree) stay within one frame at
+any hop count; the adversarial order pays ~a frame per hop.
+"""
+
+from conftest import run_experiment
+
+from repro.analysis.experiments import e02_delay_vs_hops
+
+
+def test_bench_e02_delay_vs_hops(benchmark):
+    result = run_experiment(benchmark, e02_delay_vs_hops,
+                            hop_counts=(2, 3, 4, 5, 6, 7, 8))
+    frame_ms = 10.0
+    for row in result.rows:
+        hops, ilp_ms, tree_ms, ____, adversarial_ms = row[:5]
+        assert ilp_ms <= frame_ms
+        assert tree_ms <= frame_ms
+        assert adversarial_ms >= (hops - 1) * frame_ms * 0.9

@@ -1,0 +1,23 @@
+"""E3: delay vs frame duration.
+
+Expected shape: delay is linear in frame duration with slope set by the
+ordering quality (wraps + pipeline depth).
+"""
+
+import pytest
+
+from conftest import run_experiment
+
+from repro.analysis.experiments import e03_delay_vs_frame
+
+
+def test_bench_e03_delay_vs_frame(benchmark):
+    result = run_experiment(benchmark, e03_delay_vs_frame)
+    rows = result.rows
+    # linearity: delay ratio equals frame-duration ratio
+    ratio = rows[-1][0] / rows[0][0]
+    assert rows[-1][1] / rows[0][1] == pytest.approx(ratio)
+    assert rows[-1][2] / rows[0][2] == pytest.approx(ratio)
+    # ordering gap: adversarial delay is several times the good order's
+    for row in rows:
+        assert row[2] > 5 * row[1]

@@ -1,0 +1,22 @@
+"""E4: emulation overhead -- guard time vs drift and resync period.
+
+Expected shape: required guard grows linearly in drift x resync interval;
+slot capacity shrinks and hits zero when the guard swallows the slot.
+"""
+
+from conftest import run_experiment
+
+from repro.analysis.experiments import e04_overhead
+
+
+def test_bench_e04_overhead(benchmark):
+    result = run_experiment(benchmark, e04_overhead)
+    by_key = {(row[0], row[1]): row for row in result.rows}
+    # monotone in drift at fixed interval
+    assert by_key[(50, 1.0)][2] > by_key[(5, 1.0)][2]
+    # monotone in interval at fixed drift
+    assert by_key[(10, 10.0)][2] > by_key[(10, 0.1)][2]
+    # the extreme corner is unusable
+    assert by_key[(50, 10.0)][4] == 0
+    # the benign corner keeps most of the slot
+    assert by_key[(5, 0.1)][4] > 2000

@@ -1,0 +1,21 @@
+"""E5: VoIP capacity -- TDMA emulation (with admission control) vs DCF.
+
+Expected shape: TDMA admits up to its schedulability limit and every
+admitted call meets QoS; DCF collapses collectively past a load knee.
+"""
+
+from conftest import run_experiment
+
+from repro.analysis.experiments import e05_voip_capacity
+
+
+def test_bench_e05_voip_capacity(benchmark):
+    result = run_experiment(benchmark, e05_voip_capacity,
+                            call_counts=(2, 4, 6, 8, 10), duration_s=2.0)
+    for row in result.rows:
+        offered, admitted, tdma_ok, dcf_ok = row[:4]
+        assert tdma_ok == admitted, "every admitted TDMA call meets QoS"
+    light, heavy = result.rows[0], result.rows[-1]
+    assert light[3] == light[0], "DCF clean at light load"
+    assert heavy[3] < heavy[0], "DCF degraded past the knee"
+    assert heavy[5] > light[5], "DCF loss grows with load"

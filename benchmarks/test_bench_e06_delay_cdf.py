@@ -1,0 +1,19 @@
+"""E6: delay distribution -- TDMA bounded, DCF heavy-tailed.
+
+Expected shape: TDMA's p50..max span is nearly flat (hard service bound);
+DCF's tail stretches by multiples of its median under contention.
+"""
+
+from conftest import run_experiment
+
+from repro.analysis.experiments import e06_delay_cdf
+
+
+def test_bench_e06_delay_cdf(benchmark):
+    result = run_experiment(benchmark, e06_delay_cdf, num_calls=6,
+                            duration_s=3.0)
+    rows = {row[0]: row for row in result.rows}
+    tdma_spread = rows["max"][1] - rows["p50"][1]
+    dcf_spread = rows["max"][2] - rows["p50"][2]
+    assert tdma_spread < 5.0, "TDMA delay is capped within ~half a frame"
+    assert dcf_spread > tdma_spread, "DCF tail exceeds TDMA's"

@@ -1,0 +1,21 @@
+"""E7: ordering policies across topologies.
+
+Expected shape: the ILP and the tree algorithm achieve zero wraps;
+greedy/random orders wrap.
+"""
+
+from conftest import run_experiment
+
+from repro.analysis.experiments import e07_ordering_compare
+
+
+def test_bench_e07_ordering_compare(benchmark):
+    result = run_experiment(benchmark, e07_ordering_compare)
+    for row in result.rows:
+        name, flows, ilp, tree, greedy, random_ = row
+        assert ilp == 0, f"{name}: ILP must reach zero wraps"
+        if tree is not None:
+            assert tree == 0, f"{name}: tree algorithm must match the ILP"
+        assert greedy >= ilp and random_ >= ilp
+    # at least one baseline wraps somewhere, or the comparison is vacuous
+    assert any(row[4] > 0 or row[5] > 0 for row in result.rows)

@@ -1,0 +1,21 @@
+"""E8: synchronization error over time.
+
+Expected shape: free-running clocks diverge linearly; beacon sync
+plateaus at the jitter floor; skew discipline lowers the plateau.  Zero
+slot collisions while the error stays under the guard.
+"""
+
+from conftest import run_experiment
+
+from repro.analysis.experiments import e08_sync_error
+
+
+def test_bench_e08_sync_error(benchmark):
+    result = run_experiment(benchmark, e08_sync_error, duration_s=6.0,
+                            drift_ppm=10.0)
+    rows = {row[0]: row for row in result.rows}
+    assert rows["sync_off"][1] > 3 * rows["sync_on"][1], \
+        "free-running error must dwarf the synced plateau"
+    guard_us = rows["sync_on"][4]
+    assert rows["sync_on"][1] < guard_us, "synced error within the guard"
+    assert rows["sync_on"][3] == 0, "no slot collisions while synced"

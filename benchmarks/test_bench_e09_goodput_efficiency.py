@@ -1,0 +1,18 @@
+"""E9: slot efficiency vs slot duration.
+
+Expected shape: efficiency is monotone in slot length (guard + PLCP
+amortization) and far from 1 at 802.16-minislot-like durations --
+quantifying why the emulation uses fat slots.
+"""
+
+from conftest import run_experiment
+
+from repro.analysis.experiments import e09_goodput_efficiency
+
+
+def test_bench_e09_goodput_efficiency(benchmark):
+    result = run_experiment(benchmark, e09_goodput_efficiency)
+    efficiency = [row[3] for row in result.rows]
+    assert efficiency == sorted(efficiency)
+    assert efficiency[0] < 0.35, "short slots are overhead-dominated"
+    assert efficiency[-1] > 0.8, "long slots approach the channel rate"

@@ -1,0 +1,23 @@
+"""E11: spatial reuse under the k-hop conflict model.
+
+Expected shape: required slots saturate once the chain outgrows the
+conflict distance while total demand keeps growing; utilization exceeds 1.
+The 1-hop model (no secondary interference) reuses more aggressively than
+the 802.16-mandated 2-hop model.
+"""
+
+from conftest import run_experiment
+
+from repro.analysis.experiments import e11_spatial_reuse
+
+
+def test_bench_e11_spatial_reuse(benchmark):
+    result = run_experiment(benchmark, e11_spatial_reuse,
+                            chain_lengths=(4, 6, 8, 10, 12, 16))
+    slots_1hop = [row[2] for row in result.rows]
+    slots_2hop = [row[3] for row in result.rows]
+    assert slots_2hop[-1] == slots_2hop[-3], "2-hop slots saturate"
+    assert slots_1hop[-1] == slots_1hop[-3], "1-hop slots saturate"
+    for one, two in zip(slots_1hop, slots_2hop):
+        assert one <= two, "wider interference needs more slots"
+    assert result.rows[-1][4] > 2.0, "utilization shows real reuse"

@@ -1,0 +1,19 @@
+"""E12: worst-call MOS at and past the DCF knee.
+
+Expected shape: TDMA keeps every admitted call near the codec ceiling
+(~4.0 for G.729); DCF's worst call collapses toward 1.0 past the knee.
+"""
+
+from conftest import run_experiment
+
+from repro.analysis.experiments import e12_voip_mos
+
+
+def test_bench_e12_voip_mos(benchmark):
+    result = run_experiment(benchmark, e12_voip_mos, call_counts=(4, 8),
+                            duration_s=2.0)
+    moderate, heavy = result.rows
+    assert moderate[2] > 3.8, "TDMA calls near the codec MOS ceiling"
+    assert heavy[2] > 3.8, "TDMA protects admitted calls at heavy load"
+    assert heavy[3] < 2.5, "DCF worst call collapses past the knee"
+    assert heavy[2] - heavy[3] > 1.0

@@ -1,0 +1,34 @@
+"""E13 (extension): channel errors -- TDMA, TDMA + slot-ARQ, DCF.
+
+Expected shape: plain TDMA loss tracks ~1-(1-p)^hops (channel errors pass
+straight through, delay pinned by the schedule); DCF and the slot-ARQ
+extension both hold loss near zero by retransmitting, paying in delay --
+but the ARQ arm's delay stays schedule-shaped (frames), not
+contention-shaped.
+"""
+
+from conftest import run_experiment
+
+from repro.analysis.experiments import e13_channel_errors
+
+
+def test_bench_e13_channel_errors(benchmark):
+    result = run_experiment(benchmark, e13_channel_errors, duration_s=2.0)
+    clean = result.rows[0]
+    worst = result.rows[-1]
+    assert clean[1] == 0.0 and clean[2] == 0.0 and clean[3] == 0.0
+    # plain TDMA loss grows with the error rate...
+    tdma_losses = [row[1] for row in result.rows]
+    assert tdma_losses == sorted(tdma_losses)
+    assert worst[1] > 0.05
+    # ...while both ARQ mechanisms absorb it
+    assert worst[2] <= worst[1] / 3, "slot-ARQ must recover most loss"
+    assert worst[3] <= worst[1] / 3, "DCF ARQ must recover most loss"
+    # plain TDMA delay is pinned by the schedule (loss only removes
+    # samples, shifting the p95 by at most a sample spacing); the ARQ arm
+    # pays real delay
+    assert abs(worst[4] - clean[4]) < 0.05 * clean[4]
+    assert worst[5] > clean[5]
+    # retransmission counters move accordingly
+    assert worst[7] > 0
+    assert worst[8] > clean[8]

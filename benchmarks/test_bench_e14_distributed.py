@@ -1,0 +1,22 @@
+"""E14 (extension): distributed DSCH handshake vs centralized ILP.
+
+Expected shape: the local three-way handshake serves all demands on
+uncongested frames at exactly 3 messages per link, with a makespan in the
+same ballpark as the centralized answer (sometimes tighter, since it
+protects exact interference rather than the conservative 2-hop model).
+"""
+
+from conftest import run_experiment
+
+from repro.analysis.experiments import e14_distributed_vs_centralized
+
+
+def test_bench_e14_distributed(benchmark):
+    result = run_experiment(benchmark, e14_distributed_vs_centralized)
+    for row in result.rows:
+        case, links, central, makespan, served, messages, ____ = row
+        assert served == f"{links}/{links}", f"{case}: demand stranded"
+        assert messages == 3 * links
+        # same ballpark: within 2x of the centralized region either way
+        assert makespan <= 2 * central
+        assert central <= 2 * makespan

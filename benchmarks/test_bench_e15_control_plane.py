@@ -1,0 +1,28 @@
+"""E15 (extension): control plane ablation -- roster vs mesh election.
+
+Expected shape: the roster packs every control opportunity while election
+idles some to holdoffs (recovering a share via spatial reuse on sparse
+topologies) -- but sync quality is equivalent: both arms hold the mesh an
+order of magnitude under the guard, with zero control collisions and zero
+VoIP loss.
+"""
+
+from conftest import run_experiment
+
+from repro.analysis.experiments import e15_control_plane
+from repro.mesh16.frame import default_frame_config
+
+
+def test_bench_e15_control_plane(benchmark):
+    result = run_experiment(benchmark, e15_control_plane)
+    guard_us = default_frame_config().guard_s * 1e6
+    by_key = {(row[0], row[1]): row for row in result.rows}
+    for (topo, plane), row in by_key.items():
+        assert row[2] < guard_us / 2, f"{topo}/{plane}: sync too loose"
+        assert row[5] == 0, f"{topo}/{plane}: control collisions"
+        assert row[6] == 0, f"{topo}/{plane}: VoIP loss"
+    for topo in ("grid3x3", "chain10"):
+        assert by_key[(topo, "roster")][3] >= by_key[(topo, "election")][3]
+    # spatial reuse: the sparse chain recovers more density than the grid
+    assert (by_key[("chain10", "election")][3]
+            >= by_key[("grid3x3", "election")][3])

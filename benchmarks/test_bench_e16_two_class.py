@@ -1,0 +1,20 @@
+"""E16 (extension): best-effort capacity vs guaranteed VoIP load.
+
+Expected shape: each admitted call grows the minimum guaranteed region, so
+the elastic class's grant fraction falls monotonically toward zero -- the
+multi-service trade the NET-COOP companion paper frames.
+"""
+
+from conftest import run_experiment
+
+from repro.analysis.experiments import e16_two_class
+
+
+def test_bench_e16_two_class(benchmark):
+    result = run_experiment(benchmark, e16_two_class)
+    regions = [row[1] for row in result.rows if row[1] is not None]
+    fractions = [row[4] for row in result.rows if row[4] is not None]
+    assert regions == sorted(regions), "guaranteed region grows with load"
+    assert fractions == sorted(fractions, reverse=True), \
+        "best-effort grant fraction shrinks monotonically"
+    assert fractions[0] > 2 * fractions[-1], "the squeeze is substantial"

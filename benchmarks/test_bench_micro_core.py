@@ -1,0 +1,61 @@
+"""Microbenchmarks of the scheduling primitives (multi-round timing).
+
+Unlike the experiment benches (one-shot table generation), these use
+pytest-benchmark's statistical timing to track the cost of the hot
+primitives a deployment would re-run online: conflict-graph construction,
+Bellman-Ford schedule recovery, greedy packing, feasibility ILPs and the
+delay computation.
+"""
+
+from repro.core.conflict import conflict_graph
+from repro.core.delay import path_delay_slots
+from repro.core.greedy import greedy_schedule
+from repro.core.ilp import SchedulingProblem, solve_schedule_ilp
+from repro.core.ordering import schedule_from_order
+from repro.core.tree_order import min_delay_tree_order
+from repro.net.routing import gateway_tree
+from repro.net.topology import grid_topology
+
+TOPOLOGY = grid_topology(4, 4)
+DEMANDS = {link: 1 for link in TOPOLOGY.links}
+CONFLICTS = conflict_graph(TOPOLOGY, hops=2)
+TREE = gateway_tree(TOPOLOGY, 0)
+ORDER = min_delay_tree_order(TREE, 0)
+TREE_DEMANDS = {link: 1 for link in ORDER.links()}
+FRAME = 2 * len(TREE_DEMANDS)
+SCHEDULE = schedule_from_order(CONFLICTS, TREE_DEMANDS, FRAME, ORDER)
+ROUTE = tuple((i, i + 1) for i in (0, 1, 2))  # 0-1-2-3 along the top row
+
+
+def test_bench_micro_conflict_graph(benchmark):
+    graph = benchmark(conflict_graph, TOPOLOGY, 2)
+    assert graph.number_of_nodes() == TOPOLOGY.num_links()
+
+
+def test_bench_micro_bellman_ford_recovery(benchmark):
+    schedule = benchmark(schedule_from_order, CONFLICTS, TREE_DEMANDS,
+                         FRAME, ORDER)
+    assert len(schedule) == len(TREE_DEMANDS)
+
+
+def test_bench_micro_greedy_packing(benchmark):
+    schedule = benchmark(greedy_schedule, CONFLICTS, DEMANDS)
+    assert schedule.demands_met(DEMANDS)
+
+
+def test_bench_micro_feasibility_ilp(benchmark):
+    problem = SchedulingProblem(CONFLICTS, TREE_DEMANDS, FRAME)
+
+    result = benchmark(solve_schedule_ilp, problem)
+    assert result.feasible
+
+
+def test_bench_micro_path_delay(benchmark):
+    route = [(0, 1), (1, 2), (2, 3)]
+    delay = benchmark(path_delay_slots, SCHEDULE, route)
+    assert delay > 0
+
+
+def test_bench_micro_tree_order(benchmark):
+    order = benchmark(min_delay_tree_order, TREE, 0)
+    assert len(order.links()) == 2 * TREE.number_of_edges()

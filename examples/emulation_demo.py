@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Inside the emulation layer: clocks, beacons, guard times.
+
+The part of the ICDCS paper that is *not* scheduling: how do you hold a
+TDMA frame together on WiFi hardware whose nodes each keep their own
+(cheap, drifting) clock?  This demo:
+
+1. dimensions the guard time from a drift bound and resync period;
+2. runs the mesh with synchronization ON and shows the clock error
+   plateauing under the guard (and zero slot collisions);
+3. runs it again with synchronization OFF and watches the error grow
+   linearly until transmissions start bleeding into neighbouring slots.
+
+Run:  python examples/emulation_demo.py          (~30 seconds)
+"""
+
+from repro.analysis.reporting import format_table
+from repro.analysis.scenarios import (
+    make_voip_flows,
+    run_tdma_scenario,
+    schedule_for_flows,
+)
+from repro.mesh16.frame import default_frame_config
+from repro.net.topology import grid_topology
+from repro.overlay.guard import max_resync_interval_s, required_guard_s
+from repro.overlay.sync import SyncConfig
+from repro.sim.random import RngRegistry
+from repro.traffic.voip import G729
+from repro.units import US
+
+DRIFT_PPM = 25.0
+DURATION_S = 6.0
+
+
+def main() -> None:
+    frame = default_frame_config()
+    print("== guard-time dimensioning ==")
+    rows = []
+    for resync_s in (0.05, 0.1, 0.5, 1.0, 5.0):
+        guard = required_guard_s(DRIFT_PPM, resync_s,
+                                 sync_residual_s=10 * US)
+        rows.append([resync_s, f"{guard * 1e6:.0f}",
+                     "yes" if guard <= frame.guard_s else "NO"])
+    print(format_table(
+        ["resync period s", "required guard us",
+         f"fits {frame.guard_s * 1e6:.0f} us budget?"], rows))
+    print(f"-> the {frame.guard_s * 1e6:.0f} us guard of the default frame "
+          f"absorbs up to "
+          f"{max_resync_interval_s(frame.guard_s, DRIFT_PPM, 10 * US):.2f} s "
+          f"between resyncs at {DRIFT_PPM:.0f} ppm\n")
+
+    topology = grid_topology(3, 3)
+    rngs = RngRegistry(seed=16)
+    # enough calls to pack the data subframe densely: with adjacent
+    # conflicting blocks everywhere, a clock that slips more than the
+    # guard (plus in-slot slack) has nowhere safe to land
+    flows = make_voip_flows(topology, 7, rngs, codec=G729, gateway=0,
+                            delay_budget_s=0.1)
+    schedule = schedule_for_flows(topology, flows, frame)
+
+    print(f"== running {topology.name} at {DRIFT_PPM:.0f} ppm drift for "
+          f"{DURATION_S:.0f} s ==")
+    arms = [
+        ("beacons every control cycle", SyncConfig(enabled=True),
+         DURATION_S),
+        ("beacons + skew discipline",
+         SyncConfig(enabled=True, skew_compensation=True), DURATION_S),
+        # the control arm runs longer: free-running clocks need time to
+        # drift past the guard + in-slot slack before slots actually bleed
+        ("synchronization disabled", SyncConfig(enabled=False),
+         4 * DURATION_S),
+    ]
+    rows = []
+    for label, sync, duration in arms:
+        run = run_tdma_scenario(topology, flows, frame, schedule,
+                                duration, RngRegistry(seed=16).spawn(label),
+                                drift_ppm=DRIFT_PPM, sync_config=sync,
+                                codec=G729)
+        samples = run.extras["sync_error_samples"]
+        rows.append([
+            label,
+            f"{run.extras['max_sync_error_s'] * 1e6:.1f}",
+            f"{samples[-1] * 1e6:.1f}" if samples else "-",
+            run.extras["slot_collisions"],
+            f"{run.total_loss_fraction():.4f}",
+        ])
+    print(format_table(
+        ["arm", "max clock err us", "final err us", "slot collisions",
+         "voip loss"], rows))
+    print(f"\n(guard budget is {frame.guard_s * 1e6:.0f} us: the emulation "
+          "holds the schedule exactly as long as the clock error stays "
+          "inside it. Once it does not, transmissions bleed into "
+          "neighbouring slots -- the collision counter picks that up at "
+          "overhearing nodes first, because the 2-hop conflict model keeps "
+          "true interferers more than a one-slot slip apart; guarantees "
+          "erode from there as drift accumulates.)")
+
+
+if __name__ == "__main__":
+    main()

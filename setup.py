@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The environment this repository targets has no network access and no
+``wheel`` package, so PEP 517/660 builds (which need an editable wheel)
+fail.  Keeping a classic ``setup.py`` alongside ``pyproject.toml`` lets
+``pip install -e .`` fall back to the legacy ``setup.py develop`` path,
+which works offline.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

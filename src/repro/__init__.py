@@ -1,0 +1,128 @@
+"""repro -- Guaranteed QoS in mesh networks: WiMAX mesh emulated over WiFi.
+
+A from-scratch reproduction of Djukic & Valaee, *"Towards Guaranteed QoS in
+Mesh Networks: Emulating WiMAX Mesh over WiFi Hardware"* (ICDCS 2007) and
+its companion scheduling papers (NET-COOP 2007, ToN 2009).
+
+The library has two halves:
+
+**Scheduling** (:mod:`repro.core`): conflict graphs over directed mesh
+links, the delay-aware joint slot/order ILP, the linear search for the
+minimum number of guaranteed slots, transmission-order -> schedule recovery
+via Bellman-Ford, the wrap-free ordering on scheduling trees, and greedy
+baselines.
+
+**Emulation** (:mod:`repro.overlay` + substrates): a discrete-event
+simulation of the 802.16 mesh frame run in software over raw-broadcast
+802.11, with drifting per-node clocks, beacon synchronization, guard-time
+dimensioning -- compared packet-by-packet against native 802.11 DCF.
+
+Quickstart::
+
+    from repro import (chain_topology, conflict_graph, Flow, FlowSet,
+                       route_all, minimum_slots, default_frame_config)
+
+    topo = chain_topology(6)
+    flows = route_all(topo, FlowSet([
+        Flow("voip0", src=0, dst=5, rate_bps=80_000, delay_budget_s=0.1)]))
+    frame = default_frame_config()
+    demands = flows.link_demands(frame.frame_duration_s,
+                                 frame.data_slot_capacity_bits)
+    result = minimum_slots(conflict_graph(topo), demands,
+                           frame_slots=frame.data_slots)
+    print(result.slots, result.result.schedule)
+
+See ``examples/`` for full scenarios and ``benchmarks/`` for the
+experiment suite (EXPERIMENTS.md maps each to the paper).
+"""
+
+from repro.core import (
+    AdmissionController,
+    AdmissionDecision,
+    Schedule,
+    SchedulingProblem,
+    SlotBlock,
+    TransmissionOrder,
+    conflict_graph,
+    greedy_schedule,
+    min_delay_tree_order,
+    minimum_slots,
+    path_delay_slots,
+    path_wraps,
+    schedule_from_order,
+    solve_schedule_ilp,
+)
+from repro.core.ilp import DelayConstraint
+from repro.errors import (
+    AdmissionError,
+    ConfigurationError,
+    InfeasibleScheduleError,
+    ReproError,
+    RoutingError,
+    SchedulingError,
+    SimulationError,
+    SolverError,
+)
+from repro.mesh16 import MeshFrameConfig, default_frame_config
+from repro.net import (
+    Flow,
+    FlowSet,
+    MeshTopology,
+    chain_topology,
+    gateway_tree,
+    grid_topology,
+    random_disk_topology,
+    route_all,
+    star_topology,
+)
+from repro.overlay import required_guard_s
+from repro.sim import DriftingClock, RngRegistry, Simulator
+from repro.traffic import G711, G723, G729, FlowQoS, VoipCodec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "AdmissionError",
+    "ConfigurationError",
+    "DelayConstraint",
+    "DriftingClock",
+    "Flow",
+    "FlowQoS",
+    "FlowSet",
+    "G711",
+    "G723",
+    "G729",
+    "InfeasibleScheduleError",
+    "MeshFrameConfig",
+    "MeshTopology",
+    "ReproError",
+    "RngRegistry",
+    "RoutingError",
+    "Schedule",
+    "SchedulingError",
+    "SchedulingProblem",
+    "SimulationError",
+    "Simulator",
+    "SlotBlock",
+    "SolverError",
+    "TransmissionOrder",
+    "VoipCodec",
+    "chain_topology",
+    "conflict_graph",
+    "default_frame_config",
+    "gateway_tree",
+    "greedy_schedule",
+    "grid_topology",
+    "min_delay_tree_order",
+    "minimum_slots",
+    "path_delay_slots",
+    "path_wraps",
+    "random_disk_topology",
+    "required_guard_s",
+    "route_all",
+    "schedule_from_order",
+    "solve_schedule_ilp",
+    "star_topology",
+]

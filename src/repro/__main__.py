@@ -1,0 +1,76 @@
+"""Command-line experiment runner.
+
+Run reconstructed experiments by id and print their tables:
+
+    python -m repro E2 E4            # specific experiments
+    python -m repro --list           # what's available
+    python -m repro --all            # everything (tens of minutes)
+
+Benchmarks (``pytest benchmarks/ --benchmark-only``) run the same code
+under timing and shape assertions; this entry point is for interactive
+exploration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.analysis.experiments import ALL_EXPERIMENTS
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run reconstructed experiments (see DESIGN.md).")
+    parser.add_argument("experiments", nargs="*", metavar="EXPERIMENT",
+                        help="experiment ids, e.g. E1 E5 (case-insensitive)")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiments and exit")
+    parser.add_argument("--all", action="store_true",
+                        help="run every experiment")
+    parser.add_argument("--report", metavar="PATH",
+                        help="also write the tables to a markdown file")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for key in sorted(ALL_EXPERIMENTS,
+                          key=lambda k: int(k[1:])):
+            doc = (ALL_EXPERIMENTS[key].__doc__ or "").strip().splitlines()
+            print(f"{key:>4}  {doc[0] if doc else ''}")
+        return 0
+
+    requested = ([k for k in sorted(ALL_EXPERIMENTS,
+                                    key=lambda k: int(k[1:]))]
+                 if args.all else [e.upper() for e in args.experiments])
+    if not requested:
+        parser.print_usage()
+        print("error: give experiment ids, --all, or --list",
+              file=sys.stderr)
+        return 2
+    unknown = [e for e in requested if e not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"error: unknown experiment(s) {', '.join(unknown)}; "
+              "try --list", file=sys.stderr)
+        return 2
+
+    sections: list[str] = []
+    for key in requested:
+        started = time.perf_counter()
+        result = ALL_EXPERIMENTS[key]()
+        elapsed = time.perf_counter() - started
+        table = result.table()
+        print(table)
+        print(f"({elapsed:.1f}s)\n")
+        sections.append(f"## {key}\n\n```\n{table}\n```\n"
+                        f"_({elapsed:.1f}s)_\n")
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write("# Experiment report\n\n" + "\n".join(sections))
+        print(f"report written to {args.report}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,16 @@
+"""Experiment harness, statistics and reporting (system S22 in DESIGN.md)."""
+
+from repro.analysis.replication import ReplicatedMetric, replicate
+from repro.analysis.reporting import format_table
+from repro.analysis.stats import mean_confidence_interval, summarize
+from repro.analysis.visualize import render_schedule, render_two_class
+
+__all__ = [
+    "ReplicatedMetric",
+    "format_table",
+    "mean_confidence_interval",
+    "render_schedule",
+    "render_two_class",
+    "replicate",
+    "summarize",
+]

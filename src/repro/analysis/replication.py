@@ -1,0 +1,75 @@
+"""Multi-seed replication with confidence intervals.
+
+Packet-level results depend on the seed (backoff draws, clock skews, call
+placement); a single run is an anecdote.  :func:`replicate` re-runs a
+scenario function across derived seeds and condenses each numeric metric
+into mean and Student-t confidence interval -- the standard presentation
+for simulation studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from repro.analysis.stats import mean_confidence_interval
+from repro.errors import ConfigurationError
+from repro.sim.random import RngRegistry
+
+
+@dataclass(frozen=True)
+class ReplicatedMetric:
+    """Mean and confidence interval of one metric across replications."""
+
+    name: str
+    mean: float
+    ci_low: float
+    ci_high: float
+    samples: tuple[float, ...]
+
+    @property
+    def half_width(self) -> float:
+        return (self.ci_high - self.ci_low) / 2
+
+    def __str__(self) -> str:
+        return f"{self.name}: {self.mean:.4g} +- {self.half_width:.2g}"
+
+
+def replicate(scenario: Callable[[RngRegistry], Mapping[str, float]],
+              seeds: Sequence[int],
+              confidence: float = 0.95) -> dict[str, ReplicatedMetric]:
+    """Run ``scenario`` once per seed and summarize each metric.
+
+    Parameters
+    ----------
+    scenario:
+        Callable taking a fresh :class:`RngRegistry` and returning a flat
+        mapping of metric name to numeric value.  Every replication must
+        return the same metric names.
+    seeds:
+        Root seeds, one per replication (e.g. ``range(10)``).
+
+    Returns
+    -------
+    dict
+        Metric name -> :class:`ReplicatedMetric`, in the order metrics
+        appeared in the first replication.
+    """
+    if not seeds:
+        raise ConfigurationError("need at least one seed")
+    runs: list[Mapping[str, float]] = []
+    for seed in seeds:
+        result = scenario(RngRegistry(seed=int(seed)))
+        if runs and set(result) != set(runs[0]):
+            raise ConfigurationError(
+                "replications returned differing metric sets: "
+                f"{sorted(set(result) ^ set(runs[0]))}")
+        runs.append(result)
+
+    summary: dict[str, ReplicatedMetric] = {}
+    for name in runs[0]:
+        samples = tuple(float(run[name]) for run in runs)
+        mean, low, high = mean_confidence_interval(samples, confidence)
+        summary[name] = ReplicatedMetric(name=name, mean=mean, ci_low=low,
+                                         ci_high=high, samples=samples)
+    return summary

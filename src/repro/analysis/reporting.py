@@ -1,0 +1,43 @@
+"""Plain-text table rendering for experiment output.
+
+Benchmarks print the same rows the paper's tables/figures report; keeping
+the renderer dependency-free makes ``pytest benchmarks/ --benchmark-only``
+output self-contained.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_cell(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        magnitude = abs(value)
+        if magnitude != 0 and (magnitude < 1e-3 or magnitude >= 1e6):
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """Render an aligned monospace table."""
+    cells = [[format_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,51 @@
+"""Small statistics helpers for experiment replication."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+
+def summarize(samples: Sequence[float]) -> Summary:
+    if not samples:
+        raise ConfigurationError("cannot summarize an empty sample")
+    array = np.asarray(samples, dtype=float)
+    return Summary(n=len(array), mean=float(array.mean()),
+                   std=float(array.std(ddof=1)) if len(array) > 1 else 0.0,
+                   minimum=float(array.min()), maximum=float(array.max()))
+
+
+def mean_confidence_interval(samples: Sequence[float],
+                             confidence: float = 0.95
+                             ) -> tuple[float, float, float]:
+    """(mean, low, high) Student-t confidence interval for the mean."""
+    if not samples:
+        raise ConfigurationError("cannot build a CI from an empty sample")
+    if not 0 < confidence < 1:
+        raise ConfigurationError("confidence must be in (0, 1)")
+    array = np.asarray(samples, dtype=float)
+    mean = float(array.mean())
+    if len(array) < 2:
+        return mean, mean, mean
+    sem = float(array.std(ddof=1)) / math.sqrt(len(array))
+    if sem == 0.0:
+        return mean, mean, mean
+    half = sem * float(scipy_stats.t.ppf((1 + confidence) / 2, len(array) - 1))
+    return mean, mean - half, mean + half

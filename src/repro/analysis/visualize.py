@@ -1,0 +1,67 @@
+"""ASCII rendering of TDMA schedules.
+
+A quick way to *see* a schedule in a terminal or a test failure message:
+one row per directed link, one column per data slot, ``#`` where the link
+transmits.  Conflicting links sharing a column jump out immediately, as
+does spatial reuse (multiple ``#`` in one column on far-apart links).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.schedule import Schedule
+from repro.net.topology import Link
+
+
+def render_schedule(schedule: Schedule,
+                    links: Optional[Sequence[Link]] = None,
+                    mark: str = "#", empty: str = ".") -> str:
+    """Render ``schedule`` as an aligned slot grid.
+
+    >>> from repro.core.schedule import Schedule, SlotBlock
+    >>> s = Schedule(6, {(0, 1): SlotBlock(0, 2), (2, 3): SlotBlock(3, 1)})
+    >>> print(render_schedule(s))
+    slot   012345
+    0->1   ##....
+    2->3   ...#..
+    """
+    chosen = list(links) if links is not None else schedule.links()
+    label_of = {link: f"{link[0]}->{link[1]}" for link in chosen}
+    width = max([len("slot")] + [len(v) for v in label_of.values()])
+    header = "slot".ljust(width) + "   " + "".join(
+        str(slot % 10) for slot in range(schedule.frame_slots))
+    lines = [header]
+    for link in chosen:
+        cells = [empty] * schedule.frame_slots
+        if link in schedule:
+            for slot in schedule.block(link).slots():
+                cells[slot] = mark
+        lines.append(label_of[link].ljust(width) + "   " + "".join(cells))
+    return "\n".join(lines)
+
+
+def render_two_class(two, links: Optional[Sequence[Link]] = None) -> str:
+    """Render a :class:`~repro.core.besteffort.TwoClassSchedule`.
+
+    Guaranteed blocks print as ``G``, best-effort blocks as ``b``, and the
+    region boundary is marked in the header row.
+    """
+    frame_slots = two.frame_slots
+    chosen = (list(links) if links is not None
+              else sorted({l for l, ____ in two.items()}))
+    label_of = {link: f"{link[0]}->{link[1]}" for link in chosen}
+    width = max([len("slot")] + [len(v) for v in label_of.values()])
+    boundary = ["|" if slot == two.guaranteed_region else str(slot % 10)
+                for slot in range(frame_slots)]
+    lines = ["slot".ljust(width) + "   " + "".join(boundary)]
+    for link in chosen:
+        cells = ["."] * frame_slots
+        if link in two.guaranteed:
+            for slot in two.guaranteed.block(link).slots():
+                cells[slot] = "G"
+        if link in two.best_effort:
+            for slot in two.best_effort.block(link).slots():
+                cells[slot] = "b"
+        lines.append(label_of[link].ljust(width) + "   " + "".join(cells))
+    return "\n".join(lines)

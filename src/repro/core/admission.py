@@ -1,0 +1,151 @@
+"""Incremental admission control for guaranteed-QoS flows.
+
+A thin stateful layer over the minimum-slots search: flows arrive one at a
+time; each candidate is tentatively routed and the full guaranteed set is
+re-scheduled.  The flow is admitted iff the schedule still fits in the
+guaranteed region and meets every admitted flow's delay budget -- admitting
+a new call must never break an existing one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.conflict import conflict_graph
+from repro.core.ilp import DelayConstraint
+from repro.core.minslots import MinSlotResult, minimum_slots
+from repro.core.schedule import Schedule
+from repro.errors import ConfigurationError
+from repro.net.flows import Flow, FlowSet
+from repro.net.routing import shortest_path_route
+from repro.net.topology import MeshTopology
+
+
+@dataclass
+class AdmissionDecision:
+    """Outcome of an admission attempt."""
+
+    admitted: bool
+    flow: Flow
+    reason: str
+    #: Guaranteed-region size after the decision (admitted flows only).
+    slots_used: int
+    schedule: Optional[Schedule] = None
+
+
+class AdmissionController:
+    """Admits guaranteed flows while a feasible schedule exists.
+
+    Parameters
+    ----------
+    topology:
+        The mesh.
+    frame_slots:
+        Data slots per frame (fixed frame length).
+    frame_duration_s:
+        Frame duration in seconds; slot duration is
+        ``frame_duration_s / frame_slots``.
+    slot_capacity_bits:
+        Application bits moved one hop per slot.
+    conflict_hops:
+        Interference model parameter (802.16 mesh default: 2).
+    guaranteed_region_slots:
+        Cap on the slots available to guaranteed traffic (the rest is
+        reserved for best effort); default: the whole frame.
+    """
+
+    def __init__(self, topology: MeshTopology, frame_slots: int,
+                 frame_duration_s: float, slot_capacity_bits: float,
+                 conflict_hops: int = 2,
+                 guaranteed_region_slots: Optional[int] = None,
+                 search: str = "binary",
+                 time_limit_per_probe_s: Optional[float] = 15.0) -> None:
+        if frame_duration_s <= 0 or slot_capacity_bits <= 0:
+            raise ConfigurationError(
+                "frame duration and slot capacity must be positive")
+        self.topology = topology
+        self.frame_slots = frame_slots
+        self.frame_duration_s = frame_duration_s
+        self.slot_capacity_bits = slot_capacity_bits
+        self.conflict_hops = conflict_hops
+        self.region_cap = (frame_slots if guaranteed_region_slots is None
+                           else guaranteed_region_slots)
+        if not 0 < self.region_cap <= frame_slots:
+            raise ConfigurationError(
+                f"guaranteed region {self.region_cap} must be in 1..frame_slots")
+        #: min-slot search mode; "binary" is valid (feasibility is monotone
+        #: in the region size for a fixed frame) and probes far fewer
+        #: infeasible instances -- the expensive ones -- than "linear"
+        self.search = search
+        self.time_limit_per_probe_s = time_limit_per_probe_s
+        self.conflicts = conflict_graph(topology, hops=conflict_hops)
+        self.admitted = FlowSet()
+        self.schedule: Optional[Schedule] = None
+        self.slots_used = 0
+
+    @property
+    def slot_duration_s(self) -> float:
+        return self.frame_duration_s / self.frame_slots
+
+    def _delay_constraints(self, flows: FlowSet) -> list[DelayConstraint]:
+        constraints = []
+        for flow in flows.guaranteed():
+            budget_slots = int(flow.delay_budget_s / self.slot_duration_s)
+            if budget_slots < 1:
+                raise ConfigurationError(
+                    f"flow {flow.name}: delay budget {flow.delay_budget_s}s "
+                    "is below one slot")
+            constraints.append(DelayConstraint(
+                name=flow.name, route=flow.route, budget_slots=budget_slots))
+        return constraints
+
+    def _schedule_flows(self, flows: FlowSet) -> MinSlotResult:
+        demands = flows.link_demands(self.frame_duration_s,
+                                     self.slot_capacity_bits)
+        return minimum_slots(
+            self.conflicts, demands, self.frame_slots,
+            delay_constraints=self._delay_constraints(flows),
+            max_region=self.region_cap, search=self.search,
+            time_limit_per_probe=self.time_limit_per_probe_s)
+
+    def try_admit(self, flow: Flow) -> AdmissionDecision:
+        """Attempt to admit ``flow``; commits state only on success."""
+        if flow.name in self.admitted:
+            raise ConfigurationError(f"flow {flow.name!r} already admitted")
+        if not flow.is_routed:
+            flow = flow.with_route(
+                shortest_path_route(self.topology, flow.src, flow.dst))
+
+        candidate = FlowSet(list(self.admitted) + [flow])
+        result = self._schedule_flows(candidate)
+        if not result.feasible:
+            return AdmissionDecision(
+                admitted=False, flow=flow,
+                reason=(f"no feasible schedule within "
+                        f"{self.region_cap} guaranteed slots"),
+                slots_used=self.slots_used, schedule=self.schedule)
+
+        self.admitted = candidate
+        self.schedule = result.result.schedule
+        self.slots_used = result.slots
+        return AdmissionDecision(
+            admitted=True, flow=flow, reason="admitted",
+            slots_used=self.slots_used, schedule=self.schedule)
+
+    def release(self, name: str) -> None:
+        """Remove an admitted flow and re-schedule the remainder."""
+        self.admitted.remove(name)
+        if len(self.admitted) == 0:
+            self.schedule = None
+            self.slots_used = 0
+            return
+        result = self._schedule_flows(self.admitted)
+        if not result.feasible:  # pragma: no cover - removing cannot hurt
+            raise ConfigurationError(
+                "internal error: schedule infeasible after release")
+        self.schedule = result.result.schedule
+        self.slots_used = result.slots
+
+    def admitted_count(self) -> int:
+        return len(self.admitted)

@@ -1,0 +1,156 @@
+"""Difference-constraint systems solved with Bellman-Ford.
+
+The NET-COOP/ToN observation behind this module: once a relative
+*transmission order* of links is fixed, finding concrete slot start times is
+a system of difference constraints
+
+    ``x_j - x_i <= w_ij``
+
+which is feasible iff the corresponding constraint graph (edge ``i -> j``
+with weight ``w_ij``... conventionally edge ``j -> i``; we use the
+"edge from i to j with weight w means x_j <= x_i + w" convention) has no
+negative cycle, and a feasible point is given by single-source shortest
+paths.  This is the "Bellman-Ford on the conflict graph" step of the paper:
+constraint-graph vertices are conflict-graph vertices (links) plus an origin.
+
+Infeasibility comes with a certificate: the negative cycle, which names the
+circular chain of precedence constraints that cannot fit in the frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Optional
+
+from repro.errors import InfeasibleScheduleError
+
+#: Constraint-graph vertex (a link, or the synthetic origin).
+Vertex = Hashable
+
+
+@dataclass
+class NegativeCycle:
+    """Certificate of infeasibility: vertices of a negative-weight cycle."""
+
+    vertices: list[Vertex]
+    weight: float
+
+    def __str__(self) -> str:
+        chain = " -> ".join(map(str, self.vertices))
+        return f"negative cycle (weight {self.weight}): {chain}"
+
+
+@dataclass
+class DifferenceConstraints:
+    """A system of constraints ``x_v <= x_u + w`` over hashable variables."""
+
+    #: list of (u, v, w): x_v <= x_u + w
+    edges: list[tuple[Vertex, Vertex, float]] = field(default_factory=list)
+    _vertices: set[Vertex] = field(default_factory=set)
+
+    def add(self, u: Vertex, v: Vertex, w: float) -> None:
+        """Add the constraint ``x_v <= x_u + w``."""
+        self.edges.append((u, v, w))
+        self._vertices.add(u)
+        self._vertices.add(v)
+
+    def add_upper(self, origin: Vertex, v: Vertex, bound: float) -> None:
+        """``x_v <= x_origin + bound`` (an upper bound relative to origin)."""
+        self.add(origin, v, bound)
+
+    def add_lower(self, origin: Vertex, v: Vertex, bound: float) -> None:
+        """``x_v >= x_origin + bound``."""
+        self.add(v, origin, -bound)
+
+    def vertices(self) -> list[Vertex]:
+        return sorted(self._vertices, key=repr)
+
+    def solve(self, origin: Optional[Vertex] = None) -> dict[Vertex, float]:
+        """Feasible assignment via Bellman-Ford, or raise with a certificate.
+
+        Without an ``origin``, a synthetic super-source connected to every
+        vertex with weight 0 is used (all-zeros initialisation): the result
+        is *some* feasible point.
+
+        With an ``origin``, true single-source shortest paths from it are
+        computed (origin pinned to 0, everything else starts at +inf);
+        by the classic difference-constraint theorem the result is the
+        componentwise-**maximum** solution with ``x_origin = 0`` -- i.e. a
+        latest-start schedule.  Every vertex must be reachable from the
+        origin through constraint edges (in scheduling use, the frame upper
+        bounds guarantee this); unreachable vertices come back as +inf.
+
+        Raises
+        ------
+        InfeasibleScheduleError
+            If the system has no solution (negative cycle; with an origin,
+            a negative cycle reachable from it).  ``certificate`` is a
+            :class:`NegativeCycle`.
+        """
+        vertices = self.vertices()
+        if origin is not None and origin not in self._vertices:
+            vertices = [origin] + vertices
+
+        if origin is None:
+            dist: dict[Vertex, float] = {v: 0.0 for v in vertices}
+        else:
+            dist = {v: float("inf") for v in vertices}
+            dist[origin] = 0.0
+        predecessor: dict[Vertex, Optional[tuple[Vertex, float]]] = {
+            v: None for v in vertices}
+
+        # The all-zeros initialisation is equivalent to having relaxed the
+        # edges of a synthetic super-source once, so convergence is
+        # guaranteed within |V| - 1 further passes when no negative cycle
+        # exists.  Run |V| + 1 passes: the extra pass lets a run that
+        # converges on the final regular pass prove convergence (no change)
+        # instead of being misreported as a negative cycle.
+        changed_vertex: Optional[Vertex] = None
+        for ____ in range(len(vertices) + 1):
+            changed_vertex = None
+            for u, v, w in self.edges:
+                if dist[u] + w < dist[v] - 1e-12:
+                    dist[v] = dist[u] + w
+                    predecessor[v] = (u, w)
+                    changed_vertex = v
+            if changed_vertex is None:
+                break
+        if changed_vertex is not None:
+            raise InfeasibleScheduleError(
+                "difference constraints are infeasible",
+                certificate=self._extract_cycle(changed_vertex, predecessor))
+
+        if origin is not None:
+            shift = dist[origin]
+            return {v: dist[v] - shift for v in vertices}
+        return dist
+
+    def _extract_cycle(self, start: Vertex,
+                       predecessor: dict[Vertex, Optional[tuple[Vertex, float]]]
+                       ) -> NegativeCycle:
+        """Walk predecessor pointers back from a vertex relaxed on pass |V|.
+
+        After |V| relaxation rounds any such vertex is reachable from a
+        vertex *on* a negative cycle; walking |V| predecessors lands inside
+        the cycle, and a second walk extracts it.
+        """
+        vertex = start
+        for ____ in range(len(self._vertices) + 1):
+            entry = predecessor[vertex]
+            if entry is None:  # pragma: no cover - defensive
+                break
+            vertex = entry[0]
+        cycle = [vertex]
+        weight = 0.0
+        current = vertex
+        while True:
+            entry = predecessor[current]
+            if entry is None:  # pragma: no cover - defensive
+                break
+            current, edge_weight = entry
+            weight += edge_weight
+            if current == vertex:
+                break
+            cycle.append(current)
+        cycle.reverse()
+        return NegativeCycle(vertices=cycle, weight=weight)

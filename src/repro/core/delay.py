@@ -1,0 +1,90 @@
+"""End-to-end scheduling delay of routed flows under a TDMA schedule.
+
+A packet relayed along ``route = (l1, ..., lk)`` is transmitted in ``l1``'s
+block, waits at each intermediate router for the next link's block, and is
+delivered at the end of ``lk``'s block.  Because the schedule repeats every
+frame, the wait at a router is the *cyclic* gap between the previous block's
+end and the next block's start: zero extra frames when the outbound link is
+scheduled after the inbound one within the frame, one extra frame (a
+"wrap") otherwise.  The transmission order therefore determines delay to
+within one frame -- the observation the delay-aware ILP and the tree
+ordering algorithm exploit.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.ordering import TransmissionOrder
+from repro.core.schedule import Schedule
+from repro.errors import SchedulingError
+from repro.net.topology import Link
+
+
+def _check_route(route: Sequence[Link]) -> None:
+    if not route:
+        raise SchedulingError("route is empty")
+    for (____, mid), (nxt, ____) in zip(route, route[1:]):
+        if mid != nxt:
+            raise SchedulingError(f"route is not contiguous at {mid} -> {nxt}")
+
+
+def path_delay_slots(schedule: Schedule, route: Sequence[Link]) -> int:
+    """Slots from the start of the first block to the end of the last.
+
+    This is the *relaying* delay for a packet that is ready exactly when its
+    first link's block begins; add queueing for the first block separately
+    (see :func:`worst_case_delay_slots`).
+    """
+    _check_route(route)
+    frame = schedule.frame_slots
+    first_block = schedule.block(route[0])
+    finish = first_block.end  # absolute slot count since frame 0
+    for link in route[1:]:
+        block = schedule.block(link)
+        # Cyclic wait from the previous hop's finish to this block's start.
+        wait = (block.start - finish) % frame
+        finish += wait + block.length
+    return finish - first_block.start
+
+
+def path_wraps(schedule: Schedule, route: Sequence[Link]) -> int:
+    """Number of whole extra frames the relaying delay spans.
+
+    Defined through the delay identity ``wraps = ceil(delay / frame) - 1``,
+    so ``delay <= (wraps + 1) * frame`` holds with equality at frame
+    boundaries.  A packet fully relayed within one frame has zero wraps;
+    each hop whose outbound block falls (cyclically) before its inbound
+    block pushes the finish into a later frame.
+    """
+    delay = path_delay_slots(schedule, route)
+    return (delay - 1) // schedule.frame_slots
+
+
+def worst_case_delay_slots(schedule: Schedule, route: Sequence[Link]) -> int:
+    """Upper bound on delay for a packet arriving at an arbitrary instant.
+
+    A packet that just misses its first block waits up to a full frame for
+    the next occurrence, then suffers the relaying delay.
+    """
+    return schedule.frame_slots + path_delay_slots(schedule, route)
+
+
+def order_wraps(order: TransmissionOrder, route: Sequence[Link]) -> int:
+    """Wraps implied by a transmission order alone (no concrete schedule).
+
+    Consecutive hop ``l -> m`` wraps iff ``m`` transmits before ``l`` in the
+    frame.  Together with ``delay <= (wraps + 1) * frame`` this lets the
+    ordering stage reason about delay before start slots are chosen.
+    """
+    _check_route(route)
+    return sum(
+        0 if order.precedes(prev, nxt) else 1
+        for prev, nxt in zip(route, route[1:]))
+
+
+def max_route_delay(schedule: Schedule, routes: Sequence[Sequence[Link]]) -> int:
+    """Maximum :func:`path_delay_slots` over a set of routes."""
+    if not routes:
+        raise SchedulingError("no routes given")
+    return max(path_delay_slots(schedule, route) for route in routes)

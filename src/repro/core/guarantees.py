@@ -1,0 +1,130 @@
+"""Formal QoS guarantees implied by a schedule -- and their checker.
+
+The paper's headline word is *guaranteed*: once a conflict-free schedule
+reserves enough capacity for a CBR flow, its end-to-end delay has a hard
+deterministic bound.  This module states that bound as code so callers
+(and the test suite, against packet-level simulation) can check it.
+
+**Throughput condition.**  A flow offering ``rate_bps`` needs every link of
+its route to move at least ``rate_bps * frame`` bits per frame:
+
+    reserved_slots(link) * fragment_capacity >= rate * frame
+
+If this holds, each frame clears the frame's arrivals on every hop, so no
+queue grows without bound (stability) and no packet waits more than one
+frame for *capacity* (as opposed to for its slot position).
+
+**Delay bound.**  For a packet of a stable CBR flow:
+
+- it waits at most one frame at the source for its first block to come
+  around (arrival phase is arbitrary);
+- within the frame that serves it, relaying takes exactly the schedule's
+  cyclic path delay (``path_delay_slots``);
+- with multiple packets per frame sharing the block, a packet may be
+  served up to ``ceil(arrivals/frame_capacity_in_packets) - 1`` frames
+  late within its burst -- zero for the common VoIP case of one packet
+  per frame per flow, and bounded by the throughput condition otherwise.
+
+Together:  ``D <= frame + path_delay + (backlog_frames) * frame``.
+
+These are *scheduling* guarantees: they assume slot adherence (the
+emulation's guard-time contract, E8) and no channel loss (or ARQ); the
+integration tests exercise exactly this combination.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.delay import path_delay_slots
+from repro.core.schedule import Schedule
+from repro.errors import ConfigurationError
+from repro.mesh16.frame import MeshFrameConfig
+from repro.net.flows import Flow
+
+
+@dataclass(frozen=True)
+class GuaranteeReport:
+    """The checked guarantees for one flow under one schedule."""
+
+    flow_name: str
+    #: throughput condition holds on every route link
+    stable: bool
+    #: link with the least reserved headroom (bits/frame margin)
+    tightest_link: tuple
+    tightest_margin_bits: float
+    #: deterministic end-to-end delay bound (None if unstable)
+    delay_bound_s: float | None
+
+    def meets_budget(self, budget_s: float) -> bool:
+        return (self.stable and self.delay_bound_s is not None
+                and self.delay_bound_s <= budget_s)
+
+
+def check_guarantees(schedule: Schedule, flow: Flow,
+                     frame_config: MeshFrameConfig,
+                     packet_bits: int,
+                     fragment_capacity_bits: int | None = None
+                     ) -> GuaranteeReport:
+    """Evaluate the throughput condition and the delay bound for ``flow``.
+
+    Parameters
+    ----------
+    schedule:
+        The conflict-free schedule the mesh executes; every route link of
+        the flow must hold a block.
+    packet_bits:
+        The flow's packet size (a fragment must fit a whole packet for the
+        one-packet-per-slot accounting used here).
+    fragment_capacity_bits:
+        Payload bits one slot moves; defaults to the frame's capacity.
+    """
+    if not flow.is_routed:
+        raise ConfigurationError(f"flow {flow.name} must be routed")
+    capacity = (frame_config.data_slot_capacity_bits
+                if fragment_capacity_bits is None
+                else fragment_capacity_bits)
+    if packet_bits > capacity:
+        raise ConfigurationError(
+            f"packet of {packet_bits} bits exceeds slot capacity "
+            f"{capacity}; the single-fragment delay bound does not apply")
+
+    frame_s = frame_config.frame_duration_s
+    bits_per_frame = flow.rate_bps * frame_s
+    packets_per_frame = bits_per_frame / packet_bits
+
+    stable = True
+    tightest_link = flow.route[0]
+    tightest_margin = math.inf
+    for link in flow.route:
+        if link not in schedule:
+            return GuaranteeReport(flow.name, False, link, -bits_per_frame,
+                                   None)
+        slots = schedule.block(link).length
+        # whole packets per slot: fragmentation across slots would break
+        # the per-frame clearing argument
+        packets_per_slot = capacity // packet_bits
+        served_bits = slots * packets_per_slot * packet_bits
+        margin = served_bits - bits_per_frame
+        if margin < tightest_margin:
+            tightest_margin = margin
+            tightest_link = link
+        if margin < 0:
+            stable = False
+
+    if not stable:
+        return GuaranteeReport(flow.name, False, tightest_link,
+                               tightest_margin, None)
+
+    slot_s = frame_s / frame_config.data_slots
+    relay_s = path_delay_slots(schedule, flow.route) * slot_s
+    # packets sharing a frame: how many frames a burst can push a packet
+    first_link_slots = schedule.block(flow.route[0]).length
+    packets_per_slot = capacity // packet_bits
+    frame_packet_capacity = first_link_slots * packets_per_slot
+    backlog_frames = max(0, math.ceil(packets_per_frame
+                                      / frame_packet_capacity) - 1)
+    bound = frame_s + relay_s + backlog_frames * frame_s
+    return GuaranteeReport(flow.name, True, tightest_link,
+                           tightest_margin, bound)

@@ -1,0 +1,153 @@
+"""Linear search for the minimum number of guaranteed-traffic slots.
+
+The NET-COOP optimization: find the smallest number ``K`` of TDMA slots that
+can carry all guaranteed-QoS flows with their bandwidth and delay
+requirements, so that the remaining ``frame_slots - K`` slots are free for
+best-effort traffic.  Each candidate ``K`` is checked by solving the
+delay-aware feasibility ILP with the guaranteed region restricted to the
+first ``K`` slots of the frame.
+
+The paper performs a plain linear search upward from a lower bound.  With a
+*fixed* frame length the feasibility of the region-restricted problem is
+monotone in ``K`` (enlarging the region only relaxes bounds), so a binary
+search is also valid; it is provided as an extension (``search="binary"``)
+and ablated in experiment E10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+import networkx as nx
+
+from repro.core.conflict import max_conflict_clique_demand
+from repro.core.ilp import (
+    DelayConstraint,
+    ILPResult,
+    SchedulingProblem,
+    solve_schedule_ilp,
+)
+from repro.errors import ConfigurationError, SolverError
+from repro.net.topology import Link
+
+
+@dataclass
+class MinSlotResult:
+    """Outcome of :func:`minimum_slots`."""
+
+    #: Smallest feasible guaranteed region, or None if even the full frame
+    #: cannot carry the demands.
+    slots: Optional[int]
+    #: The ILP result at the returned region (schedule, order, delays).
+    result: Optional[ILPResult]
+    #: Lower bound the search started from.
+    lower_bound: int
+    #: (candidate K, feasible?) pairs in the order they were probed.
+    probes: list[tuple[int, bool]] = field(default_factory=list)
+
+    @property
+    def feasible(self) -> bool:
+        return self.slots is not None
+
+    @property
+    def iterations(self) -> int:
+        return len(self.probes)
+
+
+def demand_lower_bound(conflicts: nx.Graph, demands: Mapping[Link, int]) -> int:
+    """A cheap valid lower bound on the guaranteed region size.
+
+    The max of (a) the largest single-link demand and (b) the heaviest
+    node-induced conflict clique (all links touching one node mutually
+    conflict).
+    """
+    largest = max((d for d in demands.values() if d > 0), default=0)
+    return max(largest, max_conflict_clique_demand(conflicts, demands))
+
+
+def minimum_slots(conflicts: nx.Graph, demands: Mapping[Link, int],
+                  frame_slots: int,
+                  delay_constraints: Sequence[DelayConstraint] = (),
+                  search: str = "linear",
+                  max_region: Optional[int] = None,
+                  time_limit_per_probe: Optional[float] = None) -> MinSlotResult:
+    """Find the minimum guaranteed region ``K`` supporting the demands.
+
+    Parameters
+    ----------
+    conflicts, demands, frame_slots, delay_constraints:
+        As in :class:`~repro.core.ilp.SchedulingProblem`; ``frame_slots`` is
+        the *fixed* frame length (wrap cost).
+    search:
+        ``"linear"`` (the paper's search, upward from the lower bound) or
+        ``"binary"`` (extension; exploits monotonicity in ``K``).
+    max_region:
+        Largest region to consider (default: the whole frame).
+    """
+    if search not in ("linear", "binary"):
+        raise ConfigurationError(f"unknown search mode {search!r}")
+    ceiling = frame_slots if max_region is None else max_region
+    if ceiling > frame_slots:
+        raise ConfigurationError("max_region cannot exceed frame_slots")
+
+    lower = max(1, demand_lower_bound(conflicts, demands))
+    probes: list[tuple[int, bool]] = []
+
+    def probe(region: int) -> ILPResult:
+        problem = SchedulingProblem(
+            conflicts=conflicts, demands=dict(demands),
+            frame_slots=frame_slots, delay_constraints=tuple(delay_constraints),
+            region_slots=region)
+        try:
+            result = solve_schedule_ilp(problem,
+                                        time_limit=time_limit_per_probe)
+        except SolverError:
+            # Undecided within the probe's time limit: treat as infeasible.
+            # Conservative for admission control (a call is rejected, never
+            # wrongly admitted); the probe log records it like any miss.
+            result = ILPResult(False, None, None, None,
+                               time_limit_per_probe or 0.0,
+                               "probe time limit", 0, 0)
+        probes.append((region, result.feasible))
+        return result
+
+    if not any(d > 0 for d in demands.values()):
+        empty = probe(1)
+        return MinSlotResult(slots=0 if empty.feasible else None, result=empty,
+                             lower_bound=0, probes=probes)
+
+    if lower > ceiling:
+        return MinSlotResult(slots=None, result=None, lower_bound=lower,
+                             probes=probes)
+
+    if search == "linear":
+        for region in range(lower, ceiling + 1):
+            result = probe(region)
+            if result.feasible:
+                return MinSlotResult(slots=region, result=result,
+                                     lower_bound=lower, probes=probes)
+        return MinSlotResult(slots=None, result=None, lower_bound=lower,
+                             probes=probes)
+
+    # Binary search: feasibility is monotone in the region size for a fixed
+    # frame length.  Establish feasibility at the ceiling first.
+    best: Optional[ILPResult] = None
+    best_region: Optional[int] = None
+    low, high = lower, ceiling
+    top = probe(high)
+    if not top.feasible:
+        return MinSlotResult(slots=None, result=None, lower_bound=lower,
+                             probes=probes)
+    best, best_region = top, high
+    high -= 1
+    while low <= high:
+        mid = (low + high) // 2
+        result = probe(mid)
+        if result.feasible:
+            best, best_region = result, mid
+            high = mid - 1
+        else:
+            low = mid + 1
+    return MinSlotResult(slots=best_region, result=best, lower_bound=lower,
+                         probes=probes)

@@ -1,0 +1,16 @@
+"""802.11 MAC substrate (systems S4-S5 in DESIGN.md).
+
+- :class:`repro.dot11.dcf.DcfMac` -- CSMA/CA with binary exponential
+  backoff, ACKs and retries: the contention baseline the paper compares
+  against.
+- :class:`repro.dot11.broadcast.RawBroadcastMac` -- the no-backoff,
+  no-ACK broadcast primitive commodity WiFi hardware exposes, on which the
+  TDMA overlay (:mod:`repro.overlay`) builds its software slots.
+"""
+
+from repro.dot11.broadcast import RawBroadcastMac
+from repro.dot11.dcf import DcfMac
+from repro.dot11.params import DOT11B_PARAMS, DOT11G_PARAMS, Dot11Params
+
+__all__ = ["DOT11B_PARAMS", "DOT11G_PARAMS", "DcfMac", "Dot11Params",
+           "RawBroadcastMac"]

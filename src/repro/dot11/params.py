@@ -1,0 +1,75 @@
+"""802.11 MAC timing and contention parameters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.phy.radio import DOT11B_11M, DOT11G_54M, PhyParams
+from repro.units import US
+
+#: 802.11 data MAC header (24 B) + QoS-less overhead + FCS (4 B) + LLC/SNAP
+#: (8 B), rounded to the conventional 34 B used in capacity analyses.
+DATA_HEADER_BITS = 34 * 8
+#: ACK frame: 14 bytes.
+ACK_BITS = 14 * 8
+#: RTS frame: 20 bytes.
+RTS_BITS = 20 * 8
+#: CTS frame: 14 bytes.
+CTS_BITS = 14 * 8
+
+
+@dataclass(frozen=True)
+class Dot11Params:
+    """MAC parameters for one 802.11 flavour."""
+
+    phy: PhyParams
+    slot_time_s: float
+    sifs_s: float
+    cw_min: int
+    cw_max: int
+    retry_limit: int
+    queue_capacity: int = 200
+    #: unicast data frames strictly larger than this (in payload+header
+    #: bits) are preceded by an RTS/CTS exchange; ``None`` disables RTS
+    rts_threshold_bits: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.slot_time_s <= 0 or self.sifs_s <= 0:
+            raise ConfigurationError("slot time and SIFS must be positive")
+        if not 0 < self.cw_min <= self.cw_max:
+            raise ConfigurationError("need 0 < cw_min <= cw_max")
+        if self.retry_limit < 0:
+            raise ConfigurationError("retry limit must be >= 0")
+
+    @property
+    def difs_s(self) -> float:
+        """DIFS = SIFS + 2 slot times."""
+        return self.sifs_s + 2 * self.slot_time_s
+
+    def ack_timeout_s(self) -> float:
+        """How long a transmitter waits for an ACK before retrying."""
+        return (self.sifs_s + self.phy.airtime(ACK_BITS, basic_rate=True)
+                + 2 * self.phy.propagation_delay_s + self.slot_time_s)
+
+
+#: Classic 802.11b DSSS timing (long slots, 11 Mb/s data).
+DOT11B_PARAMS = Dot11Params(
+    phy=DOT11B_11M,
+    slot_time_s=20 * US,
+    sifs_s=10 * US,
+    cw_min=31,
+    cw_max=1023,
+    retry_limit=7,
+)
+
+#: 802.11g OFDM timing (short slots, 54 Mb/s data).
+DOT11G_PARAMS = Dot11Params(
+    phy=DOT11G_54M,
+    slot_time_s=9 * US,
+    sifs_s=10 * US,
+    cw_min=15,
+    cw_max=1023,
+    retry_limit=7,
+)

@@ -1,0 +1,24 @@
+"""802.16 (WiMAX) mesh-mode frame structure and control plane (system S6).
+
+Also hosts the *distributed* scheduling mode of the standard
+(:mod:`repro.mesh16.distributed`), the extension compared against the
+centralized ILP in experiment E14.
+"""
+
+from repro.mesh16.distributed import DistributedOutcome, DistributedScheduler
+from repro.mesh16.election import ElectionControlPlane, election_hash
+from repro.mesh16.frame import MeshFrameConfig, default_frame_config
+from repro.mesh16.messages import ScheduleAnnouncement, SyncBeacon
+from repro.mesh16.network import ControlPlane
+
+__all__ = [
+    "ControlPlane",
+    "DistributedOutcome",
+    "DistributedScheduler",
+    "ElectionControlPlane",
+    "election_hash",
+    "MeshFrameConfig",
+    "ScheduleAnnouncement",
+    "SyncBeacon",
+    "default_frame_config",
+]

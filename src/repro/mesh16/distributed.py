@@ -1,0 +1,246 @@
+"""Coordinated distributed scheduling (802.16 mesh DSCH handshake).
+
+The centralized scheduler (:mod:`repro.core`) is what the paper line
+optimizes, but 802.16 mesh also defines a *distributed* mode in which
+neighbours negotiate slots pairwise with a three-way handshake, each node
+knowing only what it overhears:
+
+1. **Request** -- the transmitter of a link asks its receiver for ``d``
+   slots, attaching its own availability;
+2. **Grant** -- the receiver picks a slot range free in *both* views and
+   broadcasts the grant; the receiver's neighbours overhear it and mark
+   those slots unusable for transmission (they would collide at the
+   receiver);
+3. **Confirm** -- the transmitter broadcasts confirmation; its neighbours
+   overhear and mark the slots unusable for reception (the transmitter's
+   signal will interfere there).
+
+The overhearing rules reproduce the protocol interference model exactly, so
+a completed negotiation can never corrupt a previously committed one -- the
+test suite checks every outcome against
+:func:`repro.phy.interference.interference_graph`.
+
+Faithfulness note: negotiation is simulated at the *control-opportunity*
+level (one protocol action per node per opportunity, opportunities in the
+mesh-election roster order, control messages reliable as in
+:mod:`repro.mesh16.network`), not packet-by-packet.  What the abstraction
+keeps is exactly what experiment E14 measures: how efficient and how fast a
+local, no-backtracking negotiation is compared to the centralized ILP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from repro.core.schedule import Schedule, SlotBlock
+from repro.errors import ConfigurationError
+from repro.net.topology import Link, MeshTopology
+
+
+@dataclass
+class _Negotiation:
+    """One link's pending handshake state at its transmitter."""
+
+    link: Link
+    demand: int
+    granted: Optional[SlotBlock] = None
+    confirmed: bool = False
+    #: how many times the receiver failed to find a common range
+    rejections: int = 0
+
+
+@dataclass
+class DistributedOutcome:
+    """Result of a :class:`DistributedScheduler` run."""
+
+    schedule: Schedule
+    #: links whose demand could not be (fully) granted
+    unserved: dict[Link, int] = field(default_factory=dict)
+    #: control opportunities consumed until convergence
+    opportunities_used: int = 0
+    #: handshake messages exchanged (requests + grants + confirms)
+    messages: int = 0
+
+    @property
+    def fully_served(self) -> bool:
+        return not self.unserved
+
+
+class _NodeAgent:
+    """Per-node protocol state: what this node believes about the frame."""
+
+    def __init__(self, node: int, frame_slots: int) -> None:
+        self.node = node
+        #: slots where this node must not transmit
+        self.no_tx = [False] * frame_slots
+        #: slots where this node cannot successfully receive
+        self.no_rx = [False] * frame_slots
+        #: requests received, waiting for this node to grant
+        self.pending_grants: list[_Negotiation] = []
+
+    def mark(self, block: SlotBlock, tx: bool = False,
+             rx: bool = False) -> None:
+        for slot in block.slots():
+            if tx:
+                self.no_tx[slot] = True
+            if rx:
+                self.no_rx[slot] = True
+
+
+class DistributedScheduler:
+    """Round-based simulation of the distributed slot negotiation.
+
+    Parameters
+    ----------
+    topology:
+        The mesh; negotiation and overhearing follow its radio links.
+    frame_slots:
+        Data slots per frame.
+    max_cycles:
+        Give up on still-unserved demands after this many full roster
+        cycles (a no-backtracking protocol can deadlock on tight frames).
+    """
+
+    def __init__(self, topology: MeshTopology, frame_slots: int,
+                 max_cycles: int = 8) -> None:
+        if frame_slots <= 0:
+            raise ConfigurationError("frame_slots must be positive")
+        if max_cycles < 1:
+            raise ConfigurationError("need at least one cycle")
+        self.topology = topology
+        self.frame_slots = frame_slots
+        self.max_cycles = max_cycles
+
+    def run(self, demands: Mapping[Link, int]) -> DistributedOutcome:
+        """Negotiate all link demands; returns the committed schedule."""
+        for link, demand in demands.items():
+            if not self.topology.has_link(link):
+                raise ConfigurationError(f"{link} is not a topology link")
+            if demand < 0:
+                raise ConfigurationError(f"negative demand on {link}")
+
+        agents = {node: _NodeAgent(node, self.frame_slots)
+                  for node in self.topology.nodes}
+        negotiations: dict[Link, _Negotiation] = {
+            link: _Negotiation(link, demand)
+            for link, demand in sorted(demands.items()) if demand > 0}
+        schedule = Schedule(self.frame_slots)
+        messages = 0
+        opportunities = 0
+
+        # Mesh-election outcome: deterministic node roster (see
+        # mesh16.network); one protocol action per opportunity.
+        roster = self.topology.nodes
+        for ____ in range(self.max_cycles):
+            progressed = False
+            for node in roster:
+                opportunities += 1
+                agent = agents[node]
+
+                # 1st priority: answer a pending request (Grant).
+                if agent.pending_grants:
+                    negotiation = agent.pending_grants.pop(0)
+                    messages += 1
+                    block = self._pick_range(agents, negotiation)
+                    if block is None:
+                        negotiation.rejections += 1
+                    else:
+                        negotiation.granted = block
+                        # Both neighbourhood effects commit atomically at
+                        # grant time.  Our roster serializes all control
+                        # actions network-wide (the mesh-election holdoff
+                        # in 802.16 plays the same role), so no competing
+                        # negotiation can slip between grant and confirm;
+                        # the confirm below is then pure acknowledgement.
+                        self._apply_grant(agents, negotiation.link, block)
+                        self._apply_confirm(agents, negotiation.link, block)
+                    progressed = True
+                    continue
+
+                # 2nd: confirm a grant this node received for its link.
+                mine = [n for n in negotiations.values()
+                        if n.link[0] == node and n.granted is not None
+                        and not n.confirmed]
+                if mine:
+                    negotiation = mine[0]
+                    negotiation.confirmed = True
+                    messages += 1
+                    schedule.assign(negotiation.link, negotiation.granted)
+                    progressed = True
+                    continue
+
+                # 3rd: issue a new request for an unserved outgoing link.
+                waiting = [n for n in negotiations.values()
+                           if n.link[0] == node and n.granted is None
+                           and not self._request_in_flight(agents, n)]
+                if waiting:
+                    negotiation = waiting[0]
+                    messages += 1
+                    agents[negotiation.link[1]].pending_grants.append(
+                        negotiation)
+                    progressed = True
+
+            if all(n.confirmed for n in negotiations.values()):
+                break
+            if not progressed:
+                break  # deadlock: every remaining ask was rejected
+
+        unserved = {n.link: n.demand for n in negotiations.values()
+                    if not n.confirmed}
+        return DistributedOutcome(schedule=schedule, unserved=unserved,
+                                  opportunities_used=opportunities,
+                                  messages=messages)
+
+    # -- protocol steps -------------------------------------------------------
+
+    @staticmethod
+    def _request_in_flight(agents: dict[int, _NodeAgent],
+                           negotiation: _Negotiation) -> bool:
+        return negotiation in agents[negotiation.link[1]].pending_grants
+
+    def _pick_range(self, agents: dict[int, _NodeAgent],
+                    negotiation: _Negotiation) -> Optional[SlotBlock]:
+        """The receiver's grant decision: earliest range free in both views.
+
+        A slot works iff the transmitter may transmit and the receiver may
+        receive in it.
+        """
+        tx, rx = negotiation.link
+        usable = [not agents[tx].no_tx[s] and not agents[rx].no_rx[s]
+                  # a node cannot receive while it transmits elsewhere or
+                  # transmit while it receives elsewhere:
+                  and not agents[tx].no_rx[s] and not agents[rx].no_tx[s]
+                  for s in range(self.frame_slots)]
+        run_start, run_length = None, 0
+        for slot, free in enumerate(usable):
+            if free:
+                if run_start is None:
+                    run_start, run_length = slot, 1
+                else:
+                    run_length += 1
+                if run_length == negotiation.demand:
+                    return SlotBlock(run_start, negotiation.demand)
+            else:
+                run_start, run_length = None, 0
+        return None
+
+    def _apply_grant(self, agents: dict[int, _NodeAgent], link: Link,
+                     block: SlotBlock) -> None:
+        """The receiver broadcasts the grant; its neighbourhood reacts."""
+        tx, rx = link
+        agents[rx].mark(block, tx=True, rx=True)   # busy receiving
+        for neighbor in self.topology.neighbors(rx):
+            if neighbor != tx:
+                # transmitting here would collide at the receiver
+                agents[neighbor].mark(block, tx=True)
+
+    def _apply_confirm(self, agents: dict[int, _NodeAgent], link: Link,
+                       block: SlotBlock) -> None:
+        """The transmitter broadcasts confirmation; its neighbourhood reacts."""
+        tx, rx = link
+        agents[tx].mark(block, tx=True, rx=True)   # busy transmitting
+        for neighbor in self.topology.neighbors(tx):
+            if neighbor != rx:
+                # the transmitter's signal will interfere at this node
+                agents[neighbor].mark(block, rx=True)

@@ -1,0 +1,151 @@
+"""802.16 mesh frame geometry, emulated on WiFi slot timing.
+
+The 802.16 mesh frame is split into a *control subframe* (network
+configuration and scheduling messages: MSH-NCFG / MSH-DSCH) followed by a
+*data subframe* of minislots.  The emulation reproduces this structure in
+software on top of WiFi airtime: every slot carries a guard prefix that
+absorbs residual clock error between neighbours, then one broadcast-mode
+WiFi frame.
+
+All offsets returned by this module are in *local clock* seconds relative
+to the local start of a frame; the overlay MAC converts local deadlines to
+simulator time through each node's :class:`~repro.sim.clock.DriftingClock`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dot11.params import DATA_HEADER_BITS
+from repro.errors import ConfigurationError
+from repro.phy.radio import DOT11B_11M, PhyParams
+from repro.units import MS, US
+
+
+@dataclass(frozen=True)
+class MeshFrameConfig:
+    """Geometry of the emulated 802.16 mesh frame.
+
+    Parameters
+    ----------
+    frame_duration_s:
+        Total frame length (802.16 allows 2.5-20 ms; default profile 10 ms).
+    control_slots:
+        Number of control subframe transmission opportunities per frame.
+    control_slot_s:
+        Duration of one control opportunity.
+    data_slots:
+        Number of data minislots per frame.
+    guard_s:
+        Guard prefix per slot (control and data), dimensioned by
+        :mod:`repro.overlay.guard` from the sync error budget.
+    phy:
+        WiFi PHY the frame is emulated over.
+    shim_overhead_bits:
+        Per-fragment TDMA shim header (link id, frame index, slot,
+        fragmentation fields).
+    """
+
+    frame_duration_s: float
+    control_slots: int
+    control_slot_s: float
+    data_slots: int
+    guard_s: float
+    phy: PhyParams
+    shim_overhead_bits: int = 64
+
+    def __post_init__(self) -> None:
+        if self.frame_duration_s <= 0:
+            raise ConfigurationError("frame duration must be positive")
+        if self.control_slots < 0 or self.data_slots <= 0:
+            raise ConfigurationError("need >= 0 control and >= 1 data slots")
+        if self.control_slot_s < 0 or self.guard_s < 0:
+            raise ConfigurationError("durations must be non-negative")
+        if self.control_subframe_s >= self.frame_duration_s:
+            raise ConfigurationError(
+                "control subframe consumes the whole frame")
+        if self.guard_s >= self.data_slot_s:
+            raise ConfigurationError(
+                f"guard {self.guard_s}s leaves no room in a "
+                f"{self.data_slot_s}s data slot")
+        if self.data_slot_capacity_bits <= 0:
+            raise ConfigurationError(
+                "data slot too short for PHY overhead + headers; "
+                "lengthen the frame or reduce slots/guard")
+
+    # -- geometry -------------------------------------------------------------
+
+    @property
+    def control_subframe_s(self) -> float:
+        return self.control_slots * self.control_slot_s
+
+    @property
+    def data_subframe_s(self) -> float:
+        return self.frame_duration_s - self.control_subframe_s
+
+    @property
+    def data_slot_s(self) -> float:
+        return self.data_subframe_s / self.data_slots
+
+    @property
+    def data_slot_capacity_bits(self) -> int:
+        """Application payload bits one data slot can move one hop.
+
+        The slot must fit: guard prefix, PLCP overhead, 802.11 MAC header
+        and the TDMA shim -- the rest is payload.
+        """
+        on_air = self.data_slot_s - self.guard_s
+        mac_bits = self.phy.bits_in(on_air)
+        return mac_bits - DATA_HEADER_BITS - self.shim_overhead_bits
+
+    @property
+    def slot_efficiency(self) -> float:
+        """Payload bits per slot over raw channel bits per slot (E4/E9)."""
+        raw = self.data_slot_s * self.phy.data_rate_bps
+        return self.data_slot_capacity_bits / raw
+
+    def control_slot_offset(self, index: int) -> float:
+        """Local start of control opportunity ``index`` within a frame."""
+        if not 0 <= index < self.control_slots:
+            raise ConfigurationError(
+                f"control slot {index} out of range 0..{self.control_slots - 1}")
+        return index * self.control_slot_s
+
+    def data_slot_offset(self, index: int) -> float:
+        """Local start of data minislot ``index`` within a frame."""
+        if not 0 <= index < self.data_slots:
+            raise ConfigurationError(
+                f"data slot {index} out of range 0..{self.data_slots - 1}")
+        return self.control_subframe_s + index * self.data_slot_s
+
+    def frame_start_local(self, frame_index: int) -> float:
+        """Local time of the start of frame number ``frame_index``."""
+        if frame_index < 0:
+            raise ConfigurationError("frame index must be >= 0")
+        return frame_index * self.frame_duration_s
+
+    def frame_index_at_local(self, local_time: float) -> int:
+        """Frame number containing local time ``local_time``."""
+        return max(0, int(local_time / self.frame_duration_s))
+
+
+def default_frame_config(phy: PhyParams = DOT11B_11M,
+                         frame_duration_s: float = 10 * MS,
+                         data_slots: int = 16,
+                         control_slots: int = 4,
+                         guard_s: float = 60 * US) -> MeshFrameConfig:
+    """The profile used throughout the experiments unless stated otherwise.
+
+    10 ms frame over 802.11b/11 Mb/s: 4 control opportunities of 400 us
+    followed by 16 data slots of 525 us each.  With a 60 us guard and the
+    192 us 802.11b preamble a data slot moves ~2900 payload bits -- two
+    G.711 VoIP packets or a dozen G.729 packets per slot.
+    """
+    return MeshFrameConfig(
+        frame_duration_s=frame_duration_s,
+        control_slots=control_slots,
+        control_slot_s=400 * US,
+        data_slots=data_slots,
+        guard_s=guard_s,
+        phy=phy,
+    )

@@ -1,0 +1,92 @@
+"""Control-plane message models (MSH-NCFG / MSH-DSCH analogues).
+
+The emulation carries two control message families in the control subframe:
+
+- :class:`SyncBeacon` -- the MSH-NCFG analogue: a timestamped beacon that
+  floods the scheduling tree and disciplines every node's clock.
+- :class:`ScheduleAnnouncement` -- the MSH-DSCH (centralized scheduling)
+  analogue: the gateway's slot assignments, rebroadcast down the tree.
+
+Message sizes follow 802.16's compact encodings, scaled to the fields we
+actually carry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.schedule import SlotBlock
+from repro.net.topology import Link
+from repro.units import bytes_to_bits
+
+
+@dataclass(frozen=True)
+class SyncBeacon:
+    """A timestamped synchronization beacon (MSH-NCFG analogue).
+
+    Parameters
+    ----------
+    origin:
+        Node that anchors the timebase (the gateway / mesh BS).
+    sender:
+        Node that put this copy on air.
+    root_time_at_tx:
+        The sender's estimate of the *origin's* clock at the instant this
+        beacon's transmission started.  A receiver adds the known airtime
+        and propagation delay to recover the origin clock "now".
+    round_id:
+        The origin's beacon sequence number; receivers only adopt estimates
+        from the freshest round they have seen.
+    hops:
+        How many relays this estimate has passed through (error grows with
+        each timestamping step).
+    """
+
+    origin: int
+    sender: int
+    root_time_at_tx: float
+    round_id: int
+    hops: int
+
+    #: timestamp (8 B) + round (2 B) + origin/sender/hops (5 B) + MAC-mgmt
+    #: framing (8 B)
+    SIZE_BITS = bytes_to_bits(23)
+
+    def relayed_by(self, sender: int, root_time_at_tx: float) -> "SyncBeacon":
+        """The copy ``sender`` re-broadcasts one tier further out."""
+        return SyncBeacon(origin=self.origin, sender=sender,
+                          root_time_at_tx=root_time_at_tx,
+                          round_id=self.round_id, hops=self.hops + 1)
+
+
+@dataclass(frozen=True)
+class ScheduleAnnouncement:
+    """Centralized schedule distribution message (MSH-DSCH analogue).
+
+    ``assignments`` is a tuple of (link, block) entries; a link may appear
+    more than once (e.g. one block per traffic class), mirroring 802.16's
+    per-reservation minislot ranges.
+    """
+
+    #: monotonically increasing schedule version
+    version: int
+    #: frame index at which the schedule takes effect
+    activation_frame: int
+    #: (directed link, slot block) reservations
+    assignments: tuple[tuple[Link, SlotBlock], ...]
+
+    @classmethod
+    def build(cls, version: int, activation_frame: int,
+              assignments) -> "ScheduleAnnouncement":
+        """Normalize a mapping or an iterable of pairs into a message."""
+        if isinstance(assignments, Mapping):
+            pairs = tuple(sorted(assignments.items()))
+        else:
+            pairs = tuple(assignments)
+        return cls(version=version, activation_frame=activation_frame,
+                   assignments=pairs)
+
+    def size_bits(self) -> int:
+        """4 B header + 6 B per reservation (link id, start, length)."""
+        return bytes_to_bits(4 + 6 * len(self.assignments))

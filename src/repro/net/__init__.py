@@ -1,0 +1,34 @@
+"""Topologies, routing and flow abstractions (system S20 in DESIGN.md)."""
+
+from repro.net.flows import Flow, FlowSet
+from repro.net.routing import (
+    choose_gateway,
+    gateway_tree,
+    route_all,
+    route_on_tree,
+    shortest_path_route,
+)
+from repro.net.topology import (
+    MeshTopology,
+    binary_tree_topology,
+    chain_topology,
+    grid_topology,
+    random_disk_topology,
+    star_topology,
+)
+
+__all__ = [
+    "Flow",
+    "FlowSet",
+    "MeshTopology",
+    "binary_tree_topology",
+    "chain_topology",
+    "choose_gateway",
+    "gateway_tree",
+    "grid_topology",
+    "random_disk_topology",
+    "route_all",
+    "route_on_tree",
+    "shortest_path_route",
+    "star_topology",
+]

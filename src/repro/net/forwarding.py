@@ -1,0 +1,78 @@
+"""Source-routed forwarding shared by the DCF and TDMA stacks.
+
+Both MACs deliver application packets to the node they addressed; the
+forwarder advances the packet's hop pointer and either hands it to the
+sink (at the destination) or re-queues it on the node's MAC toward the
+next hop.  The MAC differences are hidden behind a one-method adapter:
+``transmit(node, packet)`` queues the packet for its ``current_link``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Protocol
+
+from repro.errors import SimulationError
+from repro.net.packet import Packet
+from repro.sim.trace import Trace
+
+
+class MacAdapter(Protocol):
+    """What the forwarder needs from a MAC stack."""
+
+    def transmit(self, node: int, packet: Packet) -> bool:
+        """Queue ``packet`` at ``node`` for its current link.
+
+        Returns False when the MAC dropped it (queue overflow).
+        """
+
+
+class SourceRoutedForwarder:
+    """Per-mesh forwarding logic.
+
+    Parameters
+    ----------
+    mac:
+        Adapter over the per-node MACs.
+    on_delivered:
+        Callback ``(packet, now)`` at final delivery.
+    trace:
+        Optional trace; emits ``fwd.hop``, ``fwd.drop`` and ``fwd.deliver``.
+    """
+
+    def __init__(self, mac: MacAdapter,
+                 on_delivered: Callable[[Packet, float], None],
+                 trace: Optional[Trace] = None) -> None:
+        self.mac = mac
+        self.on_delivered = on_delivered
+        self.trace = trace if trace is not None else Trace(enabled=False)
+
+    def originate(self, packet: Packet, now: float) -> bool:
+        """Inject a fresh packet at its source node."""
+        if packet.hop != 0:
+            raise SimulationError(
+                f"packet {packet.packet_id} originated mid-route")
+        return self._forward(packet.src, packet, now)
+
+    def packet_arrived(self, node: int, packet: Packet, now: float) -> None:
+        """A MAC delivered ``packet`` to ``node``; route it onward."""
+        link = packet.current_link
+        if link is None or link[1] != node:
+            raise SimulationError(
+                f"packet {packet.packet_id} arrived at {node} but expected "
+                f"link {link}")
+        packet.advance()
+        if packet.delivered:
+            self.trace.emit(now, "fwd.deliver", flow=packet.flow,
+                            seq=packet.seq, node=node)
+            self.on_delivered(packet, now)
+            return
+        self.trace.emit(now, "fwd.hop", flow=packet.flow, seq=packet.seq,
+                        node=node)
+        self._forward(node, packet, now)
+
+    def _forward(self, node: int, packet: Packet, now: float) -> bool:
+        accepted = self.mac.transmit(node, packet)
+        if not accepted:
+            self.trace.emit(now, "fwd.drop", flow=packet.flow,
+                            seq=packet.seq, node=node)
+        return accepted

@@ -1,0 +1,65 @@
+"""Application packet model shared by the DCF and TDMA data paths."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.net.topology import Link
+
+_packet_ids = itertools.count()
+
+
+@dataclass
+class Packet:
+    """One application-layer packet traversing a source route.
+
+    ``hop`` is the index of the *next* link to traverse; forwarders
+    increment it as the packet moves.  ``size_bits`` is the application
+    payload including RTP/UDP/IP overhead (MAC/PHY overheads are added by
+    the respective MACs).
+    """
+
+    flow: str
+    seq: int
+    size_bits: int
+    created_s: float
+    route: tuple[Link, ...]
+    hop: int = 0
+    #: queueing class: 0 = guaranteed (served first on a shared link),
+    #: larger = more elastic
+    priority: int = 0
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+
+    def __post_init__(self) -> None:
+        if self.size_bits <= 0:
+            raise ConfigurationError("packet size must be positive")
+        if not self.route:
+            raise ConfigurationError("packet needs a route")
+
+    @property
+    def src(self) -> int:
+        return self.route[0][0]
+
+    @property
+    def dst(self) -> int:
+        return self.route[-1][1]
+
+    @property
+    def current_link(self) -> Optional[Link]:
+        """The link this packet should traverse next (None at destination)."""
+        if self.hop >= len(self.route):
+            return None
+        return self.route[self.hop]
+
+    @property
+    def delivered(self) -> bool:
+        return self.hop >= len(self.route)
+
+    def advance(self) -> None:
+        if self.delivered:
+            raise ConfigurationError(
+                f"packet {self.packet_id} already delivered")
+        self.hop += 1

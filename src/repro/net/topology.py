@@ -1,0 +1,214 @@
+"""Mesh topology model and generators.
+
+A :class:`MeshTopology` is an undirected connectivity graph (who can hear
+whom) plus node positions.  Directed *links* ``(u, v)`` are the scheduling
+unit: the TDMA scheduler assigns slots to directed links, and the conflict
+graph (:mod:`repro.core.conflict`) has one vertex per directed link.
+
+All generators produce deterministic node ids (integers) and a canonical,
+sorted link ordering so that experiment runs are reproducible and so link
+indices are stable across scheduler implementations.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Iterable, Optional
+
+import networkx as nx
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: A directed link: (transmitter node id, receiver node id).
+Link = tuple[int, int]
+
+
+class MeshTopology:
+    """Connectivity graph with positions and canonical directed links.
+
+    Parameters
+    ----------
+    graph:
+        Undirected :class:`networkx.Graph` of radio connectivity.  Node ids
+        must be integers.
+    positions:
+        Optional mapping node id -> (x, y) metres, used by distance-based
+        propagation models and plotting.
+    name:
+        Human-readable label used in reports.
+    """
+
+    def __init__(self, graph: nx.Graph,
+                 positions: Optional[dict[int, tuple[float, float]]] = None,
+                 name: str = "mesh") -> None:
+        if graph.number_of_nodes() == 0:
+            raise ConfigurationError("topology must have at least one node")
+        if not all(isinstance(n, int) for n in graph.nodes):
+            raise ConfigurationError("topology node ids must be integers")
+        if not nx.is_connected(graph):
+            raise ConfigurationError("topology must be connected")
+        self.graph = graph
+        self.positions = positions or {}
+        self.name = name
+        #: Canonical ordering of directed links: sorted (u, v) pairs, both
+        #: directions of every undirected edge.
+        self.links: list[Link] = sorted(
+            itertools.chain.from_iterable(
+                ((u, v), (v, u)) for u, v in graph.edges))
+        self._link_index = {link: i for i, link in enumerate(self.links)}
+
+    # -- basic queries ----------------------------------------------------
+
+    @property
+    def nodes(self) -> list[int]:
+        """Node ids in sorted order."""
+        return sorted(self.graph.nodes)
+
+    def num_nodes(self) -> int:
+        return self.graph.number_of_nodes()
+
+    def num_links(self) -> int:
+        """Number of *directed* links."""
+        return len(self.links)
+
+    def link_index(self, link: Link) -> int:
+        """Stable index of a directed link in :attr:`links`."""
+        try:
+            return self._link_index[link]
+        except KeyError:
+            raise ConfigurationError(f"{link} is not a link of {self.name}") from None
+
+    def has_link(self, link: Link) -> bool:
+        return link in self._link_index
+
+    def neighbors(self, node: int) -> list[int]:
+        """Radio neighbours of ``node``, sorted."""
+        return sorted(self.graph.neighbors(node))
+
+    def hop_distance(self, a: int, b: int) -> int:
+        """Hop distance between two nodes."""
+        return nx.shortest_path_length(self.graph, a, b)
+
+    def distance(self, a: int, b: int) -> float:
+        """Euclidean distance in metres (requires positions)."""
+        if a not in self.positions or b not in self.positions:
+            raise ConfigurationError("topology has no positions for distance()")
+        (xa, ya), (xb, yb) = self.positions[a], self.positions[b]
+        return math.hypot(xa - xb, ya - yb)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"MeshTopology({self.name!r}, nodes={self.num_nodes()}, "
+                f"links={self.num_links()})")
+
+
+# -- generators -----------------------------------------------------------
+
+def chain_topology(num_nodes: int, spacing: float = 100.0) -> MeshTopology:
+    """A linear chain ``0 - 1 - ... - n-1`` with nodes ``spacing`` m apart.
+
+    Chains are the canonical topology for delay-vs-hops experiments (E2/E3):
+    every multihop path is forced and spatial reuse kicks in beyond the
+    conflict distance.
+    """
+    if num_nodes < 1:
+        raise ConfigurationError("chain needs at least 1 node")
+    graph = nx.path_graph(num_nodes)
+    positions = {i: (i * spacing, 0.0) for i in range(num_nodes)}
+    return MeshTopology(graph, positions, name=f"chain{num_nodes}")
+
+
+def grid_topology(rows: int, cols: int, spacing: float = 100.0) -> MeshTopology:
+    """A ``rows x cols`` grid with 4-neighbour connectivity.
+
+    Grids approximate planned metro mesh deployments and are the standard
+    topology in the paper line's VoIP capacity experiments (E1/E5).
+    """
+    if rows < 1 or cols < 1:
+        raise ConfigurationError("grid dimensions must be positive")
+    grid = nx.grid_2d_graph(rows, cols)
+    mapping = {(r, c): r * cols + c for r, c in grid.nodes}
+    graph = nx.relabel_nodes(grid, mapping)
+    positions = {r * cols + c: (c * spacing, r * spacing)
+                 for r in range(rows) for c in range(cols)}
+    return MeshTopology(graph, positions, name=f"grid{rows}x{cols}")
+
+
+def star_topology(num_leaves: int, spacing: float = 100.0) -> MeshTopology:
+    """A hub (node 0) with ``num_leaves`` one-hop leaves.
+
+    Stars have a fully conflicting link set (every link shares the hub), so
+    they lower-bound spatial reuse; useful as a scheduling worst case.
+    """
+    if num_leaves < 1:
+        raise ConfigurationError("star needs at least 1 leaf")
+    graph = nx.star_graph(num_leaves)
+    positions = {0: (0.0, 0.0)}
+    for i in range(1, num_leaves + 1):
+        angle = 2 * math.pi * (i - 1) / num_leaves
+        positions[i] = (spacing * math.cos(angle), spacing * math.sin(angle))
+    return MeshTopology(graph, positions, name=f"star{num_leaves}")
+
+
+def binary_tree_topology(depth: int, spacing: float = 100.0) -> MeshTopology:
+    """A complete binary tree of the given depth, rooted at node 0.
+
+    Trees are the topology class for which the ToN 2009 min-delay ordering
+    algorithm is exact (experiment E7).
+    """
+    if depth < 0:
+        raise ConfigurationError("tree depth must be non-negative")
+    graph = nx.balanced_tree(2, depth)
+    positions: dict[int, tuple[float, float]] = {}
+    for node in graph.nodes:
+        level = int(math.log2(node + 1))
+        index_in_level = node - (2 ** level - 1)
+        width = 2 ** level
+        positions[node] = (
+            (index_in_level - (width - 1) / 2) * spacing * 2 ** (depth - level),
+            level * spacing,
+        )
+    return MeshTopology(graph, positions, name=f"btree{depth}")
+
+
+def random_disk_topology(num_nodes: int, radio_range: float,
+                         area: float, rng: np.random.Generator,
+                         max_tries: int = 200) -> MeshTopology:
+    """Uniform random node placement with unit-disk connectivity.
+
+    Nodes are placed uniformly in an ``area x area`` square; two nodes are
+    connected iff their distance is at most ``radio_range``.  Placement is
+    retried until the graph is connected (up to ``max_tries`` draws).
+
+    Random-disk meshes model unplanned community deployments; they produce
+    irregular conflict graphs that stress the schedulers differently from
+    grids.
+    """
+    if num_nodes < 1:
+        raise ConfigurationError("need at least one node")
+    if radio_range <= 0 or area <= 0:
+        raise ConfigurationError("radio_range and area must be positive")
+    for _ in range(max_tries):
+        coords = rng.uniform(0.0, area, size=(num_nodes, 2))
+        graph = nx.Graph()
+        graph.add_nodes_from(range(num_nodes))
+        for i in range(num_nodes):
+            for j in range(i + 1, num_nodes):
+                if np.hypot(*(coords[i] - coords[j])) <= radio_range:
+                    graph.add_edge(i, j)
+        if num_nodes == 1 or nx.is_connected(graph):
+            positions = {i: (float(coords[i][0]), float(coords[i][1]))
+                         for i in range(num_nodes)}
+            return MeshTopology(graph, positions,
+                                name=f"disk{num_nodes}")
+    raise ConfigurationError(
+        f"failed to draw a connected random-disk topology in {max_tries} tries; "
+        "increase radio_range or decrease area")
+
+
+def from_edges(edges: Iterable[tuple[int, int]], name: str = "custom") -> MeshTopology:
+    """Build a topology from an explicit undirected edge list."""
+    graph = nx.Graph()
+    graph.add_edges_from(edges)
+    return MeshTopology(graph, name=name)

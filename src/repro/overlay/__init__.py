@@ -1,0 +1,39 @@
+"""TDMA-over-WiFi emulation (systems S17-S19 in DESIGN.md).
+
+The ICDCS 2007 paper's contribution: run the 802.16 mesh TDMA MAC in
+software on top of the raw 802.11 broadcast primitive.
+
+- :mod:`repro.overlay.guard` -- dimension per-slot guard times from the
+  clock-drift bound and the resynchronization period.
+- :mod:`repro.overlay.sync` -- timestamped beacons flooded down the
+  scheduling tree keep every node's software clock within the guard budget.
+- :mod:`repro.overlay.shim` -- the per-fragment TDMA shim header and
+  fragmentation/reassembly of application packets into slot-sized units.
+- :mod:`repro.overlay.emulation` -- the per-node TDMA MAC: local-clock slot
+  timers, per-link queues, and the control subframe.
+"""
+
+from repro.overlay.distribution import ScheduleDistributor
+from repro.overlay.emulation import TdmaNode, TdmaOverlay
+from repro.overlay.guard import (
+    max_resync_interval_s,
+    required_guard_s,
+    slot_overhead_fraction,
+)
+from repro.overlay.shim import Reassembler, ShimFragment, fragment_packet
+from repro.overlay.sync import SyncConfig, SyncDaemon, SyncState
+
+__all__ = [
+    "Reassembler",
+    "ScheduleDistributor",
+    "ShimFragment",
+    "SyncConfig",
+    "SyncDaemon",
+    "SyncState",
+    "TdmaNode",
+    "TdmaOverlay",
+    "fragment_packet",
+    "max_resync_interval_s",
+    "required_guard_s",
+    "slot_overhead_fraction",
+]

@@ -1,0 +1,143 @@
+"""In-band schedule distribution (the MSH-DSCH analogue).
+
+The centralized scheduler lives at the gateway; its slot assignments must
+reach every node over the mesh itself before they can take effect.  The
+distributor floods a versioned :class:`~repro.mesh16.messages.
+ScheduleAnnouncement` through the control subframe: the gateway transmits
+it at its own control opportunities, every node that hears a new version
+rebroadcasts it a configurable number of times at *its* opportunities
+(control slots are collision-free by construction), and each node applies
+the assignments at the announcement's activation frame -- measured on its
+own synchronized clock, so the whole mesh switches schedules on the same
+frame boundary (up to sync error, which the activation margin absorbs).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.schedule import Schedule
+from repro.errors import ConfigurationError
+from repro.mesh16.messages import ScheduleAnnouncement
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.overlay.emulation import TdmaOverlay
+
+
+class ScheduleDistributor:
+    """Flood-and-activate distribution of centralized schedules.
+
+    Parameters
+    ----------
+    overlay:
+        The TDMA overlay to distribute within (attach with
+        :meth:`TdmaOverlay.attach_distributor`).
+    gateway:
+        The node that originates announcements.
+    rebroadcasts:
+        How many of its control opportunities each node spends repeating a
+        newly learned version (redundancy against reception losses).
+    """
+
+    def __init__(self, overlay: "TdmaOverlay", gateway: int,
+                 rebroadcasts: int = 2) -> None:
+        if rebroadcasts < 1:
+            raise ConfigurationError("need at least one rebroadcast")
+        self.overlay = overlay
+        self.gateway = gateway
+        self.rebroadcasts = rebroadcasts
+        self._next_version = 1
+        #: highest version seen per node
+        self.seen_version: dict[int, int] = {
+            node: 0 for node in overlay.nodes}
+        #: highest version applied per node
+        self.applied_version: dict[int, int] = {
+            node: 0 for node in overlay.nodes}
+        #: node -> [announcement, remaining rebroadcasts]
+        self._pending: dict[int, list] = {}
+
+    # -- origination --------------------------------------------------------
+
+    def announce(self, schedule,
+                 activation_frame: int) -> ScheduleAnnouncement:
+        """Queue a new schedule version for flooding from the gateway.
+
+        ``schedule`` is anything exposing ``frame_slots`` and ``items()``
+        -- a plain :class:`~repro.core.schedule.Schedule` or a multi-block
+        view such as :class:`~repro.core.besteffort.TwoClassSchedule`.
+        ``activation_frame`` should leave enough frames for the flood to
+        cover the mesh: at least ``ceil(nodes / control_slots)`` frames per
+        tree depth tier in the worst case.
+        """
+        if schedule.frame_slots != self.overlay.frame_config.data_slots:
+            raise ConfigurationError(
+                "announced schedule does not match the frame geometry")
+        announcement = ScheduleAnnouncement.build(
+            version=self._next_version,
+            activation_frame=activation_frame,
+            assignments=tuple(schedule.items()))
+        self._next_version += 1
+        self._learn(self.gateway, announcement)
+        return announcement
+
+    # -- overlay hooks ------------------------------------------------------
+
+    def control_payload(self, node: int) -> Optional[ScheduleAnnouncement]:
+        """Called by the overlay at ``node``'s control opportunity."""
+        entry = self._pending.get(node)
+        if entry is None:
+            return None
+        announcement, remaining = entry
+        if remaining <= 1:
+            del self._pending[node]
+        else:
+            entry[1] = remaining - 1
+        return announcement
+
+    def on_announcement(self, node: int,
+                        announcement: ScheduleAnnouncement) -> bool:
+        """Called by the overlay when ``node`` receives an announcement."""
+        return self._learn(node, announcement)
+
+    # -- internals -----------------------------------------------------------
+
+    def _learn(self, node: int, announcement: ScheduleAnnouncement) -> bool:
+        if announcement.version <= self.seen_version[node]:
+            return False
+        self.seen_version[node] = announcement.version
+        self._pending[node] = [announcement, self.rebroadcasts]
+        self._schedule_activation(node, announcement)
+        self.overlay.trace.emit(self.overlay.sim.now, "dsch.learn",
+                                node=node, version=announcement.version)
+        return True
+
+    def _schedule_activation(self, node: int,
+                             announcement: ScheduleAnnouncement) -> None:
+        tdma_node = self.overlay.nodes[node]
+        local_at = self.overlay.frame_config.frame_start_local(
+            announcement.activation_frame)
+        at_true = tdma_node.clock.true_time(local_at)
+        now = self.overlay.sim.now
+        if at_true < now:
+            at_true = now  # late learner activates immediately
+        self.overlay.sim.schedule_at(at_true, self._activate, node,
+                                     announcement)
+
+    def _activate(self, node: int,
+                  announcement: ScheduleAnnouncement) -> None:
+        if announcement.version <= self.applied_version[node]:
+            return  # superseded before activation
+        self.applied_version[node] = announcement.version
+        self.overlay.nodes[node].apply_assignments(announcement.assignments)
+        self.overlay.trace.emit(self.overlay.sim.now, "dsch.activate",
+                                node=node, version=announcement.version)
+
+    # -- instrumentation -------------------------------------------------------
+
+    def coverage(self) -> float:
+        """Fraction of nodes that have learned the latest version."""
+        latest = self._next_version - 1
+        if latest == 0:
+            return 1.0
+        learned = sum(1 for v in self.seen_version.values() if v >= latest)
+        return learned / len(self.seen_version)

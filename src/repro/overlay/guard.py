@@ -1,0 +1,70 @@
+"""Guard-time dimensioning: the emulation's core overhead trade-off.
+
+Two neighbours agree on slot boundaries only up to their mutual clock
+error.  Between synchronization events that error grows at the *relative*
+drift rate (bounded by twice the per-oscillator ppm bound), on top of the
+residual error of the sync step itself (timestamping jitter accumulated
+per relay hop) and propagation delay.  A transmission that starts a guard
+interval after the local slot edge and must end a guard interval before
+the local slot end stays inside every neighbour's view of the slot iff
+
+    ``guard >= max_mutual_clock_error + propagation + turnaround``
+
+with ``max_mutual_clock_error = 2 * drift_bound * resync_interval +
+sync_residual``.  Larger guards waste airtime; experiment E4 sweeps this
+trade-off and E9 translates it into goodput efficiency.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.units import US, ppm
+
+#: Radio turnaround / timer granularity floor for commodity WiFi hardware.
+DEFAULT_TURNAROUND_S = 5 * US
+
+
+def required_guard_s(drift_bound_ppm: float, resync_interval_s: float,
+                     sync_residual_s: float = 0.0,
+                     propagation_s: float = 1 * US,
+                     turnaround_s: float = DEFAULT_TURNAROUND_S) -> float:
+    """Minimum per-slot guard for collision-free slot adherence.
+
+    Parameters
+    ----------
+    drift_bound_ppm:
+        Per-oscillator frequency error bound (crystal spec), in ppm.
+    resync_interval_s:
+        Worst-case time between successful clock corrections at a node.
+    sync_residual_s:
+        Error left right after a sync step (timestamp jitter accumulated
+        over relay hops); measured by experiment E8.
+    """
+    if drift_bound_ppm < 0 or resync_interval_s < 0 or sync_residual_s < 0:
+        raise ConfigurationError("guard inputs must be non-negative")
+    mutual_drift = 2 * ppm(drift_bound_ppm) * resync_interval_s
+    return mutual_drift + sync_residual_s + propagation_s + turnaround_s
+
+
+def max_resync_interval_s(guard_s: float, drift_bound_ppm: float,
+                          sync_residual_s: float = 0.0,
+                          propagation_s: float = 1 * US,
+                          turnaround_s: float = DEFAULT_TURNAROUND_S) -> float:
+    """Longest resync period a given guard can absorb (inverse of above)."""
+    if guard_s <= 0:
+        raise ConfigurationError("guard must be positive")
+    if drift_bound_ppm <= 0:
+        raise ConfigurationError("drift bound must be positive")
+    budget = guard_s - sync_residual_s - propagation_s - turnaround_s
+    if budget <= 0:
+        return 0.0
+    return budget / (2 * ppm(drift_bound_ppm))
+
+
+def slot_overhead_fraction(slot_s: float, guard_s: float,
+                           plcp_overhead_s: float) -> float:
+    """Fraction of a slot lost to guard + PHY preamble (0..1)."""
+    if slot_s <= 0:
+        raise ConfigurationError("slot must be positive")
+    overhead = min(slot_s, guard_s + plcp_overhead_s)
+    return overhead / slot_s

@@ -1,0 +1,95 @@
+"""TDMA shim header and fragmentation.
+
+Application packets rarely match slot capacity, so the overlay carries a
+small shim header on every on-air fragment identifying the directed link,
+the originating packet and the fragment's position.  Receivers reassemble
+per (link, packet) and deliver whole packets upward.  VoIP payloads are
+typically below one slot's capacity (one fragment); larger best-effort
+packets span several slots of the link's block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.net.packet import Packet
+from repro.net.topology import Link
+
+
+@dataclass(frozen=True)
+class ShimFragment:
+    """One slot-sized piece of an application packet."""
+
+    link: Link
+    packet: Packet
+    index: int
+    count: int
+    payload_bits: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.index < self.count:
+            raise ConfigurationError(
+                f"fragment index {self.index} outside 0..{self.count - 1}")
+        if self.payload_bits <= 0:
+            raise ConfigurationError("fragment must carry payload")
+
+    @property
+    def key(self) -> tuple[Link, int, int]:
+        """Reassembly key: (link, packet id, fragment count)."""
+        return (self.link, self.packet.packet_id, self.count)
+
+
+def fragment_packet(packet: Packet, link: Link,
+                    capacity_bits: int) -> list[ShimFragment]:
+    """Split ``packet`` into fragments of at most ``capacity_bits`` payload."""
+    if capacity_bits <= 0:
+        raise ConfigurationError("slot capacity must be positive")
+    pieces = []
+    remaining = packet.size_bits
+    count = (packet.size_bits + capacity_bits - 1) // capacity_bits
+    for index in range(count):
+        chunk = min(capacity_bits, remaining)
+        pieces.append(ShimFragment(link=link, packet=packet, index=index,
+                                   count=count, payload_bits=chunk))
+        remaining -= chunk
+    return pieces
+
+
+class Reassembler:
+    """Per-receiver reassembly of shim fragments into packets.
+
+    Fragments of a packet all travel on the same link within (usually) one
+    frame; a bounded table evicts stale partial packets so losses cannot
+    leak memory.
+    """
+
+    def __init__(self, max_partial: int = 64) -> None:
+        self._partial: dict[tuple[Link, int, int], set[int]] = {}
+        self._arrival_order: list[tuple[Link, int, int]] = []
+        self._max_partial = max_partial
+
+    def accept(self, fragment: ShimFragment) -> Optional[Packet]:
+        """Feed one fragment; returns the packet when it completes."""
+        if fragment.count == 1:
+            return fragment.packet
+        key = fragment.key
+        if key not in self._partial:
+            self._partial[key] = set()
+            self._arrival_order.append(key)
+            if len(self._arrival_order) > self._max_partial:
+                stale = self._arrival_order.pop(0)
+                self._partial.pop(stale, None)
+        received = self._partial[key]
+        received.add(fragment.index)
+        if len(received) == fragment.count:
+            del self._partial[key]
+            self._arrival_order.remove(key)
+            return fragment.packet
+        return None
+
+    @property
+    def pending(self) -> int:
+        """Number of partially reassembled packets."""
+        return len(self._partial)

@@ -1,0 +1,205 @@
+"""Clock synchronization over the control subframe.
+
+The gateway's clock is the network timebase.  Every node, when it owns a
+control opportunity (:class:`~repro.mesh16.network.ControlPlane`), puts a
+:class:`~repro.mesh16.messages.SyncBeacon` on air carrying its current
+estimate of the gateway clock.  Receivers recover "gateway time now" by
+adding the beacon airtime and propagation delay, and *step* their software
+clock to it -- adopting only estimates that are fresher (newer round) or
+closer to the gateway (fewer relay hops) than what they already have.
+
+Each timestamping operation (reading the clock at transmit start, at
+reception end) carries hardware jitter, modelled as a uniform draw in
+``+-timestamp_jitter_s``; the residual error after a sync step therefore
+grows with tree depth, which is why :func:`repro.overlay.guard.
+required_guard_s` takes a ``sync_residual_s`` term.
+
+An optional extension (``skew_compensation``) estimates the local
+oscillator's rate error from consecutive adoptions and disciplines the
+clock rate, shrinking the drift term between resyncs (ablated in E8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.mesh16.messages import SyncBeacon
+from repro.sim.clock import DriftingClock
+from repro.sim.trace import Trace
+from repro.units import US
+
+
+@dataclass(frozen=True)
+class SyncConfig:
+    """Synchronization protocol parameters."""
+
+    #: hardware timestamping error bound per clock read (uniform +-bound)
+    timestamp_jitter_s: float = 2 * US
+    #: master switch; disabled sync lets clocks free-run (E8's control arm)
+    enabled: bool = True
+    #: estimate and discipline oscillator rate from consecutive adoptions
+    skew_compensation: bool = False
+
+    def __post_init__(self) -> None:
+        if self.timestamp_jitter_s < 0:
+            raise ConfigurationError("jitter bound must be non-negative")
+
+
+@dataclass
+class SyncState:
+    """A node's view of the network timebase."""
+
+    round_id: int = -1
+    hops: int = 0
+    #: local clock reading at the most recent adoption
+    last_adoption_local: Optional[float] = None
+    #: gateway-time estimate at the most recent adoption
+    last_adoption_root: Optional[float] = None
+    adoptions: int = 0
+    #: rate (skew) estimation state: root-time anchor of the current
+    #: estimation window and the phase steps accumulated inside it.  Each
+    #: adoption step cancels exactly the error accrued since the previous
+    #: one, so the steps telescope to (rate error) x (window length) --
+    #: robust to the steps themselves, and jitter averages out over a long
+    #: window.
+    rate_anchor_root: Optional[float] = None
+    step_accumulator_s: float = 0.0
+
+
+class SyncDaemon:
+    """Per-node synchronization logic (passive; driven by the overlay MAC).
+
+    Parameters
+    ----------
+    node, root:
+        This node's id and the timebase root (gateway).
+    clock:
+        The node's software clock; stepped (and optionally rate-disciplined)
+        on adoption.
+    config, rng, trace:
+        Protocol parameters, jitter stream, and optional trace
+        (``sync.beacon``, ``sync.adopt``).
+    """
+
+    def __init__(self, node: int, root: int, clock: DriftingClock,
+                 config: SyncConfig, rng: np.random.Generator,
+                 trace: Optional[Trace] = None) -> None:
+        self.node = node
+        self.root = root
+        self.clock = clock
+        self.config = config
+        self.rng = rng
+        self.trace = trace if trace is not None else Trace(enabled=False)
+        self.state = SyncState()
+        if node == root:
+            # The root defines the timebase: round 0 is implicitly adopted.
+            self.state.round_id = 0
+            self.state.hops = 0
+        self._next_round = 1
+
+    @property
+    def is_root(self) -> bool:
+        return self.node == self.root
+
+    @property
+    def synced(self) -> bool:
+        """True once this node has a usable timebase estimate."""
+        return self.is_root or self.state.adoptions > 0
+
+    def _jitter(self) -> float:
+        bound = self.config.timestamp_jitter_s
+        if bound == 0:
+            return 0.0
+        return float(self.rng.uniform(-bound, bound))
+
+    # -- transmit side ------------------------------------------------------
+
+    def make_beacon(self, true_now: float) -> Optional[SyncBeacon]:
+        """The beacon to send at this node's control opportunity (or None).
+
+        The root mints a new round each time it speaks; relays forward
+        their current estimate.  Unsynced relays stay silent.
+        """
+        if not self.config.enabled:
+            return None
+        if self.is_root:
+            round_id = self._next_round
+            self._next_round += 1
+            root_time = self.clock.local_time(true_now) + self._jitter()
+            beacon = SyncBeacon(origin=self.node, sender=self.node,
+                                root_time_at_tx=root_time,
+                                round_id=round_id, hops=0)
+        else:
+            if not self.synced:
+                return None
+            estimate = self.clock.local_time(true_now) + self._jitter()
+            beacon = SyncBeacon(origin=self.root, sender=self.node,
+                                root_time_at_tx=estimate,
+                                round_id=self.state.round_id,
+                                hops=self.state.hops)
+        self.trace.emit(true_now, "sync.beacon", node=self.node,
+                        round=beacon.round_id, hops=beacon.hops)
+        return beacon
+
+    # -- receive side ----------------------------------------------------------
+
+    def on_beacon(self, beacon: SyncBeacon, true_now: float,
+                  airtime_s: float, propagation_s: float) -> bool:
+        """Process a received beacon; returns True if the clock was stepped.
+
+        ``true_now`` is the reception-complete instant; the sender stamped
+        the beacon at transmission start, so gateway time "now" is the
+        stamp plus airtime plus propagation (plus our own read jitter).
+        """
+        if not self.config.enabled or self.is_root:
+            return False
+        state = self.state
+        fresher = beacon.round_id > state.round_id
+        closer = (beacon.round_id == state.round_id
+                  and beacon.hops + 1 < state.hops)
+        if not (fresher or closer):
+            return False
+
+        root_now = (beacon.root_time_at_tx + airtime_s + propagation_s
+                    + self._jitter())
+        local_before = self.clock.local_time(true_now)
+
+        step = root_now - local_before
+        if self.config.skew_compensation:
+            if state.rate_anchor_root is None:
+                state.rate_anchor_root = root_now
+                state.step_accumulator_s = 0.0
+            else:
+                state.step_accumulator_s += step
+                elapsed_root = root_now - state.rate_anchor_root
+                # Jitter per step is +-timestamp_jitter_s; over a window of
+                # T root-seconds the telescoped steps resolve the rate to
+                # ~jitter/T, so a 1 s floor gets comfortably below typical
+                # crystal drifts for microsecond-class jitter.
+                if elapsed_root >= 1.0:
+                    # The clock gained -sum(steps) of error over the window,
+                    # so its effective rate is high by that per-second.
+                    rate_error = -state.step_accumulator_s / elapsed_root
+                    intrinsic_rate = 1.0 + self.clock.skew
+                    desired_effective = (self.clock.effective_rate
+                                         / (1.0 + rate_error))
+                    correction = float(np.clip(
+                        desired_effective / intrinsic_rate, 0.999, 1.001))
+                    self.clock.discipline_rate(true_now, correction)
+                    state.rate_anchor_root = root_now
+                    state.step_accumulator_s = 0.0
+
+        self.clock.set_local(true_now, root_now)
+        state.round_id = beacon.round_id
+        state.hops = beacon.hops + 1
+        state.last_adoption_local = root_now
+        state.last_adoption_root = root_now
+        state.adoptions += 1
+        self.trace.emit(true_now, "sync.adopt", node=self.node,
+                        round=beacon.round_id, hops=state.hops,
+                        step=root_now - local_before)
+        return True

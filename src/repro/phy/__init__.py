@@ -1,0 +1,24 @@
+"""Radio/PHY substrate (system S3 in DESIGN.md)."""
+
+from repro.phy.channel import BroadcastChannel, Reception
+from repro.phy.frames import FrameKind, PhyFrame
+from repro.phy.interference import (
+    interference_graph,
+    overcautious_pairs,
+    uncovered_interference,
+)
+from repro.phy.radio import DOT11A_6M, DOT11B_11M, DOT11G_54M, PhyParams
+
+__all__ = [
+    "BroadcastChannel",
+    "DOT11A_6M",
+    "DOT11B_11M",
+    "DOT11G_54M",
+    "FrameKind",
+    "PhyFrame",
+    "PhyParams",
+    "Reception",
+    "interference_graph",
+    "overcautious_pairs",
+    "uncovered_interference",
+]

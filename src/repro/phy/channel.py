@@ -1,0 +1,268 @@
+"""Shared broadcast medium with protocol-model collisions.
+
+The channel implements the classic protocol interference model on the
+topology's connectivity graph: every transmission is heard by all radio
+neighbours of the transmitter; two receptions overlapping in time at the
+same receiver corrupt each other; a node cannot receive while transmitting
+(half-duplex).  Carrier sense range equals communication range (the 802.16
+mesh 2-hop conflict model in :mod:`repro.core.conflict` is the scheduling
+abstraction of exactly this channel).
+
+MAC layers attach a :class:`ChannelClient` per node and get two callbacks:
+
+- ``on_receive(frame, success)`` when a reception finishes;
+- ``on_medium_change()`` whenever the busy/idle state at the node may have
+  changed (used by CSMA backoff logic, which polls :meth:`BroadcastChannel.
+  medium_busy`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.net.topology import MeshTopology
+from repro.phy.frames import PhyFrame
+from repro.phy.radio import PhyParams
+from repro.sim.engine import Simulator
+from repro.sim.trace import Trace
+
+
+class ChannelClient:
+    """Interface MAC layers implement to hang off the channel."""
+
+    def on_receive(self, frame: PhyFrame, success: bool) -> None:
+        """A reception finished at this node (corrupted if not success)."""
+        raise NotImplementedError
+
+    def on_medium_change(self) -> None:
+        """The busy/idle state at this node may have changed."""
+        # Optional for MACs that do not carrier-sense (TDMA overlay).
+
+
+@dataclass
+class Reception:
+    """An in-flight reception at one receiver."""
+
+    frame: PhyFrame
+    receiver: int
+    start: float
+    end: float
+    corrupted: bool = False
+    #: why it was corrupted, for tracing ("collision", "rx_during_tx")
+    corrupt_reason: Optional[str] = None
+
+    def overlaps(self, start: float, end: float) -> bool:
+        return self.start < end and start < self.end
+
+
+@dataclass
+class _NodeState:
+    client: Optional[ChannelClient] = None
+    #: active/pending receptions at this node
+    receptions: list[Reception] = field(default_factory=list)
+    #: (start, end) transmission intervals, pruned lazily
+    transmissions: list[tuple[float, float]] = field(default_factory=list)
+
+
+class BroadcastChannel:
+    """The shared medium for one mesh (one radio, one channel).
+
+    Parameters
+    ----------
+    sim:
+        The event kernel.
+    topology:
+        Radio connectivity; transmissions reach exactly the graph neighbours.
+    phy:
+        Timing parameters (propagation delay).
+    trace:
+        Optional shared trace; emits ``phy.tx``, ``phy.rx_ok``,
+        ``phy.rx_collision`` and ``phy.rx_during_tx`` records.
+    """
+
+    def __init__(self, sim: Simulator, topology: MeshTopology,
+                 phy: PhyParams, trace: Optional[Trace] = None) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.phy = phy
+        self.trace = trace if trace is not None else Trace(enabled=False)
+        self._nodes: dict[int, _NodeState] = {
+            node: _NodeState() for node in topology.nodes}
+        #: optional random-loss model; see :meth:`set_error_model`
+        self._error_rng = None
+        self._error_rates: dict[tuple[int, int], float] = {}
+        self._default_error_rate = 0.0
+
+    def set_error_model(self, rng, default_error_rate: float = 0.0,
+                        per_link: Optional[dict[tuple[int, int], float]]
+                        = None) -> None:
+        """Inject random reception losses (fading, noise bursts).
+
+        Each otherwise-successful reception on directed pair
+        ``(transmitter, receiver)`` is independently lost with the pair's
+        error rate (``per_link`` overrides the default).  Collisions and
+        half-duplex losses are unaffected -- this models channel error on
+        top of them, the condition under which the TDMA overlay (no ARQ)
+        and DCF (ARQ) diverge (experiment E13).
+        """
+        if not 0.0 <= default_error_rate < 1.0:
+            raise ConfigurationError("error rate must be in [0, 1)")
+        for pair, rate in (per_link or {}).items():
+            if not 0.0 <= rate < 1.0:
+                raise ConfigurationError(f"error rate {rate} for {pair}")
+        self._error_rng = rng
+        self._default_error_rate = default_error_rate
+        self._error_rates = dict(per_link or {})
+
+    def attach(self, node: int, client: ChannelClient) -> None:
+        """Register the MAC entity for ``node``."""
+        state = self._state(node)
+        if state.client is not None:
+            raise ConfigurationError(f"node {node} already has a MAC attached")
+        state.client = client
+
+    def _state(self, node: int) -> _NodeState:
+        try:
+            return self._nodes[node]
+        except KeyError:
+            raise ConfigurationError(f"unknown node {node}") from None
+
+    # -- carrier sense ------------------------------------------------------
+
+    def transmitting(self, node: int) -> bool:
+        """True iff ``node`` is on air right now."""
+        now = self.sim.now
+        return any(start <= now < end
+                   for start, end in self._state(node).transmissions)
+
+    def medium_busy(self, node: int) -> bool:
+        """Carrier-sense result at ``node``: any energy on air it can hear."""
+        now = self.sim.now
+        if self.transmitting(node):
+            return True
+        return any(rec.start <= now < rec.end
+                   for rec in self._state(node).receptions)
+
+    def busy_until(self, node: int) -> float:
+        """Latest end time of anything currently on air at ``node``.
+
+        Returns the current time when the medium is idle.
+        """
+        now = self.sim.now
+        latest = now
+        for start, end in self._state(node).transmissions:
+            if start <= now < end:
+                latest = max(latest, end)
+        for rec in self._state(node).receptions:
+            if rec.start <= now < rec.end:
+                latest = max(latest, rec.end)
+        return latest
+
+    # -- transmission ---------------------------------------------------------
+
+    def transmit(self, node: int, frame: PhyFrame,
+                 duration: Optional[float] = None) -> float:
+        """Put ``frame`` on air from ``node``; returns the airtime used.
+
+        The MAC is responsible for medium access rules; the channel only
+        enforces physics (no two simultaneous transmissions from one radio).
+        """
+        state = self._state(node)
+        if frame.src != node:
+            raise SimulationError(
+                f"frame src {frame.src} transmitted by node {node}")
+        if self.transmitting(node):
+            raise SimulationError(f"node {node} is already transmitting")
+        if duration is None:
+            duration = self.phy.airtime(
+                frame.size_bits, basic_rate=frame.kind.value != "data")
+        now = self.sim.now
+        tx_start, tx_end = now, now + duration
+        self._prune(state, now)
+        state.transmissions.append((tx_start, tx_end))
+        self.trace.emit(now, "phy.tx", node=node, frame=frame.frame_id,
+                        kind=frame.kind.value, duration=duration)
+
+        # A transmission corrupts any reception in progress at the
+        # transmitter (half-duplex): mark them now.
+        for rec in state.receptions:
+            if rec.overlaps(tx_start, tx_end) and not rec.corrupted:
+                rec.corrupted = True
+                rec.corrupt_reason = "rx_during_tx"
+
+        self._notify(node)
+        prop = self.phy.propagation_delay_s
+        for neighbor in self.topology.neighbors(node):
+            arrival_start = tx_start + prop
+            arrival_end = tx_end + prop
+            receiver_state = self._state(neighbor)
+            self._prune(receiver_state, now)
+            reception = Reception(frame, neighbor, arrival_start, arrival_end)
+            # Pairwise collision with any overlapping reception at this
+            # receiver: both frames are lost.
+            for other in receiver_state.receptions:
+                if other.overlaps(arrival_start, arrival_end):
+                    other.corrupted = True
+                    other.corrupt_reason = other.corrupt_reason or "collision"
+                    reception.corrupted = True
+                    reception.corrupt_reason = "collision"
+            receiver_state.receptions.append(reception)
+            self.sim.schedule_at(arrival_start, self._notify, neighbor)
+            self.sim.schedule_at(arrival_end, self._deliver, reception)
+        # Transmitter's own medium goes idle at tx_end.
+        self.sim.schedule_at(tx_end, self._notify, node)
+        return duration
+
+    # -- internals ---------------------------------------------------------
+
+    def _deliver(self, reception: Reception) -> None:
+        state = self._state(reception.receiver)
+        if reception in state.receptions:
+            state.receptions.remove(reception)
+        # Half-duplex: if the receiver transmitted at any point during the
+        # reception window, the frame is lost (the mark may have been set by
+        # transmit(); re-check for transmissions that started mid-window).
+        if not reception.corrupted:
+            for start, end in state.transmissions:
+                if reception.overlaps(start, end):
+                    reception.corrupted = True
+                    reception.corrupt_reason = "rx_during_tx"
+                    break
+        if not reception.corrupted and self._error_rng is not None:
+            pair = (reception.frame.src, reception.receiver)
+            rate = self._error_rates.get(pair, self._default_error_rate)
+            if rate > 0.0 and self._error_rng.random() < rate:
+                reception.corrupted = True
+                reception.corrupt_reason = "channel_error"
+        success = not reception.corrupted
+        category = ("phy.rx_ok" if success
+                    else f"phy.rx_{reception.corrupt_reason}")
+        self.trace.emit(self.sim.now, category, node=reception.receiver,
+                        frame=reception.frame.frame_id,
+                        kind=reception.frame.kind.value)
+        client = state.client
+        self._notify(reception.receiver)
+        if client is not None:
+            client.on_receive(reception.frame, success)
+
+    def _notify(self, node: int) -> None:
+        client = self._state(node).client
+        if client is not None:
+            client.on_medium_change()
+
+    @staticmethod
+    def _prune(state: _NodeState, now: float) -> None:
+        """Drop transmission intervals that can no longer affect anything.
+
+        A past transmission only matters while some reception window could
+        still overlap it, and no frame stays on air longer than ~20 ms in
+        any profile this library models; a 50 ms grace period is generous.
+        Keeping more than that makes carrier sense O(history) and grinds
+        saturated simulations to a halt.
+        """
+        horizon = now - 0.05
+        if state.transmissions and state.transmissions[0][1] < horizon:
+            state.transmissions = [
+                (s, e) for s, e in state.transmissions if e >= horizon]

@@ -1,0 +1,64 @@
+"""PHY frame model.
+
+A :class:`PhyFrame` is what a radio hands to the channel: a kind, a size in
+bits (MAC header + payload), addressing, and an opaque payload that upper
+layers interpret (an application packet, a sync beacon's timestamp, a TDMA
+shim fragment, ...).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+class FrameKind(enum.Enum):
+    """MAC-level frame classes used by the simulators."""
+
+    DATA = "data"
+    ACK = "ack"
+    RTS = "rts"
+    CTS = "cts"
+    BEACON = "beacon"
+    CONTROL = "control"
+
+
+_frame_ids = itertools.count()
+
+
+@dataclass
+class PhyFrame:
+    """An on-air frame.
+
+    Parameters
+    ----------
+    kind:
+        Frame class (data, ack, beacon, control).
+    src:
+        Transmitting node id.
+    dst:
+        Destination node id, or ``None`` for broadcast.
+    size_bits:
+        Total MAC-frame size (headers included); determines airtime.
+    payload:
+        Opaque upper-layer object carried by the frame.
+    """
+
+    kind: FrameKind
+    src: int
+    dst: Optional[int]
+    size_bits: int
+    payload: Any = None
+    #: Unique id for tracing and ACK matching.
+    frame_id: int = field(default_factory=lambda: next(_frame_ids))
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self.dst is None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        target = "bcast" if self.is_broadcast else str(self.dst)
+        return (f"PhyFrame#{self.frame_id}({self.kind.value}, {self.src}->"
+                f"{target}, {self.size_bits}b)")

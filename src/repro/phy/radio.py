@@ -1,0 +1,87 @@
+"""PHY parameter sets and airtime arithmetic.
+
+Airtime of a frame is the PLCP preamble plus PLCP header plus the MAC frame
+at the data rate (plus, for 802.11a/g OFDM, symbol padding -- approximated
+here by plain division, which is accurate to one 4 us symbol and irrelevant
+to the shapes this library reproduces).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import MBPS, US
+
+
+@dataclass(frozen=True)
+class PhyParams:
+    """A radio's physical-layer timing parameters.
+
+    Parameters
+    ----------
+    name:
+        Label for reports ("802.11b/11Mbps", ...).
+    data_rate_bps:
+        Rate used for data frames.
+    basic_rate_bps:
+        Rate used for control frames (ACKs, beacons); 802.11 sends these at
+        a mandatory basic rate so all stations can decode them.
+    plcp_overhead_s:
+        Preamble + PLCP header duration prepended to every frame.
+    propagation_delay_s:
+        One-hop propagation delay (mesh links are < 1 km, so ~1-3 us).
+    """
+
+    name: str
+    data_rate_bps: float
+    basic_rate_bps: float
+    plcp_overhead_s: float
+    propagation_delay_s: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if self.data_rate_bps <= 0 or self.basic_rate_bps <= 0:
+            raise ConfigurationError("rates must be positive")
+        if self.plcp_overhead_s < 0 or self.propagation_delay_s < 0:
+            raise ConfigurationError("overheads must be non-negative")
+
+    def airtime(self, size_bits: int, basic_rate: bool = False) -> float:
+        """Time on air for a frame of ``size_bits`` MAC bits."""
+        if size_bits < 0:
+            raise ConfigurationError(f"negative frame size {size_bits}")
+        rate = self.basic_rate_bps if basic_rate else self.data_rate_bps
+        return self.plcp_overhead_s + size_bits / rate
+
+    def bits_in(self, duration_s: float, basic_rate: bool = False) -> int:
+        """Largest MAC frame (bits) whose airtime fits in ``duration_s``."""
+        rate = self.basic_rate_bps if basic_rate else self.data_rate_bps
+        usable = duration_s - self.plcp_overhead_s
+        if usable <= 0:
+            return 0
+        return int(usable * rate)
+
+
+#: 802.11b at 11 Mb/s with long preamble (192 us), control at 1 Mb/s --
+#: the hardware class the ICDCS paper's testbed used.
+DOT11B_11M = PhyParams(
+    name="802.11b/11Mbps",
+    data_rate_bps=11 * MBPS,
+    basic_rate_bps=1 * MBPS,
+    plcp_overhead_s=192 * US,
+)
+
+#: 802.11a at 6 Mb/s (20 us preamble), control at 6 Mb/s.
+DOT11A_6M = PhyParams(
+    name="802.11a/6Mbps",
+    data_rate_bps=6 * MBPS,
+    basic_rate_bps=6 * MBPS,
+    plcp_overhead_s=20 * US,
+)
+
+#: 802.11g at 54 Mb/s (20 us preamble), control at 6 Mb/s.
+DOT11G_54M = PhyParams(
+    name="802.11g/54Mbps",
+    data_rate_bps=54 * MBPS,
+    basic_rate_bps=6 * MBPS,
+    plcp_overhead_s=20 * US,
+)

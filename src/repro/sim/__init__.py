@@ -1,0 +1,31 @@
+"""Discrete-event simulation substrate (systems S1-S2 in DESIGN.md).
+
+This subpackage provides the deterministic, seeded event kernel on which all
+protocol simulation in :mod:`repro` runs:
+
+- :class:`repro.sim.engine.Simulator` -- the event queue and virtual clock.
+- :class:`repro.sim.clock.DriftingClock` -- per-node oscillators with skew,
+  the root cause of the synchronization problem the paper's emulation layer
+  has to solve.
+- :class:`repro.sim.random.RngRegistry` -- named, independently seeded
+  random streams so that adding a new source of randomness does not perturb
+  existing ones.
+- :class:`repro.sim.trace.Trace` -- structured event tracing.
+"""
+
+from repro.sim.clock import DriftingClock, PerfectClock
+from repro.sim.engine import Event, Simulator
+from repro.sim.process import PeriodicTimer
+from repro.sim.random import RngRegistry
+from repro.sim.trace import Trace, TraceRecord
+
+__all__ = [
+    "DriftingClock",
+    "Event",
+    "PerfectClock",
+    "PeriodicTimer",
+    "RngRegistry",
+    "Simulator",
+    "Trace",
+    "TraceRecord",
+]

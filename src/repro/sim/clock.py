@@ -1,0 +1,114 @@
+"""Per-node clocks with frequency skew and phase offset.
+
+The WiMAX-over-WiFi emulation has to keep software TDMA slot boundaries
+aligned across nodes whose oscillators drift relative to each other.  This
+module models those oscillators.
+
+A :class:`DriftingClock` maps *true* (simulator) time to *local* time as a
+piecewise-affine function:
+
+    ``local(t) = local_epoch + (1 + skew) * (t - true_epoch)``
+
+where ``skew`` is the (dimensionless) frequency error, conventionally quoted
+in parts per million.  The synchronization daemon (:mod:`repro.overlay.sync`)
+steps the phase and, optionally, disciplines the rate; both operations
+re-anchor the affine segment so the mapping stays continuous in true time
+and monotone in both directions.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+class DriftingClock:
+    """A local oscillator with constant frequency skew and steppable phase.
+
+    Parameters
+    ----------
+    skew:
+        Dimensionless frequency error.  Positive skew means the local clock
+        runs *fast* (local seconds accumulate faster than true seconds).
+        Use :func:`repro.units.ppm` for conventional units.
+    offset:
+        Initial phase error: local time minus true time at ``epoch``.
+    epoch:
+        True time at which this clock is anchored (usually 0.0).
+    """
+
+    def __init__(self, skew: float = 0.0, offset: float = 0.0,
+                 epoch: float = 0.0) -> None:
+        if not -0.5 < skew < 0.5:
+            raise ConfigurationError(
+                f"skew {skew} is implausibly large; expected |skew| << 1 "
+                "(did you forget repro.units.ppm()?)")
+        self._rate = 1.0 + skew
+        self._true_epoch = float(epoch)
+        self._local_epoch = float(epoch) + float(offset)
+        #: rate correction applied by clock discipline (1.0 = none)
+        self._discipline = 1.0
+
+    @property
+    def skew(self) -> float:
+        """The oscillator's intrinsic frequency error (undisciplined)."""
+        return self._rate - 1.0
+
+    @property
+    def effective_rate(self) -> float:
+        """Local seconds per true second after discipline is applied."""
+        return self._rate * self._discipline
+
+    def local_time(self, true_time: float) -> float:
+        """Local clock reading at true time ``true_time``."""
+        return self._local_epoch + self.effective_rate * (true_time - self._true_epoch)
+
+    def true_time(self, local_time: float) -> float:
+        """Inverse mapping: the true time at which the clock reads ``local_time``.
+
+        Only meaningful for local times on the current affine segment
+        (i.e. at or after the most recent step/discipline operation).
+        """
+        return self._true_epoch + (local_time - self._local_epoch) / self.effective_rate
+
+    def offset_at(self, true_time: float) -> float:
+        """Phase error (local minus true) at ``true_time``."""
+        return self.local_time(true_time) - true_time
+
+    def step(self, true_time: float, correction: float) -> None:
+        """Step the phase by ``correction`` local seconds at ``true_time``.
+
+        A positive correction advances the local clock.  The affine segment
+        is re-anchored at ``true_time`` so past readings are unaffected.
+        """
+        self._re_anchor(true_time)
+        self._local_epoch += correction
+
+    def set_local(self, true_time: float, new_local: float) -> None:
+        """Set the clock to read ``new_local`` at true time ``true_time``."""
+        self._re_anchor(true_time)
+        self._local_epoch = new_local
+
+    def discipline_rate(self, true_time: float, rate_correction: float) -> None:
+        """Apply a multiplicative rate correction (skew compensation).
+
+        ``rate_correction`` is the factor the local rate should be multiplied
+        by; a sync daemon that estimates the clock runs ``1 + e`` times too
+        fast passes ``1 / (1 + e)``.
+        """
+        if rate_correction <= 0:
+            raise ConfigurationError(
+                f"rate correction must be positive, got {rate_correction}")
+        self._re_anchor(true_time)
+        self._discipline = rate_correction
+
+    def _re_anchor(self, true_time: float) -> None:
+        """Re-anchor the affine segment at ``true_time`` (continuity-preserving)."""
+        self._local_epoch = self.local_time(true_time)
+        self._true_epoch = true_time
+
+
+class PerfectClock(DriftingClock):
+    """A clock with no skew and no offset; local time equals true time."""
+
+    def __init__(self) -> None:
+        super().__init__(skew=0.0, offset=0.0, epoch=0.0)

@@ -1,0 +1,173 @@
+"""Discrete-event simulation kernel.
+
+The kernel is intentionally minimal: a priority queue of timestamped
+callbacks and a virtual clock.  Protocol entities (MACs, traffic sources,
+synchronization daemons) are plain Python objects that schedule callbacks on
+a shared :class:`Simulator`.
+
+Determinism
+-----------
+Events with equal timestamps are executed in scheduling order (a
+monotonically increasing sequence number breaks ties), so a simulation with
+the same seed always produces the same trace.  This matters for the
+reproducibility claims in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+
+
+class Event:
+    """A scheduled callback.
+
+    Instances are returned by :meth:`Simulator.schedule` and can be cancelled
+    with :meth:`cancel`.  Cancellation is lazy: the event stays in the heap
+    but is skipped when popped, which keeps cancellation O(1).
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int,
+                 callback: Callable[..., Any], args: tuple) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent this event from firing; safe to call more than once."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        name = getattr(self.callback, "__qualname__", repr(self.callback))
+        return f"Event(t={self.time:.9f}, {name}, {state})"
+
+
+class Simulator:
+    """Event queue plus virtual clock.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(1.5, fired.append, "hello")
+    >>> sim.run()
+    >>> (sim.now, fired)
+    (1.5, ['hello'])
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._now = 0.0
+        self._seq = 0
+        self._running = False
+        self._executed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time, in seconds."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Number of events executed so far (cancelled events excluded)."""
+        return self._executed
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including lazily cancelled ones)."""
+        return len(self._queue)
+
+    def schedule(self, delay: float, callback: Callable[..., Any],
+                 *args: Any) -> Event:
+        """Schedule *callback(*args)* to run ``delay`` seconds from now.
+
+        ``delay`` must be non-negative and finite; a zero delay runs the
+        callback after all events already scheduled for the current instant.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable[..., Any],
+                    *args: Any) -> Event:
+        """Schedule *callback(*args)* at absolute simulated ``time``."""
+        if not math.isfinite(time):
+            raise SimulationError(f"event time must be finite, got {time}")
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before current time {self._now}")
+        event = Event(time, self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> None:
+        """Execute events in timestamp order.
+
+        Parameters
+        ----------
+        until:
+            If given, stop once the next event would fire strictly after
+            ``until`` and advance the clock to ``until``.  Events scheduled
+            exactly at ``until`` are executed.
+        max_events:
+            Safety valve against runaway event loops; raises
+            :class:`SimulationError` when exceeded.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not reentrant")
+        self._running = True
+        executed_this_run = 0
+        try:
+            while self._queue:
+                event = self._queue[0]
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._queue)
+                if event.cancelled:
+                    continue
+                if max_events is not None and executed_this_run >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; "
+                        "likely a runaway event loop")
+                self._now = event.time
+                event.callback(*event.args)
+                self._executed += 1
+                executed_this_run += 1
+        finally:
+            self._running = False
+        if until is not None and until > self._now:
+            self._now = until
+
+    def step(self) -> bool:
+        """Execute exactly one (non-cancelled) event.
+
+        Returns ``True`` if an event ran, ``False`` if the queue was empty.
+        """
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback(*event.args)
+            self._executed += 1
+            return True
+        return False
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the next pending event, or ``None`` if idle."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None

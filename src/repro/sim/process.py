@@ -1,0 +1,61 @@
+"""Timer helpers built on the event kernel."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.errors import ConfigurationError
+from repro.sim.engine import Event, Simulator
+
+
+class PeriodicTimer:
+    """Fires a callback every ``period`` seconds until stopped.
+
+    The timer self-reschedules from the scheduled fire time, not from the
+    time the callback finished, so long-run phase does not drift even if the
+    callback itself schedules other work.
+    """
+
+    def __init__(self, sim: Simulator, period: float,
+                 callback: Callable[..., Any], *args: Any,
+                 start_delay: Optional[float] = None) -> None:
+        if period <= 0:
+            raise ConfigurationError(f"timer period must be positive, got {period}")
+        self._sim = sim
+        self._period = period
+        self._callback = callback
+        self._args = args
+        self._event: Optional[Event] = None
+        self._running = False
+        self._fired = 0
+        first = period if start_delay is None else start_delay
+        self._start(first)
+
+    def _start(self, delay: float) -> None:
+        self._running = True
+        self._event = self._sim.schedule(delay, self._fire)
+
+    def _fire(self) -> None:
+        if not self._running:
+            return
+        self._fired += 1
+        # Reschedule before running the callback so the callback may call
+        # stop() and suppress future firings.
+        self._event = self._sim.schedule(self._period, self._fire)
+        self._callback(*self._args)
+
+    @property
+    def fired(self) -> int:
+        """Number of times the callback has run."""
+        return self._fired
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def stop(self) -> None:
+        """Cancel the timer; pending firings are suppressed."""
+        self._running = False
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None

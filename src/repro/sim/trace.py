@@ -1,0 +1,79 @@
+"""Structured event tracing.
+
+Protocol entities emit :class:`TraceRecord` entries ("mac.tx", "sync.beacon",
+"voip.rx", ...) into a shared :class:`Trace`.  Tests and the experiment
+harness assert on traces rather than scraping logs; the trace can be capped
+to avoid unbounded memory in long runs.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced event: a timestamp, a dotted category, and free-form fields."""
+
+    time: float
+    category: str
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.fields[key]
+
+
+class Trace:
+    """Bounded in-memory trace with per-category counters.
+
+    Counters are kept even for records evicted by the bound, so aggregate
+    statistics (e.g. number of collisions) remain exact in long runs.
+    """
+
+    def __init__(self, capacity: Optional[int] = None,
+                 enabled: bool = True) -> None:
+        self._records: deque[TraceRecord] = deque(maxlen=capacity)
+        self._counts: Counter[str] = Counter()
+        self.enabled = enabled
+
+    def emit(self, time: float, category: str, **fields: Any) -> None:
+        """Record an event (no-op if tracing is disabled)."""
+        if not self.enabled:
+            return
+        self._counts[category] += 1
+        self._records.append(TraceRecord(time, category, fields))
+
+    def count(self, category: str) -> int:
+        """Total number of events emitted under ``category``."""
+        return self._counts[category]
+
+    def categories(self) -> list[str]:
+        """All categories seen so far, sorted."""
+        return sorted(self._counts)
+
+    def records(self, category: Optional[str] = None) -> Iterator[TraceRecord]:
+        """Iterate retained records, optionally filtered by exact category."""
+        for record in self._records:
+            if category is None or record.category == category:
+                yield record
+
+    def last(self, category: Optional[str] = None) -> Optional[TraceRecord]:
+        """Most recent retained record (matching ``category`` if given)."""
+        for record in reversed(self._records):
+            if category is None or record.category == category:
+                return record
+        return None
+
+    def times(self, category: str) -> list[float]:
+        """Timestamps of retained records in ``category``."""
+        return [r.time for r in self.records(category)]
+
+    def extend_counts(self, other_counts: Iterable[tuple[str, int]]) -> None:
+        """Merge externally accumulated counters (used when joining traces)."""
+        for category, count in other_counts:
+            self._counts[category] += count
+
+    def __len__(self) -> int:
+        return len(self._records)

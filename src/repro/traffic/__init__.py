@@ -1,0 +1,21 @@
+"""Workloads and QoS metrics (system S21 in DESIGN.md)."""
+
+from repro.traffic.qos import FlowQoS, e_model_r_factor, mos_from_r
+from repro.traffic.sink import FlowSink, SinkRegistry
+from repro.traffic.sources import CbrSource, OnOffVoipSource, PoissonSource
+from repro.traffic.voip import G711, G723, G729, VoipCodec
+
+__all__ = [
+    "CbrSource",
+    "FlowQoS",
+    "FlowSink",
+    "G711",
+    "G723",
+    "G729",
+    "OnOffVoipSource",
+    "PoissonSource",
+    "SinkRegistry",
+    "VoipCodec",
+    "e_model_r_factor",
+    "mos_from_r",
+]

@@ -1,0 +1,159 @@
+"""QoS metrics: delay statistics, jitter, loss, and the ITU-T E-model.
+
+The E-model (ITU-T G.107) condenses delay and loss into a scalar
+transmission rating ``R`` (0-100), mapped to a Mean Opinion Score.  We use
+the standard simplified form for VoIP planning:
+
+    ``R = R0 - Id(d) - Ie_eff(loss)``
+
+with ``R0 = 93.2``, the delay impairment ``Id = 0.024 d + 0.11 (d - 177.3)
+H(d - 177.3)`` (``d`` = one-way mouth-to-ear delay in ms), and the
+effective equipment impairment ``Ie_eff = Ie + (95 - Ie) * Ppl / (Ppl +
+Bpl)`` from the codec's G.113 parameters.  Mouth-to-ear delay adds codec
+lookahead + jitter-buffer allowance (default 35 ms) to the measured
+network delay.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.traffic.voip import VoipCodec
+
+#: default codec + jitter buffer allowance added to network delay (seconds)
+DEFAULT_EQUIPMENT_DELAY_S = 0.035
+
+
+def e_model_r_factor(one_way_delay_s: float, loss_fraction: float,
+                     codec: VoipCodec) -> float:
+    """Transmission rating R for the given delay/loss operating point."""
+    if one_way_delay_s < 0:
+        raise ConfigurationError("delay must be non-negative")
+    if not 0.0 <= loss_fraction <= 1.0:
+        raise ConfigurationError("loss must be a fraction in [0, 1]")
+    delay_ms = one_way_delay_s * 1000.0
+    delay_impairment = 0.024 * delay_ms
+    if delay_ms > 177.3:
+        delay_impairment += 0.11 * (delay_ms - 177.3)
+    loss_percent = loss_fraction * 100.0
+    ie_eff = codec.ie + (95.0 - codec.ie) * loss_percent / (loss_percent
+                                                            + codec.bpl)
+    return 93.2 - delay_impairment - ie_eff
+
+
+def mos_from_r(r_factor: float) -> float:
+    """ITU-T G.107 mapping from R to Mean Opinion Score (1.0-4.5)."""
+    if r_factor <= 0:
+        return 1.0
+    if r_factor >= 100:
+        return 4.5
+    mos = (1.0 + 0.035 * r_factor
+           + 7e-6 * r_factor * (r_factor - 60.0) * (100.0 - r_factor))
+    # the G.107 cubic dips slightly below 1 for small positive R; MOS is
+    # defined on [1, 4.5]
+    return min(4.5, max(1.0, mos))
+
+
+def rfc3550_jitter(delays: Sequence[float]) -> float:
+    """RFC 3550 interarrival jitter estimate from per-packet delays."""
+    jitter = 0.0
+    for previous, current in zip(delays, delays[1:]):
+        jitter += (abs(current - previous) - jitter) / 16.0
+    return jitter
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile on pre-sorted data."""
+    if not sorted_values:
+        raise ConfigurationError("no samples")
+    rank = max(0, min(len(sorted_values) - 1,
+                      math.ceil(q / 100.0 * len(sorted_values)) - 1))
+    return sorted_values[rank]
+
+
+@dataclass(frozen=True)
+class FlowQoS:
+    """Per-flow QoS summary."""
+
+    flow_name: str
+    sent: int
+    received: int
+    mean_delay_s: float
+    p50_delay_s: float
+    p95_delay_s: float
+    p99_delay_s: float
+    max_delay_s: float
+    jitter_s: float
+
+    @classmethod
+    def from_samples(cls, flow_name: str, sent: int, received: int,
+                     delays: Sequence[float]) -> "FlowQoS":
+        if not delays:
+            nan = float("nan")
+            return cls(flow_name, sent, received, nan, nan, nan, nan, nan,
+                       nan)
+        ordered = sorted(delays)
+        return cls(
+            flow_name=flow_name,
+            sent=sent,
+            received=received,
+            mean_delay_s=sum(ordered) / len(ordered),
+            p50_delay_s=_percentile(ordered, 50),
+            p95_delay_s=_percentile(ordered, 95),
+            p99_delay_s=_percentile(ordered, 99),
+            max_delay_s=ordered[-1],
+            jitter_s=rfc3550_jitter(list(delays)),
+        )
+
+    @property
+    def loss_fraction(self) -> float:
+        if self.sent == 0:
+            return 0.0
+        return max(0.0, 1.0 - self.received / self.sent)
+
+    def r_factor(self, codec: VoipCodec,
+                 equipment_delay_s: float = DEFAULT_EQUIPMENT_DELAY_S,
+                 delay_metric: str = "p95") -> float:
+        """E-model rating using this flow's measured delay and loss.
+
+        ``delay_metric`` picks which delay statistic stands in for the
+        one-way delay ("mean", "p50", "p95", "p99", "max"): VoIP planning
+        conventionally uses a high percentile, since the jitter buffer must
+        cover it.
+        """
+        delay = {
+            "mean": self.mean_delay_s,
+            "p50": self.p50_delay_s,
+            "p95": self.p95_delay_s,
+            "p99": self.p99_delay_s,
+            "max": self.max_delay_s,
+        }.get(delay_metric)
+        if delay is None:
+            raise ConfigurationError(f"unknown delay metric {delay_metric!r}")
+        if math.isnan(delay):
+            return 0.0  # nothing delivered: worst possible call
+        return e_model_r_factor(delay + equipment_delay_s,
+                                self.loss_fraction, codec)
+
+    def mos(self, codec: VoipCodec,
+            equipment_delay_s: float = DEFAULT_EQUIPMENT_DELAY_S,
+            delay_metric: str = "p95") -> float:
+        return mos_from_r(self.r_factor(codec, equipment_delay_s,
+                                        delay_metric))
+
+    def meets(self, max_delay_s: Optional[float] = None,
+              max_loss: Optional[float] = None,
+              delay_metric: str = "p95") -> bool:
+        """Check this flow against hard QoS targets."""
+        if max_delay_s is not None:
+            delay = {"mean": self.mean_delay_s, "p50": self.p50_delay_s,
+                     "p95": self.p95_delay_s, "p99": self.p99_delay_s,
+                     "max": self.max_delay_s}[delay_metric]
+            if math.isnan(delay) or delay > max_delay_s:
+                return False
+        if max_loss is not None and self.loss_fraction > max_loss:
+            return False
+        return True

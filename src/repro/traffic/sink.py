@@ -1,0 +1,64 @@
+"""Per-flow delivery records."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net.packet import Packet
+from repro.traffic.qos import FlowQoS
+
+
+class FlowSink:
+    """Collects per-packet delivery data for one flow."""
+
+    def __init__(self, flow_name: str) -> None:
+        self.flow_name = flow_name
+        #: (seq, created_s, delivered_s) for every delivered packet
+        self.deliveries: list[tuple[int, float, float]] = []
+        self._seen: set[int] = set()
+
+    def record(self, packet: Packet, now: float) -> None:
+        if packet.seq in self._seen:
+            return  # duplicate delivery (should not happen; be safe)
+        self._seen.add(packet.seq)
+        self.deliveries.append((packet.seq, packet.created_s, now))
+
+    @property
+    def received(self) -> int:
+        return len(self.deliveries)
+
+    def delays(self) -> list[float]:
+        return [done - created for ____, created, done in self.deliveries]
+
+    def qos(self, sent: int, warmup_s: float = 0.0) -> FlowQoS:
+        """Summarize this flow's QoS given how many packets were offered.
+
+        Packets created before ``warmup_s`` are excluded from delay stats
+        (they hit the cold-start transient) but still count for loss.
+        """
+        delays = [done - created for ____, created, done in self.deliveries
+                  if created >= warmup_s]
+        return FlowQoS.from_samples(self.flow_name, sent=sent,
+                                    received=self.received, delays=delays)
+
+
+class SinkRegistry:
+    """All sinks of a simulation, keyed by flow name."""
+
+    def __init__(self) -> None:
+        self._sinks: dict[str, FlowSink] = {}
+
+    def sink(self, flow_name: str) -> FlowSink:
+        if flow_name not in self._sinks:
+            self._sinks[flow_name] = FlowSink(flow_name)
+        return self._sinks[flow_name]
+
+    def on_delivered(self, packet: Packet, now: float) -> None:
+        """Forwarder callback: route the record to the flow's sink."""
+        self.sink(packet.flow).record(packet, now)
+
+    def get(self, flow_name: str) -> Optional[FlowSink]:
+        return self._sinks.get(flow_name)
+
+    def flows(self) -> list[str]:
+        return sorted(self._sinks)

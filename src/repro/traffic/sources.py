@@ -1,0 +1,152 @@
+"""Traffic sources: simulation processes that originate packets.
+
+Every source drives a routed :class:`~repro.net.flows.Flow` through an
+``originate(packet, now)`` callable (normally
+:meth:`~repro.net.forwarding.SourceRoutedForwarder.originate`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.net.flows import Flow
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+from repro.traffic.voip import VoipCodec
+
+Originate = Callable[[Packet, float], bool]
+
+
+class _SourceBase:
+    """Common bookkeeping: sequence numbers and the sent counter.
+
+    ``priority`` is stamped on every packet (0 = guaranteed class); flows
+    without a delay budget default to the elastic class (priority 1).
+    """
+
+    def __init__(self, sim: Simulator, flow: Flow, originate: Originate,
+                 stop_s: Optional[float] = None,
+                 priority: Optional[int] = None) -> None:
+        if not flow.is_routed:
+            raise ConfigurationError(f"flow {flow.name} must be routed")
+        self.sim = sim
+        self.flow = flow
+        self.originate = originate
+        self.stop_s = stop_s
+        if priority is None:
+            priority = 0 if flow.delay_budget_s is not None else 1
+        self.priority = priority
+        self.sent = 0
+
+    def _emit(self, size_bits: int) -> None:
+        now = self.sim.now
+        if self.stop_s is not None and now >= self.stop_s:
+            return
+        packet = Packet(flow=self.flow.name, seq=self.sent,
+                        size_bits=size_bits, created_s=now,
+                        route=self.flow.route, priority=self.priority)
+        self.sent += 1
+        self.originate(packet, now)
+
+
+class CbrSource(_SourceBase):
+    """Constant-bit-rate source: one fixed-size packet per interval.
+
+    ``start_s`` staggers flows so they do not beat against the TDMA frame
+    in lockstep; give each flow a distinct phase within one interval.
+    """
+
+    def __init__(self, sim: Simulator, flow: Flow, originate: Originate,
+                 packet_bits: int, interval_s: float,
+                 start_s: float = 0.0, stop_s: Optional[float] = None) -> None:
+        super().__init__(sim, flow, originate, stop_s)
+        if packet_bits <= 0 or interval_s <= 0:
+            raise ConfigurationError("packet size and interval must be positive")
+        self.packet_bits = packet_bits
+        self.interval_s = interval_s
+        sim.schedule(start_s, self._tick)
+
+    def _tick(self) -> None:
+        if self.stop_s is not None and self.sim.now >= self.stop_s:
+            return
+        self._emit(self.packet_bits)
+        self.sim.schedule(self.interval_s, self._tick)
+
+    @classmethod
+    def for_codec(cls, sim: Simulator, flow: Flow, originate: Originate,
+                  codec: VoipCodec, start_s: float = 0.0,
+                  stop_s: Optional[float] = None) -> "CbrSource":
+        """A steady (no silence suppression) VoIP stream for ``codec``."""
+        return cls(sim, flow, originate, codec.packet_bits,
+                   codec.packet_interval_s, start_s, stop_s)
+
+
+class PoissonSource(_SourceBase):
+    """Poisson arrivals of fixed-size packets (best-effort background)."""
+
+    def __init__(self, sim: Simulator, flow: Flow, originate: Originate,
+                 packet_bits: int, rate_pps: float,
+                 rng: np.random.Generator,
+                 start_s: float = 0.0, stop_s: Optional[float] = None) -> None:
+        super().__init__(sim, flow, originate, stop_s)
+        if packet_bits <= 0 or rate_pps <= 0:
+            raise ConfigurationError("packet size and rate must be positive")
+        self.packet_bits = packet_bits
+        self.rate_pps = rate_pps
+        self.rng = rng
+        sim.schedule(start_s + self._gap(), self._tick)
+
+    def _gap(self) -> float:
+        return float(self.rng.exponential(1.0 / self.rate_pps))
+
+    def _tick(self) -> None:
+        if self.stop_s is not None and self.sim.now >= self.stop_s:
+            return
+        self._emit(self.packet_bits)
+        self.sim.schedule(self._gap(), self._tick)
+
+
+class OnOffVoipSource(_SourceBase):
+    """VoIP with silence suppression: exponential talk-spurt/silence cycles.
+
+    During a talk spurt the source behaves like :class:`CbrSource` for its
+    codec; during silence it emits nothing.  The classic Brady model uses
+    ~1.0 s mean talk and ~1.35 s mean silence (~42 % activity).
+    """
+
+    def __init__(self, sim: Simulator, flow: Flow, originate: Originate,
+                 codec: VoipCodec, rng: np.random.Generator,
+                 mean_talk_s: float = 1.0, mean_silence_s: float = 1.35,
+                 start_s: float = 0.0, stop_s: Optional[float] = None) -> None:
+        super().__init__(sim, flow, originate, stop_s)
+        if mean_talk_s <= 0 or mean_silence_s <= 0:
+            raise ConfigurationError("spurt durations must be positive")
+        self.codec = codec
+        self.rng = rng
+        self.mean_talk_s = mean_talk_s
+        self.mean_silence_s = mean_silence_s
+        self._talking = False
+        self._spurt_end = 0.0
+        sim.schedule(start_s, self._start_talk)
+
+    def _start_talk(self) -> None:
+        if self.stop_s is not None and self.sim.now >= self.stop_s:
+            return
+        self._talking = True
+        self._spurt_end = self.sim.now + float(
+            self.rng.exponential(self.mean_talk_s))
+        self._tick()
+
+    def _tick(self) -> None:
+        if self.stop_s is not None and self.sim.now >= self.stop_s:
+            return
+        if self.sim.now >= self._spurt_end:
+            self._talking = False
+            self.sim.schedule(float(self.rng.exponential(self.mean_silence_s)),
+                              self._start_talk)
+            return
+        self._emit(self.codec.packet_bits)
+        self.sim.schedule(self.codec.packet_interval_s, self._tick)

@@ -1,0 +1,67 @@
+"""VoIP codec models.
+
+A codec is characterized by its packetization: every ``packet_interval_s``
+it emits one packet of ``payload_bytes`` of voice, to which RTP/UDP/IP
+headers (40 bytes, uncompressed) are added.  The ``ie`` / ``bpl``
+parameters are the ITU-T G.113 equipment-impairment inputs the E-model
+(:mod:`repro.traffic.qos`) uses to score calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import bytes_to_bits
+
+#: RTP (12) + UDP (8) + IPv4 (20) headers.
+RTP_UDP_IP_BYTES = 40
+
+
+@dataclass(frozen=True)
+class VoipCodec:
+    """One voice codec's packetization and E-model parameters."""
+
+    name: str
+    payload_bytes: int
+    packet_interval_s: float
+    #: ITU-T G.113 equipment impairment factor
+    ie: float
+    #: ITU-T G.113 packet-loss robustness factor
+    bpl: float
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes <= 0 or self.packet_interval_s <= 0:
+            raise ConfigurationError("codec parameters must be positive")
+
+    @property
+    def packet_bits(self) -> int:
+        """On-wire packet size (voice payload + RTP/UDP/IP)."""
+        return bytes_to_bits(self.payload_bytes + RTP_UDP_IP_BYTES)
+
+    @property
+    def packets_per_second(self) -> float:
+        return 1.0 / self.packet_interval_s
+
+    @property
+    def voice_rate_bps(self) -> float:
+        """Codec bit rate (payload only)."""
+        return bytes_to_bits(self.payload_bytes) / self.packet_interval_s
+
+    @property
+    def wire_rate_bps(self) -> float:
+        """On-wire rate including RTP/UDP/IP overhead."""
+        return self.packet_bits / self.packet_interval_s
+
+
+#: G.711, 64 kb/s, 20 ms packetization: 160 B voice -> 200 B on wire.
+G711 = VoipCodec(name="G.711", payload_bytes=160, packet_interval_s=0.020,
+                 ie=0.0, bpl=4.3)
+
+#: G.729A, 8 kb/s, 20 ms packetization: 20 B voice -> 60 B on wire.
+G729 = VoipCodec(name="G.729", payload_bytes=20, packet_interval_s=0.020,
+                 ie=11.0, bpl=19.0)
+
+#: G.723.1, 6.3 kb/s, 30 ms packetization: 24 B voice -> 64 B on wire.
+G723 = VoipCodec(name="G.723.1", payload_bytes=24, packet_interval_s=0.030,
+                 ie=15.0, bpl=16.1)

@@ -1,0 +1,64 @@
+"""Unit helpers used throughout the library.
+
+Internally the simulator keeps *time in seconds* (floats) and *data sizes in
+bits* (ints).  These helpers exist so that call sites read naturally
+(``milliseconds(20)``) instead of being littered with magic scale factors,
+and so that unit mistakes are grep-able.
+"""
+
+from __future__ import annotations
+
+#: One microsecond, in seconds.
+US = 1e-6
+#: One millisecond, in seconds.
+MS = 1e-3
+
+#: One kilobit per second, in bits per second.
+KBPS = 1e3
+#: One megabit per second, in bits per second.
+MBPS = 1e6
+
+
+def microseconds(value: float) -> float:
+    """Convert *value* microseconds to seconds."""
+    return value * US
+
+
+def milliseconds(value: float) -> float:
+    """Convert *value* milliseconds to seconds."""
+    return value * MS
+
+
+def seconds(value: float) -> float:
+    """Identity helper for symmetry; *value* is already in seconds."""
+    return float(value)
+
+
+def kbps(value: float) -> float:
+    """Convert *value* kilobits/second to bits/second."""
+    return value * KBPS
+
+
+def mbps(value: float) -> float:
+    """Convert *value* megabits/second to bits/second."""
+    return value * MBPS
+
+
+def bytes_to_bits(num_bytes: int) -> int:
+    """Convert a byte count to bits."""
+    return int(num_bytes) * 8
+
+
+def bits_to_bytes(num_bits: int) -> float:
+    """Convert a bit count to (possibly fractional) bytes."""
+    return num_bits / 8
+
+
+def ppm(value: float) -> float:
+    """Convert parts-per-million to a dimensionless ratio.
+
+    Clock drift rates are conventionally quoted in ppm; a 10 ppm oscillator
+    gains or loses at most ``ppm(10) * elapsed`` seconds over ``elapsed``
+    seconds of true time.
+    """
+    return value * 1e-6

@@ -1,0 +1,55 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mesh16.frame import default_frame_config
+from repro.net.topology import (
+    binary_tree_topology,
+    chain_topology,
+    grid_topology,
+    star_topology,
+)
+from repro.sim.engine import Simulator
+from repro.sim.random import RngRegistry
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def rngs() -> RngRegistry:
+    return RngRegistry(seed=1234)
+
+
+@pytest.fixture
+def chain5():
+    return chain_topology(5)
+
+
+@pytest.fixture
+def chain8():
+    return chain_topology(8)
+
+
+@pytest.fixture
+def grid33():
+    return grid_topology(3, 3)
+
+
+@pytest.fixture
+def star4():
+    return star_topology(4)
+
+
+@pytest.fixture
+def btree2():
+    return binary_tree_topology(2)
+
+
+@pytest.fixture
+def frame_config():
+    return default_frame_config()

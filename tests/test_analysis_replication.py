@@ -1,0 +1,86 @@
+"""Multi-seed replication harness."""
+
+import pytest
+
+from repro.analysis.replication import replicate
+from repro.errors import ConfigurationError
+
+
+def test_summarizes_each_metric():
+    def scenario(rngs):
+        draw = rngs.stream("x").random()
+        return {"loss": draw * 0.1, "delay": 5.0 + draw}
+
+    summary = replicate(scenario, seeds=range(12))
+    assert set(summary) == {"loss", "delay"}
+    loss = summary["loss"]
+    assert 0.0 <= loss.mean <= 0.1
+    assert loss.ci_low <= loss.mean <= loss.ci_high
+    assert len(loss.samples) == 12
+
+
+def test_deterministic_metrics_collapse_ci():
+    summary = replicate(lambda rngs: {"constant": 7.0}, seeds=range(5))
+    metric = summary["constant"]
+    assert metric.mean == 7.0
+    assert metric.half_width == 0.0
+
+
+def test_seeds_actually_vary_the_scenario():
+    seen = []
+
+    def scenario(rngs):
+        value = float(rngs.stream("v").random())
+        seen.append(value)
+        return {"v": value}
+
+    replicate(scenario, seeds=[1, 2, 3])
+    assert len(set(seen)) == 3
+
+
+def test_mismatched_metrics_rejected():
+    calls = []
+
+    def scenario(rngs):
+        calls.append(None)
+        return {"a": 1.0} if len(calls) == 1 else {"b": 1.0}
+
+    with pytest.raises(ConfigurationError, match="differing"):
+        replicate(scenario, seeds=[1, 2])
+
+
+def test_empty_seeds_rejected():
+    with pytest.raises(ConfigurationError):
+        replicate(lambda rngs: {"x": 1.0}, seeds=[])
+
+
+def test_str_rendering():
+    summary = replicate(lambda rngs: {"m": 2.0}, seeds=[1, 2])
+    assert "m:" in str(summary["m"])
+
+
+@pytest.mark.slow
+def test_replicated_packet_scenario():
+    """End to end: TDMA VoIP loss across seeds has a tight CI at zero."""
+    from repro.analysis.scenarios import (make_voip_flows,
+                                          run_tdma_scenario,
+                                          schedule_for_flows)
+    from repro.mesh16.frame import default_frame_config
+    from repro.net.topology import chain_topology
+    from repro.traffic.voip import G729
+
+    topology = chain_topology(4)
+    frame = default_frame_config()
+
+    def scenario(rngs):
+        flows = make_voip_flows(topology, 2, rngs, codec=G729, gateway=0,
+                                delay_budget_s=0.1)
+        schedule = schedule_for_flows(topology, flows, frame)
+        run = run_tdma_scenario(topology, flows, frame, schedule, 1.0,
+                                rngs.spawn("run"), codec=G729)
+        worst = max(q.p95_delay_s for q in run.qos.values())
+        return {"loss": run.total_loss_fraction(), "p95_s": worst}
+
+    summary = replicate(scenario, seeds=range(4))
+    assert summary["loss"].mean == 0.0
+    assert summary["p95_s"].mean < 0.05

@@ -1,0 +1,46 @@
+"""Table rendering."""
+
+from repro.analysis.reporting import format_cell, format_table
+
+
+class TestFormatCell:
+    def test_bool(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_nan_dash(self):
+        assert format_cell(float("nan")) == "-"
+
+    def test_floats(self):
+        assert format_cell(3.14159) == "3.142"
+        assert format_cell(0.0) == "0"
+
+    def test_extreme_floats_scientific(self):
+        assert "e" in format_cell(1.5e-7)
+        assert "e" in format_cell(2.5e9)
+
+    def test_strings_and_ints(self):
+        assert format_cell("abc") == "abc"
+        assert format_cell(42) == "42"
+        assert format_cell(None) == "None"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "long_header"],
+                            [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "long_header" in lines[0]
+        # all rows equally wide or shorter than the header line
+        positions = [line.index("2") if "2" in line else None
+                     for line in lines]
+        assert len(lines) == 4  # header, rule, two rows
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_empty_rows(self):
+        text = format_table(["x", "y"], [])
+        assert "x" in text and "y" in text

@@ -1,0 +1,48 @@
+"""Statistics helpers."""
+
+import pytest
+
+from repro.analysis.stats import mean_confidence_interval, summarize
+from repro.errors import ConfigurationError
+
+
+class TestSummarize:
+    def test_basic(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary.n == 3
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 3.0
+        assert summary.std == pytest.approx(1.0)
+
+    def test_single_sample_zero_std(self):
+        assert summarize([5.0]).std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            summarize([])
+
+
+class TestConfidenceInterval:
+    def test_contains_mean(self):
+        mean, low, high = mean_confidence_interval([1, 2, 3, 4, 5])
+        assert low <= mean <= high
+        assert mean == pytest.approx(3.0)
+
+    def test_wider_at_higher_confidence(self):
+        data = [1.0, 2.0, 3.0, 4.0, 5.0]
+        ____, low95, high95 = mean_confidence_interval(data, 0.95)
+        ____, low99, high99 = mean_confidence_interval(data, 0.99)
+        assert high99 - low99 > high95 - low95
+
+    def test_degenerate_cases(self):
+        mean, low, high = mean_confidence_interval([7.0])
+        assert mean == low == high == 7.0
+        mean, low, high = mean_confidence_interval([2.0, 2.0, 2.0])
+        assert low == high == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            mean_confidence_interval([])
+        with pytest.raises(ConfigurationError):
+            mean_confidence_interval([1.0, 2.0], confidence=1.5)

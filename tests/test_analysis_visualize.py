@@ -1,0 +1,55 @@
+"""ASCII schedule rendering."""
+
+from repro.analysis.visualize import render_schedule, render_two_class
+from repro.core.besteffort import schedule_two_classes
+from repro.core.conflict import conflict_graph
+from repro.core.schedule import Schedule, SlotBlock
+from repro.net.topology import chain_topology
+
+
+def test_marks_assigned_slots():
+    schedule = Schedule(6, {(0, 1): SlotBlock(0, 2),
+                            (2, 3): SlotBlock(3, 1)})
+    text = render_schedule(schedule)
+    lines = text.splitlines()
+    assert lines[0].endswith("012345")
+    assert lines[1].endswith("##....")
+    assert lines[2].endswith("...#..")
+
+
+def test_link_subset_and_missing_links():
+    schedule = Schedule(4, {(0, 1): SlotBlock(1, 1)})
+    text = render_schedule(schedule, links=[(0, 1), (9, 8)])
+    lines = text.splitlines()
+    assert lines[1].endswith(".#..")
+    assert lines[2].endswith("....")  # unassigned link renders empty
+
+
+def test_custom_marks():
+    schedule = Schedule(3, {(0, 1): SlotBlock(0, 3)})
+    text = render_schedule(schedule, mark="X", empty="-")
+    assert text.splitlines()[1].endswith("XXX")
+
+
+def test_slot_header_wraps_at_ten():
+    schedule = Schedule(12, {(0, 1): SlotBlock(11, 1)})
+    header = render_schedule(schedule).splitlines()[0]
+    assert header.endswith("012345678901")
+
+
+def test_two_class_rendering():
+    topology = chain_topology(5)
+    conflicts = conflict_graph(topology, hops=2)
+    two = schedule_two_classes(conflicts, {(0, 1): 2}, {(3, 4): 3},
+                               frame_slots=8)
+    text = render_two_class(two)
+    assert "G" in text
+    assert "b" in text
+    assert "|" in text.splitlines()[0]  # region boundary marker
+
+
+def test_doctest_example():
+    import doctest
+    import repro.analysis.visualize as module
+    failures, ____ = doctest.testmod(module)
+    assert failures == 0

@@ -1,0 +1,41 @@
+"""Command-line experiment runner."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_list(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "E1" in out and "E14" in out
+
+
+def test_runs_cheap_experiment(capsys):
+    assert main(["E9"]) == 0
+    out = capsys.readouterr().out
+    assert "[E9]" in out
+    assert "slot_us" in out
+
+
+def test_case_insensitive(capsys):
+    assert main(["e9"]) == 0
+    assert "[E9]" in capsys.readouterr().out
+
+
+def test_unknown_experiment(capsys):
+    assert main(["E99"]) == 2
+    assert "unknown" in capsys.readouterr().err
+
+
+def test_no_args_is_usage_error(capsys):
+    assert main([]) == 2
+
+
+def test_report_written(tmp_path, capsys):
+    path = tmp_path / "report.md"
+    assert main(["E9", "--report", str(path)]) == 0
+    text = path.read_text()
+    assert text.startswith("# Experiment report")
+    assert "## E9" in text
+    assert "slot_us" in text

@@ -1,0 +1,134 @@
+"""Admission controller."""
+
+import pytest
+
+from repro.core.admission import AdmissionController
+from repro.errors import ConfigurationError
+from repro.net.flows import Flow
+from repro.net.topology import chain_topology, star_topology
+
+
+def controller(topology=None, frame_slots=16, region=None):
+    return AdmissionController(
+        topology or chain_topology(5),
+        frame_slots=frame_slots,
+        frame_duration_s=0.010,
+        slot_capacity_bits=2000,
+        guaranteed_region_slots=region)
+
+
+def voip_flow(name, src, dst, rate=80_000, budget=0.1):
+    return Flow(name, src, dst, rate_bps=rate, delay_budget_s=budget)
+
+
+class TestAdmission:
+    def test_first_flow_admitted(self):
+        ctrl = controller()
+        decision = ctrl.try_admit(voip_flow("a", 0, 4))
+        assert decision.admitted
+        assert ctrl.admitted_count() == 1
+        assert ctrl.schedule is not None
+        # three mutually conflicting links of the chain at minimum; with the
+        # loose 0.1 s budget wraps are allowed, so 3 slots suffice
+        assert decision.slots_used >= 3
+
+    def test_tight_budget_forces_pipeline_region(self):
+        ctrl = controller()
+        # 0.01 s = one frame: zero wraps allowed, so all 4 hops need
+        # distinct forward slots
+        decision = ctrl.try_admit(voip_flow("a", 0, 4, budget=0.01))
+        assert decision.admitted
+        assert decision.slots_used >= 4
+
+    def test_admitted_flow_gets_route(self):
+        ctrl = controller()
+        decision = ctrl.try_admit(voip_flow("a", 0, 2))
+        assert decision.flow.is_routed
+        assert decision.flow.route == ((0, 1), (1, 2))
+
+    def test_pre_routed_flow_respected(self):
+        ctrl = controller()
+        flow = voip_flow("a", 0, 2).with_route([(0, 1), (1, 2)])
+        assert ctrl.try_admit(flow).admitted
+
+    def test_rejection_preserves_state(self):
+        topo = star_topology(3)
+        # region of 3 slots; each flow needs 1 slot on its single link and
+        # all star links conflict
+        ctrl = controller(topology=topo, region=3)
+        for i, leaf in enumerate((1, 2, 3)):
+            assert ctrl.try_admit(voip_flow(f"f{i}", leaf, 0,
+                                            rate=150_000)).admitted
+        before = ctrl.slots_used
+        decision = ctrl.try_admit(voip_flow("overflow", 1, 2, rate=150_000))
+        assert not decision.admitted
+        assert ctrl.admitted_count() == 3
+        assert ctrl.slots_used == before
+        assert "overflow" not in ctrl.admitted
+
+    def test_schedule_meets_all_budgets_after_each_admission(self):
+        from repro.core.delay import path_delay_slots
+
+        ctrl = controller(frame_slots=16)
+        budget_slots = int(0.1 / ctrl.slot_duration_s)
+        for i in range(2):
+            decision = ctrl.try_admit(voip_flow(f"f{i}", 0, 4, rate=40_000))
+            assert decision.admitted
+            for flow in ctrl.admitted:
+                delay = path_delay_slots(ctrl.schedule, flow.route)
+                assert delay <= budget_slots
+
+    def test_duplicate_name_rejected(self):
+        ctrl = controller()
+        ctrl.try_admit(voip_flow("a", 0, 2))
+        with pytest.raises(ConfigurationError, match="already"):
+            ctrl.try_admit(voip_flow("a", 0, 3))
+
+    def test_budget_below_slot_rejected(self):
+        ctrl = controller()
+        with pytest.raises(ConfigurationError, match="below one slot"):
+            ctrl.try_admit(voip_flow("a", 0, 2, budget=1e-5))
+
+
+class TestRelease:
+    def test_release_frees_capacity(self):
+        topo = star_topology(3)
+        # every star link conflicts with every other; the relayed flow "x"
+        # (1 -> hub -> 2) needs two slots, the leaf flows one each
+        ctrl = controller(topology=topo, region=4)
+        for i, leaf in enumerate((1, 2, 3)):
+            assert ctrl.try_admit(
+                voip_flow(f"f{i}", leaf, 0, rate=150_000)).admitted
+        assert not ctrl.try_admit(
+            voip_flow("x", 1, 2, rate=150_000)).admitted  # 3 + 2 > 4
+        ctrl.release("f0")
+        assert ctrl.try_admit(
+            voip_flow("x", 1, 2, rate=150_000)).admitted  # 2 + 2 == 4
+
+    def test_release_last_flow_clears_schedule(self):
+        ctrl = controller()
+        ctrl.try_admit(voip_flow("a", 0, 2))
+        ctrl.release("a")
+        assert ctrl.admitted_count() == 0
+        assert ctrl.schedule is None
+        assert ctrl.slots_used == 0
+
+    def test_release_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            controller().release("ghost")
+
+
+class TestConfiguration:
+    def test_invalid_region(self):
+        with pytest.raises(ConfigurationError):
+            controller(region=0)
+        with pytest.raises(ConfigurationError):
+            controller(region=17)
+
+    def test_invalid_frame_params(self):
+        with pytest.raises(ConfigurationError):
+            AdmissionController(chain_topology(3), 16, 0.0, 1000)
+
+    def test_slot_duration(self):
+        ctrl = controller(frame_slots=10)
+        assert ctrl.slot_duration_s == pytest.approx(0.001)

@@ -1,0 +1,101 @@
+"""Difference-constraint solver."""
+
+import pytest
+
+from repro.core.bellman_ford import DifferenceConstraints, NegativeCycle
+from repro.errors import InfeasibleScheduleError
+
+
+def test_simple_feasible_system():
+    system = DifferenceConstraints()
+    system.add("a", "b", 3)   # x_b <= x_a + 3
+    system.add("b", "c", -1)  # x_c <= x_b - 1
+    solution = system.solve()
+    assert solution["b"] <= solution["a"] + 3 + 1e-9
+    assert solution["c"] <= solution["b"] - 1 + 1e-9
+
+
+def test_solution_satisfies_all_edges():
+    system = DifferenceConstraints()
+    edges = [("a", "b", 2), ("b", "c", -5), ("a", "c", -1), ("c", "d", 0)]
+    for u, v, w in edges:
+        system.add(u, v, w)
+    solution = system.solve()
+    for u, v, w in edges:
+        assert solution[v] <= solution[u] + w + 1e-9
+
+
+def test_origin_pinned_to_zero():
+    system = DifferenceConstraints()
+    system.add("o", "a", 5)
+    system.add("a", "o", -2)  # x_o <= x_a - 2, i.e. x_a >= 2
+    solution = system.solve(origin="o")
+    assert solution["o"] == pytest.approx(0.0)
+    assert 2 - 1e-9 <= solution["a"] <= 5 + 1e-9
+
+
+def test_negative_cycle_detected_with_certificate():
+    system = DifferenceConstraints()
+    system.add("a", "b", 1)
+    system.add("b", "c", -2)
+    system.add("c", "a", 0)  # cycle weight -1
+    with pytest.raises(InfeasibleScheduleError) as excinfo:
+        system.solve()
+    cycle = excinfo.value.certificate
+    assert isinstance(cycle, NegativeCycle)
+    assert cycle.weight < 0
+    assert set(cycle.vertices) <= {"a", "b", "c"}
+    assert len(cycle.vertices) >= 2
+
+
+def test_zero_weight_cycle_is_feasible():
+    system = DifferenceConstraints()
+    system.add("a", "b", 1)
+    system.add("b", "a", -1)
+    solution = system.solve()
+    assert solution["b"] == pytest.approx(solution["a"] + 1)
+
+
+def test_convergence_on_final_pass_not_misreported():
+    # a long chain forces relaxation to take many passes; must still be
+    # reported feasible (regression test for the off-by-one in the pass
+    # count)
+    system = DifferenceConstraints()
+    n = 30
+    for i in range(n):
+        system.add(i, i + 1, -1)  # x_{i+1} <= x_i - 1 (a descending chain)
+    solution = system.solve()
+    for i in range(n):
+        assert solution[i + 1] <= solution[i] - 1 + 1e-9
+
+
+def test_upper_and_lower_helpers():
+    system = DifferenceConstraints()
+    system.add_upper("o", "x", 10)  # x <= o + 10
+    system.add_lower("o", "x", 4)   # x >= o + 4
+    solution = system.solve(origin="o")
+    assert 4 - 1e-9 <= solution["x"] <= 10 + 1e-9
+
+
+def test_conflicting_bounds_infeasible():
+    system = DifferenceConstraints()
+    system.add_upper("o", "x", 3)
+    system.add_lower("o", "x", 5)
+    with pytest.raises(InfeasibleScheduleError):
+        system.solve(origin="o")
+
+
+def test_empty_system():
+    assert DifferenceConstraints().solve() == {}
+
+
+def test_vertices_listing():
+    system = DifferenceConstraints()
+    system.add("b", "a", 0)
+    assert set(system.vertices()) == {"a", "b"}
+
+
+def test_negative_cycle_str():
+    cycle = NegativeCycle(vertices=["a", "b"], weight=-2.0)
+    text = str(cycle)
+    assert "a" in text and "-2" in text

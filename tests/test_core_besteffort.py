@@ -1,0 +1,144 @@
+"""Two-class (guaranteed + best effort) scheduling."""
+
+import pytest
+
+from repro.core.besteffort import (
+    pack_best_effort,
+    schedule_two_classes,
+)
+from repro.core.conflict import conflict_graph
+from repro.core.ilp import DelayConstraint
+from repro.errors import ConfigurationError, InfeasibleScheduleError
+from repro.net.topology import chain_topology, star_topology
+
+
+class TestPackBestEffort:
+    def test_fills_leftover_region_only(self, chain5):
+        conflicts = conflict_graph(chain5, hops=2)
+        schedule = pack_best_effort(conflicts, {(0, 1): 2, (2, 3): 2},
+                                    region_start=4, frame_slots=10)
+        for ____, block in schedule.items():
+            assert block.start >= 4
+            assert block.end <= 10
+        schedule.validate(conflicts)
+
+    def test_elastic_partial_grant(self):
+        topo = star_topology(2)
+        conflicts = conflict_graph(topo, hops=2)
+        # two conflicting links asking 4 each into a 6-slot region: the
+        # first gets 4, the second the remaining 2
+        schedule = pack_best_effort(conflicts, {(0, 1): 4, (0, 2): 4},
+                                    region_start=0, frame_slots=6)
+        lengths = sorted(b.length for ____, b in schedule.items())
+        assert lengths == [2, 4]
+
+    def test_zero_grant_when_region_full(self):
+        topo = star_topology(2)
+        conflicts = conflict_graph(topo, hops=2)
+        schedule = pack_best_effort(conflicts, {(0, 1): 3, (0, 2): 3},
+                                    region_start=0, frame_slots=3)
+        # only the first link fits
+        assert len(schedule) == 1
+
+    def test_avoids_occupied_guaranteed_blocks(self, chain5):
+        from repro.core.schedule import Schedule, SlotBlock
+        conflicts = conflict_graph(chain5, hops=2)
+        occupied = Schedule(10, {(1, 2): SlotBlock(0, 4)})
+        schedule = pack_best_effort(conflicts, {(0, 1): 2},
+                                    region_start=2, frame_slots=10,
+                                    occupied=occupied)
+        block = schedule.block((0, 1))
+        # (0,1) conflicts with (1,2) whose block runs to slot 4
+        assert block.start >= 4
+
+    def test_spatial_reuse_in_best_effort(self, chain8):
+        conflicts = conflict_graph(chain8, hops=2)
+        schedule = pack_best_effort(conflicts, {(0, 1): 3, (5, 6): 3},
+                                    region_start=0, frame_slots=3)
+        assert schedule.block((0, 1)).length == 3
+        assert schedule.block((5, 6)).length == 3
+
+    def test_invalid_region(self, chain5):
+        conflicts = conflict_graph(chain5, hops=2)
+        with pytest.raises(ConfigurationError):
+            pack_best_effort(conflicts, {}, region_start=11, frame_slots=10)
+
+    def test_unknown_link_rejected(self, chain5):
+        conflicts = conflict_graph(chain5, hops=2, links=[(0, 1)])
+        with pytest.raises(ConfigurationError, match="missing"):
+            pack_best_effort(conflicts, {(1, 2): 1}, 0, 10)
+
+
+class TestTwoClasses:
+    def test_guaranteed_sized_minimally_and_be_fills_rest(self, chain5):
+        conflicts = conflict_graph(chain5, hops=2)
+        guaranteed = {(0, 1): 1, (1, 2): 1, (2, 3): 1}
+        best_effort = {(3, 4): 8, (4, 3): 8}
+        result = schedule_two_classes(conflicts, guaranteed, best_effort,
+                                      frame_slots=12)
+        assert result.guaranteed_region == 3
+        assert result.best_effort_region == 9
+        result.guaranteed.validate(conflicts)
+        result.best_effort.validate(conflicts)
+        for ____, block in result.best_effort.items():
+            assert block.start >= result.guaranteed_region
+        # the combined view lists every reservation of both classes
+        assert len(list(result.items())) == len(result.guaranteed) + \
+            len(result.best_effort)
+
+    def test_grant_fraction(self, chain8):
+        conflicts = conflict_graph(chain8, hops=2)
+        guaranteed = {(0, 1): 2}
+        best_effort = {(4, 5): 10}
+        result = schedule_two_classes(conflicts, guaranteed, best_effort,
+                                      frame_slots=8)
+        # region 2 guaranteed, 6 left; asked 10, granted 6
+        assert result.best_effort_grants[(4, 5)] == 6
+        assert result.grant_fraction(best_effort) == pytest.approx(0.6)
+
+    def test_best_effort_never_blocks_guaranteed(self):
+        topo = star_topology(3)
+        conflicts = conflict_graph(topo, hops=2)
+        guaranteed = {(0, 1): 2, (0, 2): 2}
+        best_effort = {(0, 3): 100}
+        result = schedule_two_classes(conflicts, guaranteed, best_effort,
+                                      frame_slots=6)
+        assert result.guaranteed_region == 4
+        assert result.best_effort_grants.get((0, 3), 0) == 2
+
+    def test_guaranteed_infeasibility_raises(self):
+        topo = star_topology(2)
+        conflicts = conflict_graph(topo, hops=2)
+        with pytest.raises(InfeasibleScheduleError):
+            schedule_two_classes(conflicts, {(0, 1): 5, (0, 2): 5}, {},
+                                 frame_slots=8)
+
+    def test_delay_constraints_respected_in_guaranteed(self, chain5):
+        from repro.core.delay import path_delay_slots
+        conflicts = conflict_graph(chain5, hops=2)
+        route = ((0, 1), (1, 2), (2, 3), (3, 4))
+        guaranteed = {l: 1 for l in route}
+        result = schedule_two_classes(
+            conflicts, guaranteed, {}, frame_slots=16,
+            delay_constraints=[DelayConstraint("f", route, 16)])
+        assert path_delay_slots(result.guaranteed, route) <= 16
+
+    def test_link_in_both_classes_gets_two_reservations(self, chain5):
+        # a link carrying VoIP *and* bulk holds one block per region
+        conflicts = conflict_graph(chain5, hops=2)
+        result = schedule_two_classes(conflicts, {(0, 1): 1}, {(0, 1): 3},
+                                      frame_slots=8)
+        pairs = list(result.items())
+        links = [link for link, ____ in pairs]
+        assert links.count((0, 1)) == 2
+        g_block = result.guaranteed.block((0, 1))
+        be_block = result.best_effort.block((0, 1))
+        assert not g_block.overlaps(be_block)
+        assert g_block.end <= result.guaranteed_region <= be_block.start
+
+    def test_empty_best_effort(self, chain5):
+        conflicts = conflict_graph(chain5, hops=2)
+        result = schedule_two_classes(conflicts, {(0, 1): 1}, {},
+                                      frame_slots=8)
+        assert len(result.best_effort) == 0
+        assert result.grant_fraction({}) == 1.0

@@ -1,0 +1,132 @@
+"""Path delay arithmetic."""
+
+import pytest
+
+from repro.core.delay import (
+    max_route_delay,
+    order_wraps,
+    path_delay_slots,
+    path_wraps,
+    worst_case_delay_slots,
+)
+from repro.core.ordering import TransmissionOrder
+from repro.core.schedule import Schedule, SlotBlock
+from repro.errors import SchedulingError
+
+
+def schedule_of(frame, blocks):
+    return Schedule(frame, {link: SlotBlock(*se) for link, se in
+                            blocks.items()})
+
+
+class TestPathDelay:
+    def test_single_hop(self):
+        schedule = schedule_of(10, {(0, 1): (3, 2)})
+        assert path_delay_slots(schedule, [(0, 1)]) == 2
+
+    def test_forward_pipeline(self):
+        schedule = schedule_of(10, {(0, 1): (0, 1), (1, 2): (1, 1),
+                                    (2, 3): (2, 1)})
+        assert path_delay_slots(schedule, [(0, 1), (1, 2), (2, 3)]) == 3
+
+    def test_gap_within_frame(self):
+        schedule = schedule_of(10, {(0, 1): (0, 1), (1, 2): (5, 1)})
+        # wait slots 1..4, then transmit in 5
+        assert path_delay_slots(schedule, [(0, 1), (1, 2)]) == 6
+
+    def test_wrap_costs_a_frame(self):
+        schedule = schedule_of(10, {(0, 1): (5, 1), (1, 2): (0, 1)})
+        # finish at 6, next occurrence of slot 0 is 4 slots later, tx 1
+        assert path_delay_slots(schedule, [(0, 1), (1, 2)]) == 6
+        schedule2 = schedule_of(10, {(0, 1): (5, 1), (1, 2): (5, 1)})
+        # same slot cannot relay in-frame: full frame wait
+        assert path_delay_slots(schedule2, [(0, 1), (1, 2)]) == 11
+
+    def test_block_end_to_block_start_exactly_adjacent_across_frames(self):
+        schedule = schedule_of(4, {(0, 1): (3, 1), (1, 2): (0, 1)})
+        # ends at frame boundary; next block starts immediately in the next
+        # frame: continuous progression, no extra wait
+        assert path_delay_slots(schedule, [(0, 1), (1, 2)]) == 2
+
+    def test_empty_route_rejected(self):
+        schedule = schedule_of(4, {})
+        with pytest.raises(SchedulingError):
+            path_delay_slots(schedule, [])
+
+    def test_discontiguous_route_rejected(self):
+        schedule = schedule_of(8, {(0, 1): (0, 1), (2, 3): (1, 1)})
+        with pytest.raises(SchedulingError):
+            path_delay_slots(schedule, [(0, 1), (2, 3)])
+
+    def test_unscheduled_link_rejected(self):
+        schedule = schedule_of(8, {(0, 1): (0, 1)})
+        with pytest.raises(SchedulingError):
+            path_delay_slots(schedule, [(0, 1), (1, 2)])
+
+
+class TestWraps:
+    def test_zero_wraps_within_frame(self):
+        schedule = schedule_of(10, {(0, 1): (0, 1), (1, 2): (1, 1)})
+        assert path_wraps(schedule, [(0, 1), (1, 2)]) == 0
+
+    def test_one_wrap(self):
+        schedule = schedule_of(10, {(0, 1): (8, 1), (1, 2): (0, 1)})
+        # delay = 1 + wait(0 - 9 mod 10 = 1) + 1 = 3 -> still within a
+        # frame's worth of slots: 0 wraps by the ceiling definition
+        assert path_wraps(schedule, [(0, 1), (1, 2)]) == 0
+        schedule2 = schedule_of(4, {(0, 1): (2, 1), (1, 2): (1, 1)})
+        # delay = 1 + wait(1 - 3 mod 4 = 2) + 1 = 4 = exactly one frame
+        assert path_wraps(schedule2, [(0, 1), (1, 2)]) == 0
+        schedule3 = schedule_of(4, {(0, 1): (2, 1), (1, 2): (2, 1)})
+        # delay = 1 + 3 + 1 = 5 > one frame
+        assert path_wraps(schedule3, [(0, 1), (1, 2)]) == 1
+
+    def test_wraps_accumulate(self):
+        frame = 4
+        blocks = {(0, 1): (3, 1), (1, 2): (2, 1), (2, 3): (1, 1),
+                  (3, 4): (0, 1)}
+        schedule = schedule_of(frame, blocks)
+        route = [(0, 1), (1, 2), (2, 3), (3, 4)]
+        delay = path_delay_slots(schedule, route)
+        assert path_wraps(schedule, route) == (delay - 1) // frame
+        assert path_wraps(schedule, route) == 2
+
+    def test_delay_bounded_by_wraps_plus_one_frames(self):
+        schedule = schedule_of(6, {(0, 1): (4, 1), (1, 2): (3, 1),
+                                   (2, 3): (5, 1)})
+        route = [(0, 1), (1, 2), (2, 3)]
+        wraps = path_wraps(schedule, route)
+        assert path_delay_slots(schedule, route) <= (wraps + 1) * 6
+
+
+class TestWorstCase:
+    def test_adds_one_frame(self):
+        schedule = schedule_of(10, {(0, 1): (0, 2)})
+        assert worst_case_delay_slots(schedule, [(0, 1)]) == 12
+
+
+class TestOrderWraps:
+    def test_forward_order_no_wraps(self):
+        order = TransmissionOrder.from_ranking([(0, 1), (1, 2), (2, 3)])
+        assert order_wraps(order, [(0, 1), (1, 2), (2, 3)]) == 0
+
+    def test_reverse_order_wraps_each_hop(self):
+        order = TransmissionOrder.from_ranking([(2, 3), (1, 2), (0, 1)])
+        assert order_wraps(order, [(0, 1), (1, 2), (2, 3)]) == 2
+
+    def test_empty_route_rejected(self):
+        order = TransmissionOrder.from_ranking([(0, 1)])
+        with pytest.raises(SchedulingError):
+            order_wraps(order, [])
+
+
+class TestMaxRouteDelay:
+    def test_max_over_routes(self):
+        schedule = schedule_of(10, {(0, 1): (0, 1), (1, 2): (1, 1),
+                                    (5, 6): (0, 1), (6, 7): (9, 1)})
+        routes = [[(0, 1), (1, 2)], [(5, 6), (6, 7)]]
+        assert max_route_delay(schedule, routes) == 10
+
+    def test_no_routes_rejected(self):
+        with pytest.raises(SchedulingError):
+            max_route_delay(schedule_of(4, {}), [])

@@ -1,0 +1,100 @@
+"""Greedy slot-packing baselines."""
+
+import pytest
+
+from repro.core.conflict import conflict_graph
+from repro.core.greedy import greedy_schedule
+from repro.errors import ConfigurationError, InfeasibleScheduleError
+from repro.net.topology import chain_topology, star_topology
+
+
+class TestGreedyUnbounded:
+    def test_conflict_free(self, grid33, rngs):
+        conflicts = conflict_graph(grid33, hops=2)
+        demands = {link: 1 for link in grid33.links[:10]}
+        schedule = greedy_schedule(conflicts, demands)
+        schedule.validate(conflicts)
+        assert schedule.demands_met(demands)
+
+    def test_makespan_equals_frame(self, chain5):
+        conflicts = conflict_graph(chain5, hops=2)
+        demands = {(0, 1): 1, (1, 2): 1, (2, 3): 1}
+        schedule = greedy_schedule(conflicts, demands)
+        assert schedule.frame_slots == schedule.makespan() == 3
+
+    def test_spatial_reuse(self, chain8):
+        conflicts = conflict_graph(chain8, hops=2)
+        demands = {(0, 1): 1, (4, 5): 1}
+        schedule = greedy_schedule(conflicts, demands)
+        assert schedule.frame_slots == 1  # both fit in slot 0
+
+    def test_star_packs_sequentially(self):
+        topo = star_topology(3)
+        conflicts = conflict_graph(topo, hops=2)
+        demands = {(0, 1): 2, (0, 2): 1, (0, 3): 3}
+        schedule = greedy_schedule(conflicts, demands)
+        assert schedule.frame_slots == 6
+        schedule.validate(conflicts)
+
+    def test_first_fit_decreasing_processes_heavy_first(self):
+        topo = star_topology(2)
+        conflicts = conflict_graph(topo, hops=2)
+        demands = {(0, 1): 1, (0, 2): 5}
+        schedule = greedy_schedule(conflicts, demands, strategy="demand")
+        assert schedule.block((0, 2)).start == 0
+        assert schedule.block((0, 1)).start == 5
+
+    def test_empty_demands(self, chain5):
+        conflicts = conflict_graph(chain5, hops=2)
+        schedule = greedy_schedule(conflicts, {})
+        assert len(schedule) == 0
+        assert schedule.frame_slots == 1
+
+
+class TestGreedyBounded:
+    def test_fits_when_room(self, chain5):
+        conflicts = conflict_graph(chain5, hops=2)
+        demands = {(0, 1): 1, (1, 2): 1}
+        schedule = greedy_schedule(conflicts, demands, frame_slots=8)
+        assert schedule.frame_slots == 8
+        schedule.validate(conflicts)
+
+    def test_raises_when_frame_too_small(self):
+        topo = star_topology(3)
+        conflicts = conflict_graph(topo, hops=2)
+        demands = {(0, 1): 2, (0, 2): 2, (0, 3): 2}
+        with pytest.raises(InfeasibleScheduleError):
+            greedy_schedule(conflicts, demands, frame_slots=5)
+
+
+class TestStrategies:
+    def test_index_strategy_deterministic(self, grid33):
+        conflicts = conflict_graph(grid33, hops=2)
+        demands = {link: 1 for link in grid33.links[:8]}
+        s1 = greedy_schedule(conflicts, demands, strategy="index")
+        s2 = greedy_schedule(conflicts, demands, strategy="index")
+        assert dict(s1.items()) == dict(s2.items())
+
+    def test_random_strategy_requires_rng(self, chain5):
+        conflicts = conflict_graph(chain5, hops=2)
+        with pytest.raises(ConfigurationError, match="rng"):
+            greedy_schedule(conflicts, {(0, 1): 1}, strategy="random")
+
+    def test_random_strategy_reproducible_with_seed(self, chain5, rngs):
+        conflicts = conflict_graph(chain5, hops=2)
+        demands = {link: 1 for link in chain5.links}
+        s1 = greedy_schedule(conflicts, demands, strategy="random",
+                             rng=rngs.spawn("a").stream("x"))
+        s2 = greedy_schedule(conflicts, demands, strategy="random",
+                             rng=rngs.spawn("a").stream("x"))
+        assert dict(s1.items()) == dict(s2.items())
+
+    def test_unknown_strategy(self, chain5):
+        conflicts = conflict_graph(chain5, hops=2)
+        with pytest.raises(ConfigurationError, match="strategy"):
+            greedy_schedule(conflicts, {(0, 1): 1}, strategy="magic")
+
+    def test_demanded_link_missing_from_conflicts(self, chain5):
+        conflicts = conflict_graph(chain5, hops=2, links=[(0, 1)])
+        with pytest.raises(ConfigurationError, match="missing"):
+            greedy_schedule(conflicts, {(0, 1): 1, (1, 2): 1})

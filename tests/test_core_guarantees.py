@@ -1,0 +1,115 @@
+"""The guarantee checker -- and its validation against packet simulation."""
+
+import pytest
+
+from repro.core.guarantees import check_guarantees
+from repro.core.schedule import Schedule, SlotBlock
+from repro.errors import ConfigurationError
+from repro.mesh16.frame import default_frame_config
+from repro.net.flows import Flow
+from repro.net.topology import chain_topology
+
+
+def routed_flow(rate_bps=24_000, budget=0.1):
+    return Flow("f", 0, 2, rate_bps=rate_bps,
+                delay_budget_s=budget).with_route([(0, 1), (1, 2)])
+
+
+def schedule_for_route(frame, slots_per_link=1):
+    return Schedule(frame.data_slots, {
+        (0, 1): SlotBlock(0, slots_per_link),
+        (1, 2): SlotBlock(slots_per_link, slots_per_link)})
+
+
+class TestThroughputCondition:
+    def test_stable_when_reserved_capacity_suffices(self):
+        frame = default_frame_config()
+        report = check_guarantees(schedule_for_route(frame), routed_flow(),
+                                  frame, packet_bits=480)
+        assert report.stable
+        assert report.tightest_margin_bits > 0
+        assert report.delay_bound_s is not None
+
+    def test_unstable_when_rate_exceeds_reservation(self):
+        frame = default_frame_config()
+        # one slot/frame moves 5 packets of 480 bits = 2400 bits/frame;
+        # offer 400 kb/s = 4000 bits/frame
+        report = check_guarantees(schedule_for_route(frame),
+                                  routed_flow(rate_bps=400_000), frame,
+                                  packet_bits=480)
+        assert not report.stable
+        assert report.delay_bound_s is None
+        assert report.tightest_margin_bits < 0
+
+    def test_unscheduled_route_link_is_unstable(self):
+        frame = default_frame_config()
+        schedule = Schedule(frame.data_slots,
+                            {(0, 1): SlotBlock(0, 1)})  # (1,2) missing
+        report = check_guarantees(schedule, routed_flow(), frame,
+                                  packet_bits=480)
+        assert not report.stable
+
+    def test_oversized_packet_rejected(self):
+        frame = default_frame_config()
+        with pytest.raises(ConfigurationError, match="exceeds"):
+            check_guarantees(schedule_for_route(frame), routed_flow(),
+                             frame, packet_bits=10 ** 6)
+
+    def test_unrouted_flow_rejected(self):
+        frame = default_frame_config()
+        with pytest.raises(ConfigurationError):
+            check_guarantees(schedule_for_route(frame),
+                             Flow("f", 0, 2, rate_bps=1000), frame, 480)
+
+
+class TestDelayBound:
+    def test_bound_structure_one_packet_per_frame(self):
+        frame = default_frame_config()
+        schedule = schedule_for_route(frame)
+        report = check_guarantees(schedule, routed_flow(), frame,
+                                  packet_bits=480)
+        slot_s = frame.frame_duration_s / frame.data_slots
+        from repro.core.delay import path_delay_slots
+        relay = path_delay_slots(schedule, routed_flow().route) * slot_s
+        assert report.delay_bound_s == pytest.approx(
+            frame.frame_duration_s + relay)
+
+    def test_meets_budget(self):
+        frame = default_frame_config()
+        report = check_guarantees(schedule_for_route(frame), routed_flow(),
+                                  frame, packet_bits=480)
+        assert report.meets_budget(0.1)
+        assert not report.meets_budget(0.001)
+
+
+@pytest.mark.slow
+class TestValidationAgainstSimulation:
+    """The bound must hold, packet by packet, in the full emulation."""
+
+    @pytest.mark.parametrize("seed", [3, 17, 55])
+    def test_measured_delay_never_exceeds_bound(self, seed):
+        from repro.analysis.scenarios import (make_voip_flows,
+                                              run_tdma_scenario,
+                                              schedule_for_flows)
+        from repro.net.topology import grid_topology
+        from repro.sim.random import RngRegistry
+        from repro.traffic.voip import G729
+
+        topology = grid_topology(3, 3)
+        frame = default_frame_config()
+        rngs = RngRegistry(seed=seed)
+        flows = make_voip_flows(topology, 4, rngs, codec=G729, gateway=0,
+                                delay_budget_s=0.1)
+        schedule = schedule_for_flows(topology, flows, frame)
+        result = run_tdma_scenario(topology, flows, frame, schedule,
+                                   duration_s=3.0, rngs=rngs.spawn("run"),
+                                   codec=G729)
+        for flow in flows:
+            report = check_guarantees(schedule, flow, frame,
+                                      packet_bits=G729.packet_bits)
+            assert report.stable, flow.name
+            qos = result.qos[flow.name]
+            assert qos.loss_fraction == 0.0
+            # small epsilon for sync-step timing noise
+            assert qos.max_delay_s <= report.delay_bound_s + 2e-4, \
+                (flow.name, qos.max_delay_s, report.delay_bound_s)

@@ -1,0 +1,113 @@
+"""Exhaustive cross-validation of the ILP on tiny instances.
+
+For instances small enough to enumerate every possible assignment of
+start slots, the ILP's answers (feasibility, minimum region, minimum max
+delay) must match brute force exactly.  This pins the solver's
+formulation -- big-M coupling, delay telescoping, region bounds -- against
+ground truth rather than against itself.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core.conflict import conflict_graph
+from repro.core.delay import path_delay_slots
+from repro.core.ilp import DelayConstraint, SchedulingProblem, solve_schedule_ilp
+from repro.core.minslots import minimum_slots
+from repro.core.schedule import Schedule, SlotBlock
+from repro.net.topology import chain_topology, star_topology
+
+
+def brute_force_schedules(conflicts, demands, frame_slots, region=None):
+    """Yield every conflict-free schedule (one block per link)."""
+    region = frame_slots if region is None else region
+    links = sorted(l for l, d in demands.items() if d > 0)
+    ranges = [range(0, region - demands[l] + 1) if region >= demands[l]
+              else range(0) for l in links]
+    for starts in itertools.product(*ranges):
+        schedule = Schedule(frame_slots)
+        for link, start in zip(links, starts):
+            schedule.assign(link, SlotBlock(start, demands[link]))
+        if not schedule.violations(conflicts):
+            yield schedule
+
+
+def brute_force_min_region(conflicts, demands, frame_slots,
+                           route=None, budget=None):
+    """Smallest region admitting a conflict-free (and delay-ok) schedule."""
+    for region in range(1, frame_slots + 1):
+        for schedule in brute_force_schedules(conflicts, demands,
+                                              frame_slots, region):
+            if route is not None and budget is not None:
+                if path_delay_slots(schedule, route) > budget:
+                    continue
+            return region
+    return None
+
+
+CASES = [
+    # (topology, demands)
+    (chain_topology(3), {(0, 1): 1, (1, 2): 1}),
+    (chain_topology(4), {(0, 1): 2, (1, 2): 1, (2, 3): 1}),
+    (chain_topology(5), {(0, 1): 1, (1, 2): 1, (2, 3): 1, (3, 4): 1}),
+    (star_topology(3), {(0, 1): 1, (0, 2): 2, (0, 3): 1}),
+    (star_topology(2), {(0, 1): 2, (0, 2): 2, (1, 0): 1}),
+]
+
+
+@pytest.mark.parametrize("topology,demands", CASES,
+                         ids=[t.name for t, ____ in CASES])
+def test_min_region_matches_brute_force(topology, demands):
+    frame_slots = sum(demands.values()) + 2
+    conflicts = conflict_graph(topology, hops=2)
+    expected = brute_force_min_region(conflicts, demands, frame_slots)
+    search = minimum_slots(conflicts, demands, frame_slots)
+    assert search.slots == expected
+
+
+@pytest.mark.parametrize("budget", [4, 5, 6, 8, 12])
+def test_delay_constrained_min_region_matches_brute_force(budget):
+    topology = chain_topology(5)
+    route = ((0, 1), (1, 2), (2, 3), (3, 4))
+    demands = {link: 1 for link in route}
+    frame_slots = 6
+    conflicts = conflict_graph(topology, hops=2)
+    expected = brute_force_min_region(conflicts, demands, frame_slots,
+                                      route=route, budget=budget)
+    search = minimum_slots(
+        conflicts, demands, frame_slots,
+        delay_constraints=[DelayConstraint("f", route, budget)])
+    assert search.slots == expected
+
+
+@pytest.mark.parametrize("topology,demands", CASES[:3],
+                         ids=[t.name for t, ____ in CASES[:3]])
+def test_minimized_max_delay_matches_brute_force(topology, demands):
+    # one route spanning the chain
+    nodes = topology.num_nodes()
+    route = tuple((i, i + 1) for i in range(nodes - 1))
+    demands = dict(demands)
+    for link in route:
+        demands.setdefault(link, 1)
+    frame_slots = sum(demands.values()) + 1
+    conflicts = conflict_graph(topology, hops=2)
+
+    best = min(path_delay_slots(s, route) for s in
+               brute_force_schedules(conflicts, demands, frame_slots))
+    result = solve_schedule_ilp(SchedulingProblem(
+        conflicts, demands, frame_slots,
+        delay_constraints=[DelayConstraint("f", route,
+                                           10 * frame_slots)],
+        minimize_max_delay=True))
+    assert result.feasible
+    assert result.max_delay_slots == best
+
+
+def test_infeasibility_matches_brute_force():
+    topology = star_topology(2)
+    conflicts = conflict_graph(topology, hops=2)
+    demands = {(0, 1): 3, (0, 2): 3}
+    # 5 slots cannot hold 6 conflicting slot-demands
+    assert brute_force_min_region(conflicts, demands, 5) is None
+    assert not minimum_slots(conflicts, demands, 5).feasible

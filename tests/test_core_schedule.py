@@ -1,0 +1,130 @@
+"""Schedule data model and validation."""
+
+import pytest
+
+from repro.core.conflict import conflict_graph
+from repro.core.schedule import Schedule, SlotBlock
+from repro.errors import ConfigurationError, SchedulingError
+
+
+class TestSlotBlock:
+    def test_end_and_slots(self):
+        block = SlotBlock(3, 2)
+        assert block.end == 5
+        assert list(block.slots()) == [3, 4]
+
+    def test_overlap_detection(self):
+        assert SlotBlock(0, 3).overlaps(SlotBlock(2, 2))
+        assert not SlotBlock(0, 3).overlaps(SlotBlock(3, 2))
+        assert SlotBlock(5, 1).overlaps(SlotBlock(0, 10))
+
+    def test_invalid_blocks_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SlotBlock(-1, 2)
+        with pytest.raises(ConfigurationError):
+            SlotBlock(0, 0)
+
+    def test_ordering(self):
+        assert SlotBlock(1, 2) < SlotBlock(2, 1)
+
+
+class TestSchedule:
+    def test_assign_and_lookup(self):
+        schedule = Schedule(10)
+        schedule.assign((0, 1), SlotBlock(0, 2))
+        assert (0, 1) in schedule
+        assert schedule.block((0, 1)) == SlotBlock(0, 2)
+        assert len(schedule) == 1
+
+    def test_block_must_fit_frame(self):
+        schedule = Schedule(4)
+        with pytest.raises(SchedulingError, match="exceeds"):
+            schedule.assign((0, 1), SlotBlock(3, 2))
+
+    def test_missing_link_raises(self):
+        with pytest.raises(SchedulingError):
+            Schedule(4).block((0, 1))
+
+    def test_invalid_frame_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Schedule(0)
+
+    def test_reassign_replaces(self):
+        schedule = Schedule(10)
+        schedule.assign((0, 1), SlotBlock(0, 1))
+        schedule.assign((0, 1), SlotBlock(5, 2))
+        assert schedule.block((0, 1)).start == 5
+
+    def test_links_sorted(self):
+        schedule = Schedule(10, {(2, 3): SlotBlock(0, 1),
+                                 (0, 1): SlotBlock(1, 1)})
+        assert schedule.links() == [(0, 1), (2, 3)]
+
+    def test_active_links(self):
+        schedule = Schedule(10, {(0, 1): SlotBlock(0, 2),
+                                 (3, 4): SlotBlock(1, 3)})
+        assert schedule.active_links(0) == [(0, 1)]
+        assert schedule.active_links(1) == [(0, 1), (3, 4)]
+        assert schedule.active_links(5) == []
+        # modular wraparound
+        assert schedule.active_links(11) == [(0, 1), (3, 4)]
+
+    def test_transmitter_of_slot(self):
+        schedule = Schedule(10, {(7, 1): SlotBlock(0, 2)})
+        assert schedule.transmitter_of_slot(7, 1)
+        assert not schedule.transmitter_of_slot(1, 1)
+
+    def test_used_slots_and_makespan(self):
+        schedule = Schedule(10, {(0, 1): SlotBlock(0, 2),
+                                 (3, 4): SlotBlock(1, 2)})
+        assert schedule.used_slots() == 3
+        assert schedule.makespan() == 3
+        assert Schedule(10).makespan() == 0
+
+    def test_utilization_can_exceed_one_with_reuse(self):
+        schedule = Schedule(2, {(0, 1): SlotBlock(0, 2),
+                                (5, 6): SlotBlock(0, 2)})
+        assert schedule.utilization() == pytest.approx(2.0)
+
+    def test_demands_met(self):
+        schedule = Schedule(10, {(0, 1): SlotBlock(0, 2)})
+        assert schedule.demands_met({(0, 1): 2})
+        assert not schedule.demands_met({(0, 1): 3})
+        assert not schedule.demands_met({(5, 6): 1})
+        assert schedule.demands_met({(5, 6): 0})
+
+    def test_restrict(self):
+        schedule = Schedule(10, {(0, 1): SlotBlock(0, 1),
+                                 (2, 3): SlotBlock(1, 1)})
+        small = schedule.restrict([(0, 1)])
+        assert (0, 1) in small
+        assert (2, 3) not in small
+
+
+class TestValidation:
+    def test_conflicting_overlap_detected(self, chain5):
+        conflicts = conflict_graph(chain5, hops=2)
+        schedule = Schedule(10, {(0, 1): SlotBlock(0, 2),
+                                 (1, 2): SlotBlock(1, 2)})
+        violations = schedule.violations(conflicts)
+        assert violations == [((0, 1), (1, 2))]
+        with pytest.raises(SchedulingError, match="overlaps"):
+            schedule.validate(conflicts)
+
+    def test_non_conflicting_overlap_allowed(self, chain5):
+        conflicts = conflict_graph(chain5, hops=2)
+        # (0,1) and (3,4) do not conflict under the 2-hop model
+        schedule = Schedule(10, {(0, 1): SlotBlock(0, 2),
+                                 (3, 4): SlotBlock(0, 2)})
+        schedule.validate(conflicts)
+
+    def test_disjoint_blocks_valid(self, chain5):
+        conflicts = conflict_graph(chain5, hops=2)
+        schedule = Schedule(10, {(0, 1): SlotBlock(0, 2),
+                                 (1, 2): SlotBlock(2, 2)})
+        schedule.validate(conflicts)
+
+    def test_unscheduled_conflicting_links_ignored(self, chain5):
+        conflicts = conflict_graph(chain5, hops=2)
+        schedule = Schedule(10, {(0, 1): SlotBlock(0, 2)})
+        schedule.validate(conflicts)

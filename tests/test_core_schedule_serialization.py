@@ -1,0 +1,55 @@
+"""Schedule serialization round-trips."""
+
+import json
+
+import pytest
+
+from repro.core.schedule import Schedule, SlotBlock
+from repro.errors import ConfigurationError, SchedulingError
+
+
+def sample_schedule():
+    return Schedule(16, {(0, 1): SlotBlock(0, 2),
+                         (1, 2): SlotBlock(2, 1),
+                         (4, 3): SlotBlock(5, 3)})
+
+
+def test_round_trip_preserves_everything():
+    original = sample_schedule()
+    restored = Schedule.from_dict(original.to_dict())
+    assert restored.frame_slots == original.frame_slots
+    assert dict(restored.items()) == dict(original.items())
+
+
+def test_json_serializable():
+    text = json.dumps(sample_schedule().to_dict())
+    restored = Schedule.from_dict(json.loads(text))
+    assert dict(restored.items()) == dict(sample_schedule().items())
+
+
+def test_empty_schedule():
+    restored = Schedule.from_dict(Schedule(4).to_dict())
+    assert restored.frame_slots == 4
+    assert len(restored) == 0
+
+
+def test_malformed_document_rejected():
+    with pytest.raises(ConfigurationError, match="malformed"):
+        Schedule.from_dict({"assignments": []})
+    with pytest.raises(ConfigurationError, match="malformed"):
+        Schedule.from_dict({"frame_slots": 8, "assignments": [{"tx": 0}]})
+
+
+def test_duplicate_link_rejected():
+    data = {"frame_slots": 8, "assignments": [
+        {"tx": 0, "rx": 1, "start": 0, "length": 1},
+        {"tx": 0, "rx": 1, "start": 2, "length": 1}]}
+    with pytest.raises(ConfigurationError, match="duplicate"):
+        Schedule.from_dict(data)
+
+
+def test_out_of_frame_block_rejected():
+    data = {"frame_slots": 4, "assignments": [
+        {"tx": 0, "rx": 1, "start": 3, "length": 2}]}
+    with pytest.raises(SchedulingError):
+        Schedule.from_dict(data)

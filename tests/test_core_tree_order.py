@@ -1,0 +1,106 @@
+"""Min-delay ordering on scheduling trees."""
+
+import pytest
+
+from repro.core.conflict import conflict_graph
+from repro.core.delay import order_wraps, path_wraps
+from repro.core.ordering import schedule_from_order
+from repro.core.tree_order import (
+    adversarial_tree_order,
+    min_delay_tree_order,
+    naive_tree_order,
+    tree_depths,
+)
+from repro.errors import ConfigurationError
+from repro.net.routing import gateway_tree, route_on_tree
+from repro.net.topology import binary_tree_topology, chain_topology, grid_topology
+
+
+class TestTreeDepths:
+    def test_chain_depths(self, chain5):
+        tree = gateway_tree(chain5, 0)
+        depths = tree_depths(tree, 0)
+        assert depths == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_unknown_root_rejected(self, chain5):
+        tree = gateway_tree(chain5, 0)
+        with pytest.raises(ConfigurationError):
+            tree_depths(tree, 99)
+
+    def test_non_tree_rejected(self):
+        import networkx as nx
+        graph = nx.DiGraph([(0, 1), (0, 2), (1, 3), (2, 3)])
+        with pytest.raises(ConfigurationError):
+            tree_depths(graph, 0)
+
+
+class TestMinDelayOrder:
+    @pytest.mark.parametrize("topo_factory,gateway", [
+        (lambda: chain_topology(6), 0),
+        (lambda: binary_tree_topology(3), 0),
+        (lambda: grid_topology(3, 3), 0),
+        (lambda: grid_topology(3, 3), 4),
+    ])
+    def test_zero_wraps_on_all_tree_routes(self, topo_factory, gateway):
+        """The ToN theorem: the order is wrap-free for EVERY tree route."""
+        topology = topo_factory()
+        tree = gateway_tree(topology, gateway)
+        order = min_delay_tree_order(tree, gateway)
+        nodes = topology.nodes
+        for src in nodes:
+            for dst in nodes:
+                if src == dst:
+                    continue
+                route = route_on_tree(tree, gateway, src, dst)
+                assert order_wraps(order, route) == 0, (src, dst)
+
+    def test_covers_both_directions(self, chain5):
+        tree = gateway_tree(chain5, 0)
+        order = min_delay_tree_order(tree, 0)
+        links = set(order.links())
+        assert (1, 0) in links and (0, 1) in links
+        assert len(links) == 2 * tree.number_of_edges()
+
+    def test_uplinks_before_downlinks(self, btree2):
+        tree = gateway_tree(btree2, 0)
+        order = min_delay_tree_order(tree, 0)
+        for parent, child in tree.edges:
+            assert order.precedes((child, parent), (parent, child))
+
+    def test_deeper_uplinks_first(self, chain5):
+        tree = gateway_tree(chain5, 0)
+        order = min_delay_tree_order(tree, 0)
+        assert order.precedes((4, 3), (3, 2))
+        assert order.precedes((3, 2), (1, 0))
+
+    def test_schedule_realizes_one_frame_delay(self, chain8):
+        tree = gateway_tree(chain8, 0)
+        order = min_delay_tree_order(tree, 0)
+        route = tuple((i + 1, i) for i in reversed(range(7)))  # 7 -> 0
+        demands = {link: 1 for link in route}
+        conflicts = conflict_graph(chain8, hops=2, links=demands.keys())
+        schedule = schedule_from_order(conflicts, demands, 16, order)
+        assert path_wraps(schedule, route) == 0
+
+
+class TestBaselineOrders:
+    def test_adversarial_wraps_every_hop(self, chain8):
+        tree = gateway_tree(chain8, 0)
+        order = adversarial_tree_order(tree, 0)
+        uplink_route = tuple((i + 1, i) for i in reversed(range(7)))
+        downlink_route = tuple((i, i + 1) for i in range(7))
+        assert order_wraps(order, uplink_route) == 6
+        assert order_wraps(order, downlink_route) == 6
+
+    def test_naive_order_is_total_over_tree_links(self, btree2):
+        tree = gateway_tree(btree2, 0)
+        order = naive_tree_order(tree, 0)
+        assert len(order.links()) == 2 * tree.number_of_edges()
+
+    def test_adversarial_no_worse_possible(self, chain5):
+        # h-hop route has at most h-1 consecutive pairs, so h-1 wraps is
+        # the ceiling; adversarial hits it
+        tree = gateway_tree(chain5, 0)
+        order = adversarial_tree_order(tree, 0)
+        route = tuple((i, i + 1) for i in range(4))
+        assert order_wraps(order, route) == len(route) - 1

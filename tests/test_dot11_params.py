@@ -1,0 +1,51 @@
+"""802.11 MAC parameter sets."""
+
+import pytest
+
+from repro.dot11.params import (
+    ACK_BITS,
+    DATA_HEADER_BITS,
+    DOT11B_PARAMS,
+    DOT11G_PARAMS,
+    Dot11Params,
+)
+from repro.errors import ConfigurationError
+from repro.phy.radio import DOT11B_11M
+from repro.units import US
+
+
+def test_difs_is_sifs_plus_two_slots():
+    assert DOT11B_PARAMS.difs_s == pytest.approx(10e-6 + 2 * 20e-6)
+    assert DOT11G_PARAMS.difs_s == pytest.approx(10e-6 + 2 * 9e-6)
+
+
+def test_ack_timeout_covers_sifs_plus_ack():
+    timeout = DOT11B_PARAMS.ack_timeout_s()
+    ack_air = DOT11B_PARAMS.phy.airtime(ACK_BITS, basic_rate=True)
+    assert timeout > DOT11B_PARAMS.sifs_s + ack_air
+
+
+def test_standard_cw_values():
+    assert DOT11B_PARAMS.cw_min == 31
+    assert DOT11B_PARAMS.cw_max == 1023
+    assert DOT11G_PARAMS.cw_min == 15
+
+
+def test_header_sizes():
+    assert DATA_HEADER_BITS == 34 * 8
+    assert ACK_BITS == 14 * 8
+
+
+def test_invalid_params():
+    with pytest.raises(ConfigurationError):
+        Dot11Params(DOT11B_11M, slot_time_s=0, sifs_s=10 * US, cw_min=31,
+                    cw_max=1023, retry_limit=7)
+    with pytest.raises(ConfigurationError):
+        Dot11Params(DOT11B_11M, slot_time_s=20 * US, sifs_s=10 * US,
+                    cw_min=0, cw_max=1023, retry_limit=7)
+    with pytest.raises(ConfigurationError):
+        Dot11Params(DOT11B_11M, slot_time_s=20 * US, sifs_s=10 * US,
+                    cw_min=63, cw_max=31, retry_limit=7)
+    with pytest.raises(ConfigurationError):
+        Dot11Params(DOT11B_11M, slot_time_s=20 * US, sifs_s=10 * US,
+                    cw_min=31, cw_max=1023, retry_limit=-1)

@@ -1,0 +1,110 @@
+"""RTS/CTS virtual carrier sense."""
+
+import dataclasses
+
+import pytest
+
+from repro.dot11.dcf import DcfMac
+from repro.dot11.params import DOT11B_PARAMS
+from repro.phy.channel import BroadcastChannel
+from repro.sim.engine import Simulator
+from repro.sim.random import RngRegistry
+from repro.sim.trace import Trace
+from repro.net.topology import chain_topology
+
+RTS_PARAMS = dataclasses.replace(DOT11B_PARAMS, rts_threshold_bits=1000)
+
+
+def build(topology, params=RTS_PARAMS, seed=5):
+    sim = Simulator()
+    trace = Trace(capacity=50_000)
+    channel = BroadcastChannel(sim, topology, params.phy, trace)
+    rngs = RngRegistry(seed=seed)
+    delivered = []
+
+    def deliver(node, payload):
+        delivered.append((sim.now, node, payload))
+
+    macs = {node: DcfMac(sim, channel, node, params,
+                         rngs.stream(f"dcf/{node}"), deliver, trace)
+            for node in topology.nodes}
+    return sim, macs, delivered, trace
+
+
+class TestHandshake:
+    def test_large_frame_uses_rts(self):
+        topo = chain_topology(2)
+        sim, macs, delivered, trace = build(topo)
+        macs[0].send(1, "big", 8000)
+        sim.run(until=0.1)
+        assert [p for ____, ____, p in delivered] == ["big"]
+        kinds = [r["kind"] for r in trace.records("phy.tx")]
+        assert kinds == ["rts", "cts", "data", "ack"]
+
+    def test_small_frame_skips_rts(self):
+        topo = chain_topology(2)
+        sim, macs, delivered, trace = build(topo)
+        macs[0].send(1, "small", 200)
+        sim.run(until=0.1)
+        assert [p for ____, ____, p in delivered] == ["small"]
+        kinds = [r["kind"] for r in trace.records("phy.tx")]
+        assert kinds == ["data", "ack"]
+
+    def test_broadcast_never_uses_rts(self):
+        topo = chain_topology(2)
+        sim, macs, ____, trace = build(topo)
+        macs[0].send(None, "bcast", 8000)
+        sim.run(until=0.1)
+        kinds = [r["kind"] for r in trace.records("phy.tx")]
+        assert kinds == ["data"]
+
+    def test_disabled_threshold_never_uses_rts(self):
+        topo = chain_topology(2)
+        sim, macs, ____, trace = build(topo, params=DOT11B_PARAMS)
+        macs[0].send(1, "big", 8000)
+        sim.run(until=0.1)
+        assert all(r["kind"] != "rts" for r in trace.records("phy.tx"))
+
+
+class TestNav:
+    def test_overhearing_station_defers_for_nav(self):
+        # 0 -> 1 with RTS; node 2 hears 1's CTS and must not transmit
+        # during the protected exchange
+        topo = chain_topology(3)
+        sim, macs, delivered, trace = build(topo)
+        macs[0].send(1, "protected", 12000)
+        sim.run(until=0.001)  # RTS+CTS done, data in flight
+        macs[2].send(1, "late", 200)
+        sim.run(until=0.2)
+        payloads = [p for ____, ____, p in delivered]
+        assert payloads[0] == "protected"  # no hidden-terminal corruption
+        assert "late" in payloads
+
+    def test_missing_cts_retries_then_drops(self):
+        topo = chain_topology(2)
+        sim, macs, ____, trace = build(topo)
+        macs[0].send(5, "ghost", 8000)  # 5 unreachable: CTS never comes
+        sim.run(until=5.0)
+        assert trace.count("mac.cts_timeout") == RTS_PARAMS.retry_limit + 1
+        assert trace.count("mac.drop") == 1
+        assert macs[0].queue_length == 0
+
+    def test_hidden_terminal_losses_reduced_with_rts(self):
+        """The point of RTS: hidden stations stop corrupting long frames."""
+
+        def run(params, seed):
+            topo = chain_topology(3)
+            sim, macs, delivered, trace = build(topo, params=params,
+                                                seed=seed)
+            for i in range(40):
+                macs[0].send(1, f"a{i}", 12000)
+                macs[2].send(1, f"b{i}", 12000)
+            sim.run(until=3.0)
+            return trace.count("phy.rx_collision"), len(delivered)
+
+        plain_collisions, plain_ok = run(DOT11B_PARAMS, seed=11)
+        rts_collisions, rts_ok = run(RTS_PARAMS, seed=11)
+        # collisions involving long data frames should drop sharply; the
+        # residual collisions are cheap RTS-on-RTS ones
+        assert rts_ok >= plain_ok
+        assert rts_collisions <= plain_collisions

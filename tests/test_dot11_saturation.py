@@ -1,0 +1,123 @@
+"""DCF saturation behaviour: coarse validation against known results.
+
+Bianchi-style saturation analysis for 802.11b DCF with ~1000-byte frames
+puts aggregate throughput in the 5-7 Mb/s band for a handful of stations,
+degrading slowly as contention grows.  The simulator will not match the
+analysis exactly (we simplify: always-backoff, no EIFS), but it must land
+in the right band and show the right monotonicity -- this pins the
+baseline the paper compares against to reality.
+"""
+
+import itertools
+
+import pytest
+
+from repro.dot11.dcf import DcfMac
+from repro.dot11.params import DOT11B_PARAMS
+from repro.phy.channel import BroadcastChannel
+from repro.sim.engine import Simulator
+from repro.sim.random import RngRegistry
+from repro.sim.trace import Trace
+from repro.net.topology import from_edges
+
+FRAME_BITS = 8000  # 1000-byte payloads
+DURATION_S = 2.0
+
+
+def single_cell(num_stations):
+    """Hub (0) + stations, everyone in range of everyone (Bianchi's cell)."""
+    nodes = range(num_stations + 1)
+    return from_edges(itertools.combinations(nodes, 2), name="cell")
+
+
+def saturation_throughput(num_stations, seed=7):
+    """Saturated stations in a single cell, all sending to node 0."""
+    topology = single_cell(num_stations)
+    sim = Simulator()
+    trace = Trace(enabled=False)
+    channel = BroadcastChannel(sim, topology, DOT11B_PARAMS.phy, trace)
+    rngs = RngRegistry(seed=seed)
+    delivered_bits = [0]
+
+    def deliver(node, payload):
+        if node == 0:
+            delivered_bits[0] += FRAME_BITS
+
+    macs = {node: DcfMac(sim, channel, node, DOT11B_PARAMS,
+                         rngs.stream(f"dcf/{node}"), deliver, trace)
+            for node in topology.nodes}
+
+    def refill():
+        for station in range(1, num_stations + 1):
+            mac = macs[station]
+            while mac.queue_length < 50:
+                mac.send(0, "payload", FRAME_BITS)
+        if sim.now < DURATION_S:
+            sim.schedule(0.01, refill)
+
+    refill()
+    sim.run(until=DURATION_S)
+    return delivered_bits[0] / DURATION_S
+
+
+@pytest.mark.slow
+def test_single_station_throughput_matches_cycle_analysis():
+    # one station, no contention: throughput = payload / (DIFS + mean
+    # backoff (15.5 slots) + data airtime + SIFS + ACK at 1 Mb/s)
+    # = 8000 bits / ~1.62 ms ~= 4.9 Mb/s for 1000 B at 11 Mb/s with the
+    # long preamble on both data and ACK
+    throughput = saturation_throughput(1)
+    assert 4.3e6 < throughput < 5.5e6
+
+
+@pytest.mark.slow
+def test_small_population_lands_in_bianchi_band():
+    # small populations slightly beat one station (backoff overlaps
+    # across contenders, collisions still rare): the Bianchi peak
+    throughput = saturation_throughput(5)
+    assert 4.5e6 < throughput < 6.0e6
+    assert throughput > saturation_throughput(1)
+
+
+@pytest.mark.slow
+def test_throughput_degrades_gracefully_with_contention():
+    peak = saturation_throughput(5)
+    many = saturation_throughput(12)
+    assert many < peak
+    # single-cell CSMA degrades slowly past the peak (no hidden terminals)
+    assert many > 0.7 * peak
+
+
+@pytest.mark.slow
+def test_airtime_fairness_across_stations():
+    """Stations with identical parameters get statistically similar
+    delivery shares under saturation."""
+    num_stations = 4
+    topology = single_cell(num_stations)
+    sim = Simulator()
+    trace = Trace(enabled=False)
+    channel = BroadcastChannel(sim, topology, DOT11B_PARAMS.phy, trace)
+    rngs = RngRegistry(seed=3)
+    per_station = {i: 0 for i in range(1, num_stations + 1)}
+
+    def deliver(node, payload):
+        if node == 0:
+            per_station[payload] += 1
+
+    macs = {node: DcfMac(sim, channel, node, DOT11B_PARAMS,
+                         rngs.stream(f"dcf/{node}"), deliver, trace)
+            for node in topology.nodes}
+
+    def refill():
+        for station in range(1, num_stations + 1):
+            mac = macs[station]
+            while mac.queue_length < 20:
+                mac.send(0, station, FRAME_BITS)
+        if sim.now < DURATION_S:
+            sim.schedule(0.05, refill)
+
+    refill()
+    sim.run(until=DURATION_S)
+    counts = list(per_station.values())
+    assert min(counts) > 0
+    assert max(counts) < 2.5 * min(counts)

@@ -1,0 +1,41 @@
+"""The shipped examples must at least compile -- and the quick one, run."""
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    names = {path.name for path in ALL_EXAMPLES}
+    assert {"quickstart.py", "voip_mesh.py", "emulation_demo.py",
+            "admission_control.py", "multi_service.py"} <= names
+
+
+@pytest.mark.parametrize("path", ALL_EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+def test_quickstart_runs_end_to_end():
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True, text=True, timeout=300)
+    assert completed.returncode == 0, completed.stderr
+    assert "minimum guaranteed region" in completed.stdout
+    assert "end-to-end relaying delay" in completed.stdout
+
+
+@pytest.mark.slow
+def test_multi_service_runs_end_to_end():
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "multi_service.py")],
+        capture_output=True, text=True, timeout=500)
+    assert completed.returncode == 0, completed.stderr
+    assert "guaranteed region" in completed.stdout
+    assert "flooded to 100%" in completed.stdout

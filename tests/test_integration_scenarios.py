@@ -1,0 +1,174 @@
+"""End-to-end integration: the scenario runners that the experiments use.
+
+These run real (short) packet-level simulations of both stacks and assert
+the behavioural claims the paper makes, not just plumbing.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis.scenarios import (
+    admit_flows,
+    delay_constraints_for,
+    make_voip_flows,
+    run_dcf_scenario,
+    run_tdma_scenario,
+    schedule_for_flows,
+)
+from repro.errors import ConfigurationError
+from repro.mesh16.frame import default_frame_config
+from repro.net.flows import Flow, FlowSet
+from repro.net.routing import route_all
+from repro.net.topology import chain_topology, grid_topology
+from repro.overlay.sync import SyncConfig
+from repro.sim.random import RngRegistry
+from repro.traffic.voip import G729
+
+
+@pytest.fixture(scope="module")
+def small_scenario():
+    topology = chain_topology(4)
+    frame = default_frame_config()
+    rngs = RngRegistry(seed=77)
+    flows = route_all(topology, FlowSet([
+        Flow("up", 3, 0, rate_bps=G729.wire_rate_bps, delay_budget_s=0.05),
+        Flow("down", 0, 3, rate_bps=G729.wire_rate_bps, delay_budget_s=0.05),
+    ]))
+    schedule = schedule_for_flows(topology, flows, frame, method="ilp")
+    return topology, frame, flows, schedule, rngs
+
+
+class TestTdmaScenario:
+    def test_zero_loss_and_bounded_delay(self, small_scenario):
+        topology, frame, flows, schedule, rngs = small_scenario
+        result = run_tdma_scenario(topology, flows, frame, schedule,
+                                   duration_s=2.0, rngs=rngs.spawn("a"),
+                                   codec=G729)
+        for qos in result.qos.values():
+            assert qos.loss_fraction == 0.0
+            # hard bound: worst case is one frame queueing + budgeted
+            # relaying delay
+            assert qos.max_delay_s <= 0.05 + frame.frame_duration_s
+
+    def test_no_slot_collisions_with_default_sync(self, small_scenario):
+        topology, frame, flows, schedule, rngs = small_scenario
+        result = run_tdma_scenario(topology, flows, frame, schedule,
+                                   duration_s=2.0, rngs=rngs.spawn("b"),
+                                   codec=G729, drift_ppm=20.0)
+        assert result.extras["slot_collisions"] == 0
+        assert result.extras["max_sync_error_s"] < frame.guard_s
+
+    def test_sync_off_error_grows_linearly(self, small_scenario):
+        topology, frame, flows, schedule, rngs = small_scenario
+        result = run_tdma_scenario(
+            topology, flows, frame, schedule, duration_s=2.0,
+            rngs=rngs.spawn("c"), codec=G729, drift_ppm=20.0,
+            sync_config=SyncConfig(enabled=False))
+        # at least one node drifts towards 20 ppm * 2 s = 40 us
+        assert result.extras["max_sync_error_s"] > 5e-6
+
+    def test_deterministic_given_seed(self, small_scenario):
+        topology, frame, flows, schedule, ____ = small_scenario
+
+        def run(seed):
+            result = run_tdma_scenario(topology, flows, frame, schedule,
+                                       duration_s=1.0,
+                                       rngs=RngRegistry(seed=seed),
+                                       codec=G729)
+            return {name: (q.sent, q.received, q.mean_delay_s)
+                    for name, q in result.qos.items()}
+
+        assert run(5) == run(5)
+        assert run(5) != run(6)
+
+    def test_schedule_frame_mismatch_rejected(self, small_scenario):
+        topology, frame, flows, ____, rngs = small_scenario
+        from repro.core.schedule import Schedule
+        bad = Schedule(8)
+        with pytest.raises(ConfigurationError):
+            run_tdma_scenario(topology, flows, frame, bad, 1.0,
+                              rngs.spawn("x"))
+
+
+class TestDcfScenario:
+    def test_light_load_clean(self, small_scenario):
+        topology, ____, flows, ____, rngs = small_scenario
+        result = run_dcf_scenario(topology, flows, duration_s=2.0,
+                                  rngs=rngs.spawn("d"), codec=G729)
+        for qos in result.qos.values():
+            assert qos.loss_fraction < 0.01
+            assert qos.mean_delay_s < 0.05
+
+    def test_overload_degrades_dcf_but_not_tdma(self):
+        topology = grid_topology(3, 3)
+        frame = default_frame_config()
+        rngs = RngRegistry(seed=42)
+        flows = make_voip_flows(topology, 10, rngs, codec=G729, gateway=0,
+                                delay_budget_s=0.05)
+        admitted, schedule = admit_flows(topology, flows, frame)
+        assert 0 < len(admitted) < 10
+
+        tdma = run_tdma_scenario(topology, admitted, frame, schedule,
+                                 duration_s=2.0, rngs=rngs.spawn("t"),
+                                 codec=G729)
+        dcf = run_dcf_scenario(topology, flows, duration_s=2.0,
+                               rngs=rngs.spawn("d"), codec=G729)
+        assert tdma.total_loss_fraction() == 0.0
+        assert dcf.total_loss_fraction() > 0.05
+        worst_tdma = max(q.p95_delay_s for q in tdma.qos.values())
+        assert worst_tdma <= 0.05 + frame.frame_duration_s
+
+
+class TestHelpers:
+    def test_make_voip_flows_respects_gateway(self, rngs):
+        topology = grid_topology(3, 3)
+        flows = make_voip_flows(topology, 6, rngs, gateway=4)
+        for flow in flows:
+            assert 4 in (flow.src, flow.dst)
+            assert flow.is_routed
+
+    def test_make_voip_flows_min_hops(self, rngs):
+        topology = grid_topology(3, 3)
+        flows = make_voip_flows(topology, 5, rngs, min_hops=2)
+        assert all(f.hops >= 2 for f in flows)
+
+    def test_schedule_for_flows_methods_agree_on_feasibility(self, rngs):
+        topology = chain_topology(5)
+        frame = default_frame_config()
+        flows = route_all(topology, FlowSet([
+            Flow("f", 4, 0, rate_bps=G729.wire_rate_bps,
+                 delay_budget_s=0.1)]))
+        from repro.core.conflict import conflict_graph
+        conflicts = conflict_graph(topology, hops=2)
+        for method in ("ilp", "greedy", "tree"):
+            schedule = schedule_for_flows(topology, flows, frame,
+                                          method=method)
+            schedule.validate(conflicts)
+
+    def test_schedule_for_flows_unknown_method(self, rngs):
+        topology = chain_topology(3)
+        frame = default_frame_config()
+        flows = route_all(topology, FlowSet([
+            Flow("f", 0, 2, rate_bps=1000, delay_budget_s=0.1)]))
+        with pytest.raises(ConfigurationError):
+            schedule_for_flows(topology, flows, frame, method="magic")
+
+    def test_delay_constraints_budgets_in_slots(self):
+        frame = default_frame_config()
+        flows = FlowSet([Flow("f", 0, 1, rate_bps=1000,
+                              delay_budget_s=0.01).with_route([(0, 1)])])
+        constraints = delay_constraints_for(flows, frame)
+        assert constraints[0].budget_slots == 16  # 10 ms = one frame
+
+    def test_admit_flows_prefix_property(self, rngs):
+        # every admitted set must itself be schedulable and non-empty
+        topology = grid_topology(3, 3)
+        frame = default_frame_config()
+        flows = make_voip_flows(topology, 8, rngs, codec=G729, gateway=0,
+                                delay_budget_s=0.05)
+        admitted, schedule = admit_flows(topology, flows, frame)
+        assert len(admitted) >= 1
+        assert schedule is not None
+        from repro.core.conflict import conflict_graph
+        schedule.validate(conflict_graph(topology, hops=2))

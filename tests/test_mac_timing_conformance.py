@@ -1,0 +1,147 @@
+"""Protocol timing conformance, measured from traces.
+
+These tests read the shared trace like a protocol analyzer would read a
+sniffer capture: inter-frame gaps, slot-edge alignment and ACK turnaround
+must match the timing constants the MACs are configured with -- not just
+"packets arrived".
+"""
+
+import pytest
+
+from repro.core.schedule import Schedule, SlotBlock
+from repro.dot11.dcf import DcfMac
+from repro.dot11.params import DOT11B_PARAMS
+from repro.mesh16.frame import default_frame_config
+from repro.mesh16.network import ControlPlane
+from repro.net.packet import Packet
+from repro.overlay.emulation import TdmaOverlay
+from repro.overlay.sync import SyncConfig, SyncDaemon
+from repro.phy.channel import BroadcastChannel
+from repro.sim.clock import DriftingClock
+from repro.sim.engine import Simulator
+from repro.sim.random import RngRegistry
+from repro.sim.trace import Trace
+from repro.net.topology import chain_topology
+
+
+class TestDcfTiming:
+    def build(self, seed=1):
+        topo = chain_topology(2)
+        sim = Simulator()
+        trace = Trace(capacity=50_000)
+        channel = BroadcastChannel(sim, topo, DOT11B_PARAMS.phy, trace)
+        rngs = RngRegistry(seed=seed)
+        macs = {n: DcfMac(sim, channel, n, DOT11B_PARAMS,
+                          rngs.stream(f"d{n}"), lambda n, p: None, trace)
+                for n in topo.nodes}
+        return sim, macs, trace
+
+    def test_ack_follows_data_after_exactly_sifs(self):
+        sim, macs, trace = self.build()
+        macs[0].send(1, "x", 800)
+        sim.run(until=0.05)
+        txs = list(trace.records("phy.tx"))
+        data = next(r for r in txs if r["kind"] == "data")
+        ack = next(r for r in txs if r["kind"] == "ack")
+        data_end = data.time + DOT11B_PARAMS.phy.airtime(800 + 34 * 8)
+        # the receiver stamps SIFS from reception complete (data end +
+        # propagation)
+        gap = ack.time - data_end
+        assert gap == pytest.approx(
+            DOT11B_PARAMS.sifs_s + DOT11B_PARAMS.phy.propagation_delay_s,
+            abs=1e-9)
+
+    def test_first_access_waits_at_least_difs(self):
+        sim, macs, trace = self.build()
+        macs[0].send(1, "x", 800)
+        sim.run(until=0.05)
+        first_tx = trace.times("phy.tx")[0]
+        assert first_tx >= DOT11B_PARAMS.difs_s - 1e-12
+
+    def test_backoff_quantized_in_slot_times(self):
+        # first transmission time = DIFS + k * slot for integer k
+        for seed in range(6):
+            sim, macs, trace = self.build(seed=seed)
+            macs[0].send(1, "x", 800)
+            sim.run(until=0.05)
+            first_tx = trace.times("phy.tx")[0]
+            k = (first_tx - DOT11B_PARAMS.difs_s) / DOT11B_PARAMS.slot_time_s
+            assert k == pytest.approx(round(k), abs=1e-9)
+            assert 0 <= round(k) <= DOT11B_PARAMS.cw_min
+
+    def test_consecutive_frames_separated_by_difs_plus_backoff(self):
+        sim, macs, trace = self.build()
+        for i in range(5):
+            macs[0].send(1, i, 800)
+        sim.run(until=0.2)
+        data_txs = [r.time for r in trace.records("phy.tx")
+                    if r["kind"] == "data"]
+        ack_air = DOT11B_PARAMS.phy.airtime(14 * 8, basic_rate=True)
+        data_air = DOT11B_PARAMS.phy.airtime(800 + 34 * 8)
+        for prev, nxt in zip(data_txs, data_txs[1:]):
+            # prev data + sifs + ack + at least DIFS before the next frame
+            earliest = (prev + data_air + DOT11B_PARAMS.sifs_s + ack_air
+                        + DOT11B_PARAMS.difs_s)
+            assert nxt >= earliest - 1e-6
+
+
+class TestTdmaTiming:
+    def test_transmissions_start_exactly_guard_after_slot_edge(self):
+        topo = chain_topology(2)
+        config = default_frame_config()
+        sim = Simulator()
+        trace = Trace(capacity=50_000)
+        channel = BroadcastChannel(sim, topo, config.phy, trace)
+        rngs = RngRegistry(seed=2)
+        clocks = {n: DriftingClock() for n in topo.nodes}  # perfect clocks
+        daemons = {n: SyncDaemon(n, 0, clocks[n],
+                                 SyncConfig(timestamp_jitter_s=0.0),
+                                 rngs.stream(f"s{n}"), trace)
+                   for n in topo.nodes}
+        overlay = TdmaOverlay(
+            sim, topo, channel, config, ControlPlane(topo, 0, config),
+            Schedule(config.data_slots, {(0, 1): SlotBlock(5, 1)}),
+            clocks, daemons, on_packet=lambda n, p: None, trace=trace)
+        for seq in range(8):
+            overlay.transmit(0, Packet(flow="f", seq=seq, size_bits=400,
+                                       created_s=0.0, route=((0, 1),)))
+        overlay.start()
+        sim.run(until=0.1)
+
+        slot_offset = config.data_slot_offset(5)
+        for record in trace.records("phy.tx"):
+            if record["kind"] != "data":
+                continue
+            in_frame = record.time % config.frame_duration_s
+            assert in_frame == pytest.approx(slot_offset + config.guard_s,
+                                             abs=1e-9)
+
+    def test_transmission_never_crosses_slot_boundary(self):
+        topo = chain_topology(2)
+        config = default_frame_config()
+        sim = Simulator()
+        trace = Trace(capacity=50_000)
+        channel = BroadcastChannel(sim, topo, config.phy, trace)
+        rngs = RngRegistry(seed=3)
+        clocks = {n: DriftingClock() for n in topo.nodes}
+        daemons = {n: SyncDaemon(n, 0, clocks[n], SyncConfig(),
+                                 rngs.stream(f"s{n}"), trace)
+                   for n in topo.nodes}
+        overlay = TdmaOverlay(
+            sim, topo, channel, config, ControlPlane(topo, 0, config),
+            Schedule(config.data_slots, {(0, 1): SlotBlock(3, 1)}),
+            clocks, daemons, on_packet=lambda n, p: None, trace=trace)
+        # maximum-size fragments stress the slot budget hardest
+        big = config.data_slot_capacity_bits
+        for seq in range(5):
+            overlay.transmit(0, Packet(flow="f", seq=seq, size_bits=big,
+                                       created_s=0.0, route=((0, 1),)))
+        overlay.start()
+        sim.run(until=0.1)
+        slot_end_offset = config.data_slot_offset(3) + config.data_slot_s
+        for record in trace.records("phy.tx"):
+            if record["kind"] != "data":
+                continue
+            end_in_frame = (record.time + record["duration"]) \
+                % config.frame_duration_s
+            assert end_in_frame <= slot_end_offset + 1e-9

@@ -1,0 +1,152 @@
+"""Distributed mesh election."""
+
+import itertools
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mesh16.election import ElectionControlPlane, election_hash
+from repro.mesh16.frame import default_frame_config
+from repro.net.topology import chain_topology, grid_topology
+
+
+def plane(topology=None, holdoff=16, gateway=0):
+    return ElectionControlPlane(topology or grid_topology(3, 3), gateway,
+                                default_frame_config(),
+                                holdoff_opportunities=holdoff)
+
+
+class TestHash:
+    def test_deterministic(self):
+        assert election_hash(3, 17) == election_hash(3, 17)
+
+    def test_varies_with_both_inputs(self):
+        values = {election_hash(n, o) for n in range(8) for o in range(8)}
+        assert len(values) == 64  # no collisions in this small set
+
+    def test_reshuffles_rankings_across_opportunities(self):
+        # node rankings must not be static, or one node would starve
+        leaders = {max(range(6), key=lambda n: election_hash(n, o))
+                   for o in range(50)}
+        assert len(leaders) >= 4
+
+
+class TestSafety:
+    @pytest.mark.parametrize("topo_factory", [
+        lambda: chain_topology(10),
+        lambda: grid_topology(3, 4),
+    ])
+    def test_winners_always_more_than_two_hops_apart(self, topo_factory):
+        topology = topo_factory()
+        cp = plane(topology)
+        for opportunity in range(200):
+            winners = sorted(cp.winners(opportunity))
+            for a, b in itertools.combinations(winners, 2):
+                assert topology.hop_distance(a, b) > 2, (opportunity, a, b)
+
+    def test_holdoff_enforced(self):
+        cp = plane(chain_topology(4), holdoff=10)
+        last_win: dict[int, int] = {}
+        for opportunity in range(300):
+            for node in cp.winners(opportunity):
+                if node in last_win:
+                    assert opportunity - last_win[node] >= 10
+                last_win[node] = opportunity
+
+
+class TestFairnessAndReuse:
+    def test_every_node_wins_regularly(self):
+        topology = grid_topology(3, 3)
+        cp = plane(topology)
+        wins = {n: 0 for n in topology.nodes}
+        for opportunity in range(400):
+            for node in cp.winners(opportunity):
+                wins[node] += 1
+        assert all(count > 0 for count in wins.values())
+        # no node hogs: max/min ratio bounded
+        assert max(wins.values()) <= 5 * min(wins.values())
+
+    def test_spatial_reuse_on_long_chain(self):
+        # far-apart chain nodes can win the same opportunity
+        cp = plane(chain_topology(12))
+        multi = [o for o in range(200) if len(cp.winners(o)) >= 2]
+        assert multi, "a 12-node chain must show control-slot reuse"
+
+    def test_star_never_reuses(self):
+        # every pair of star nodes is within 2 hops: one winner at most
+        from repro.net.topology import star_topology
+        cp = plane(star_topology(5))
+        for opportunity in range(100):
+            assert len(cp.winners(opportunity)) <= 1
+
+
+class TestControlPlaneInterface:
+    def test_owns_matches_winners(self):
+        topology = grid_topology(3, 3)
+        cp = plane(topology)
+        config = default_frame_config()
+        for frame in range(10):
+            for slot in range(config.control_slots):
+                opportunity = frame * config.control_slots + slot
+                winners = cp.winners(opportunity)
+                for node in topology.nodes:
+                    assert cp.owns(node, frame, slot) == (node in winners)
+
+    def test_next_opportunity_is_a_win(self):
+        topology = grid_topology(3, 3)
+        cp = plane(topology)
+        for node in topology.nodes:
+            frame, slot = cp.next_opportunity(node, from_frame=3)
+            assert frame >= 3
+            assert cp.owns(node, frame, slot)
+
+    def test_owner_compat(self):
+        cp = plane(chain_topology(5))
+        value = cp.owner(0, 0)
+        assert value == -1 or value in cp.winners(0)
+
+    def test_invalid_inputs(self):
+        cp = plane(chain_topology(3))
+        with pytest.raises(ConfigurationError):
+            cp.winners(-1)
+        with pytest.raises(ConfigurationError):
+            plane(holdoff=0)
+
+
+class TestOverlayIntegration:
+    def test_sync_converges_under_election(self):
+        """The whole emulation runs with the election plane: beacons still
+        flood and clocks still lock."""
+        from repro.core.schedule import Schedule
+        from repro.overlay.emulation import TdmaOverlay
+        from repro.overlay.sync import SyncConfig, SyncDaemon
+        from repro.phy.channel import BroadcastChannel
+        from repro.sim.clock import DriftingClock
+        from repro.sim.engine import Simulator
+        from repro.sim.random import RngRegistry
+        from repro.sim.trace import Trace
+        from repro.units import ppm
+
+        topology = grid_topology(3, 3)
+        config = default_frame_config()
+        sim = Simulator()
+        trace = Trace()
+        channel = BroadcastChannel(sim, topology, config.phy, trace)
+        rngs = RngRegistry(seed=77)
+        clocks, daemons = {}, {}
+        for node in topology.nodes:
+            skew = 0.0 if node == 0 else float(
+                rngs.stream(f"k{node}").uniform(-ppm(10), ppm(10)))
+            clocks[node] = DriftingClock(skew=skew)
+            daemons[node] = SyncDaemon(node, 0, clocks[node], SyncConfig(),
+                                       rngs.stream(f"s{node}"), trace)
+        overlay = TdmaOverlay(sim, topology, channel, config,
+                              plane(topology), Schedule(config.data_slots),
+                              clocks, daemons,
+                              on_packet=lambda n, p: None, trace=trace)
+        overlay.start()
+        sim.run(until=3.0)
+        assert trace.count("sync.adopt") > 0
+        assert overlay.max_sync_error_s() < 50e-6
+        # control transmissions never collide (winners > 2 hops apart)
+        assert trace.count("tdma.rx_corrupt") == 0

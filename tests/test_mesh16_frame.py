@@ -1,0 +1,102 @@
+"""802.16 mesh frame geometry."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mesh16.frame import MeshFrameConfig, default_frame_config
+from repro.phy.radio import DOT11B_11M
+from repro.units import MS, US
+
+
+def config(**overrides):
+    defaults = dict(frame_duration_s=10 * MS, control_slots=4,
+                    control_slot_s=400 * US, data_slots=16,
+                    guard_s=60 * US, phy=DOT11B_11M)
+    defaults.update(overrides)
+    return MeshFrameConfig(**defaults)
+
+
+class TestGeometry:
+    def test_subframe_partition(self):
+        cfg = config()
+        assert cfg.control_subframe_s == pytest.approx(1.6e-3)
+        assert cfg.data_subframe_s == pytest.approx(8.4e-3)
+        assert cfg.data_slot_s == pytest.approx(8.4e-3 / 16)
+
+    def test_offsets_within_frame(self):
+        cfg = config()
+        assert cfg.control_slot_offset(0) == 0.0
+        assert cfg.control_slot_offset(3) == pytest.approx(1.2e-3)
+        assert cfg.data_slot_offset(0) == pytest.approx(1.6e-3)
+        last = cfg.data_slot_offset(15)
+        assert last + cfg.data_slot_s == pytest.approx(10e-3)
+
+    def test_offset_bounds_checked(self):
+        cfg = config()
+        with pytest.raises(ConfigurationError):
+            cfg.control_slot_offset(4)
+        with pytest.raises(ConfigurationError):
+            cfg.data_slot_offset(16)
+        with pytest.raises(ConfigurationError):
+            cfg.data_slot_offset(-1)
+
+    def test_frame_start_and_index_roundtrip(self):
+        cfg = config()
+        for index in (0, 1, 7, 100):
+            start = cfg.frame_start_local(index)
+            assert cfg.frame_index_at_local(start + 1e-9) == index
+        with pytest.raises(ConfigurationError):
+            cfg.frame_start_local(-1)
+
+    def test_frame_index_never_negative(self):
+        assert config().frame_index_at_local(-5.0) == 0
+
+
+class TestCapacity:
+    def test_capacity_accounts_for_all_overheads(self):
+        cfg = config()
+        on_air = cfg.data_slot_s - cfg.guard_s
+        mac_bits = cfg.phy.bits_in(on_air)
+        assert cfg.data_slot_capacity_bits == mac_bits - 34 * 8 - 64
+
+    def test_capacity_fits_voip_packet(self):
+        # the default profile must carry at least one G.711 packet (1600
+        # bits on wire) per slot
+        assert default_frame_config().data_slot_capacity_bits >= 1600
+
+    def test_larger_guard_smaller_capacity(self):
+        big = config(guard_s=200 * US)
+        small = config(guard_s=20 * US)
+        assert big.data_slot_capacity_bits < small.data_slot_capacity_bits
+
+    def test_slot_efficiency_below_one(self):
+        cfg = config()
+        assert 0 < cfg.slot_efficiency < 1
+
+
+class TestValidation:
+    def test_control_subframe_must_leave_room(self):
+        with pytest.raises(ConfigurationError):
+            config(control_slots=25, control_slot_s=400 * US)
+
+    def test_guard_must_fit_in_slot(self):
+        with pytest.raises(ConfigurationError):
+            config(guard_s=1 * MS)
+
+    def test_slot_must_fit_headers(self):
+        with pytest.raises(ConfigurationError, match="too short"):
+            config(data_slots=40)  # 210 us slots < 192 us preamble + hdrs
+
+    def test_nonpositive_durations(self):
+        with pytest.raises(ConfigurationError):
+            config(frame_duration_s=0.0)
+        with pytest.raises(ConfigurationError):
+            config(data_slots=0)
+
+
+def test_default_profile_sane():
+    cfg = default_frame_config()
+    assert cfg.frame_duration_s == pytest.approx(10e-3)
+    assert cfg.data_slots == 16
+    assert cfg.control_slots == 4
+    assert cfg.data_slot_capacity_bits > 0

@@ -1,0 +1,39 @@
+"""Control message models."""
+
+from repro.core.schedule import SlotBlock
+from repro.mesh16.messages import ScheduleAnnouncement, SyncBeacon
+
+
+class TestSyncBeacon:
+    def test_relay_increments_hops_and_keeps_round(self):
+        beacon = SyncBeacon(origin=0, sender=0, root_time_at_tx=1.5,
+                            round_id=7, hops=0)
+        relayed = beacon.relayed_by(sender=3, root_time_at_tx=1.6)
+        assert relayed.origin == 0
+        assert relayed.sender == 3
+        assert relayed.round_id == 7
+        assert relayed.hops == 1
+        assert relayed.root_time_at_tx == 1.6
+
+    def test_size_constant(self):
+        assert SyncBeacon.SIZE_BITS == 23 * 8
+
+    def test_frozen(self):
+        beacon = SyncBeacon(0, 0, 0.0, 0, 0)
+        try:
+            beacon.hops = 5
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised
+
+
+class TestScheduleAnnouncement:
+    def test_size_scales_with_links(self):
+        empty = ScheduleAnnouncement(1, 0, {})
+        one = ScheduleAnnouncement(1, 0, {(0, 1): SlotBlock(0, 1)})
+        two = ScheduleAnnouncement(1, 0, {(0, 1): SlotBlock(0, 1),
+                                          (1, 2): SlotBlock(1, 1)})
+        assert empty.size_bits() == 32
+        assert one.size_bits() - empty.size_bits() == 48
+        assert two.size_bits() - one.size_bits() == 48

@@ -1,0 +1,76 @@
+"""Control-plane opportunity roster."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mesh16.frame import default_frame_config
+from repro.mesh16.network import ControlPlane
+from repro.net.topology import chain_topology, grid_topology
+
+
+def plane(topology=None, gateway=0):
+    return ControlPlane(topology or chain_topology(5), gateway,
+                        default_frame_config())
+
+
+class TestRoster:
+    def test_gateway_speaks_first(self):
+        cp = plane()
+        assert cp.owner(0, 0) == 0
+
+    def test_roster_ordered_by_depth(self):
+        cp = plane(grid_topology(3, 3), gateway=4)
+        depths = [cp.depth(n) for n in cp.roster]
+        assert depths == sorted(depths)
+        assert cp.roster[0] == 4
+
+    def test_all_nodes_get_turns(self):
+        cp = plane()
+        owners = {cp.owner(f, s) for f in range(3)
+                  for s in range(4)}
+        assert owners == set(range(5))
+
+    def test_roster_cycles(self):
+        cp = plane()  # 5 nodes, 4 control slots/frame
+        # opportunity 5 (frame 1, slot 1) wraps to the roster start
+        assert cp.owner(1, 1) == cp.owner(0, 0)
+
+    def test_invalid_slot_rejected(self):
+        with pytest.raises(ConfigurationError):
+            plane().owner(0, 4)
+
+
+class TestNextOpportunity:
+    def test_gateway_first_opportunity(self):
+        cp = plane()
+        assert cp.next_opportunity(0, from_frame=0) == (0, 0)
+
+    def test_opportunity_at_or_after_frame(self):
+        cp = plane()
+        for node in range(5):
+            frame, slot = cp.next_opportunity(node, from_frame=2)
+            assert frame >= 2
+            assert cp.owner(frame, slot) == node
+
+    def test_every_node_within_one_cycle(self):
+        cp = plane()
+        cycle_frames = -(-len(cp.roster) // 4)  # ceil
+        for node in range(5):
+            frame, ____ = cp.next_opportunity(node, from_frame=10)
+            assert frame < 10 + cycle_frames + 1
+
+    def test_unknown_node(self):
+        with pytest.raises(ConfigurationError):
+            plane().next_opportunity(99, 0)
+
+
+class TestTree:
+    def test_parent_relation(self):
+        cp = plane()
+        assert cp.parent(0) is None
+        assert cp.parent(3) == 2
+
+    def test_depths(self):
+        cp = plane()
+        assert cp.depth(0) == 0
+        assert cp.depth(4) == 4

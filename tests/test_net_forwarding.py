@@ -1,0 +1,88 @@
+"""Source-routed forwarder."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.net.forwarding import SourceRoutedForwarder
+from repro.net.packet import Packet
+from repro.sim.trace import Trace
+
+
+class RecordingMac:
+    """MacAdapter stub that records transmissions and can refuse them."""
+
+    def __init__(self, accept: bool = True):
+        self.accept = accept
+        self.transmissions: list[tuple[int, Packet]] = []
+
+    def transmit(self, node: int, packet: Packet) -> bool:
+        self.transmissions.append((node, packet))
+        return self.accept
+
+
+def make_packet(route=((0, 1), (1, 2))):
+    return Packet(flow="f", seq=0, size_bits=100, created_s=0.0,
+                  route=tuple(route))
+
+
+def test_originate_queues_at_source():
+    mac = RecordingMac()
+    forwarder = SourceRoutedForwarder(mac, lambda p, t: None)
+    packet = make_packet()
+    assert forwarder.originate(packet, 0.0)
+    assert mac.transmissions == [(0, packet)]
+
+
+def test_originate_mid_route_rejected():
+    forwarder = SourceRoutedForwarder(RecordingMac(), lambda p, t: None)
+    packet = make_packet()
+    packet.advance()
+    with pytest.raises(SimulationError):
+        forwarder.originate(packet, 0.0)
+
+
+def test_arrival_at_intermediate_forwards():
+    mac = RecordingMac()
+    delivered = []
+    forwarder = SourceRoutedForwarder(mac, lambda p, t: delivered.append(p))
+    packet = make_packet()
+    forwarder.packet_arrived(1, packet, 1.0)
+    assert packet.hop == 1
+    assert mac.transmissions == [(1, packet)]
+    assert delivered == []
+
+
+def test_arrival_at_destination_delivers():
+    delivered = []
+    forwarder = SourceRoutedForwarder(RecordingMac(),
+                                      lambda p, t: delivered.append((p, t)))
+    packet = make_packet()
+    packet.advance()
+    forwarder.packet_arrived(2, packet, 3.5)
+    assert delivered == [(packet, 3.5)]
+    assert packet.delivered
+
+
+def test_arrival_at_wrong_node_rejected():
+    forwarder = SourceRoutedForwarder(RecordingMac(), lambda p, t: None)
+    with pytest.raises(SimulationError):
+        forwarder.packet_arrived(2, make_packet(), 0.0)
+
+
+def test_mac_refusal_traced_as_drop():
+    trace = Trace()
+    forwarder = SourceRoutedForwarder(RecordingMac(accept=False),
+                                      lambda p, t: None, trace)
+    assert not forwarder.originate(make_packet(), 0.0)
+    assert trace.count("fwd.drop") == 1
+
+
+def test_hop_and_deliver_traced():
+    trace = Trace()
+    forwarder = SourceRoutedForwarder(RecordingMac(), lambda p, t: None,
+                                      trace)
+    packet = make_packet()
+    forwarder.packet_arrived(1, packet, 1.0)
+    forwarder.packet_arrived(2, packet, 2.0)
+    assert trace.count("fwd.hop") == 1
+    assert trace.count("fwd.deliver") == 1

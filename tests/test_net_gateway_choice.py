@@ -1,0 +1,32 @@
+"""Gateway placement utility."""
+
+from repro.net.routing import choose_gateway, gateway_tree
+from repro.net.topology import chain_topology, grid_topology, star_topology
+
+
+def test_chain_center():
+    assert choose_gateway(chain_topology(5)) == 2
+    # even-length chain: two centers, smallest id wins
+    assert choose_gateway(chain_topology(6)) == 2
+
+
+def test_grid_center():
+    assert choose_gateway(grid_topology(3, 3)) == 4
+
+
+def test_star_hub():
+    assert choose_gateway(star_topology(6)) == 0
+
+
+def test_center_minimizes_tree_depth():
+    import networkx as nx
+
+    topology = grid_topology(3, 4)
+    best = choose_gateway(topology)
+
+    def depth(gateway):
+        tree = gateway_tree(topology, gateway)
+        return max(nx.single_source_shortest_path_length(
+            topology.graph, gateway).values())
+
+    assert depth(best) == min(depth(n) for n in topology.nodes)

@@ -1,0 +1,51 @@
+"""Packet model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.packet import Packet
+
+
+def make_packet(**overrides):
+    defaults = dict(flow="f", seq=0, size_bits=800, created_s=0.0,
+                    route=((0, 1), (1, 2)))
+    defaults.update(overrides)
+    return Packet(**defaults)
+
+
+def test_endpoints_derived_from_route():
+    packet = make_packet()
+    assert packet.src == 0
+    assert packet.dst == 2
+
+
+def test_current_link_advances():
+    packet = make_packet()
+    assert packet.current_link == (0, 1)
+    packet.advance()
+    assert packet.current_link == (1, 2)
+    packet.advance()
+    assert packet.current_link is None
+    assert packet.delivered
+
+
+def test_advance_past_destination_rejected():
+    packet = make_packet(route=((0, 1),))
+    packet.advance()
+    with pytest.raises(ConfigurationError):
+        packet.advance()
+
+
+def test_empty_route_rejected():
+    with pytest.raises(ConfigurationError):
+        make_packet(route=())
+
+
+def test_nonpositive_size_rejected():
+    with pytest.raises(ConfigurationError):
+        make_packet(size_bits=0)
+
+
+def test_packet_ids_unique():
+    ids = {make_packet(seq=i).packet_id for i in range(50)}
+    assert len(ids) == 50

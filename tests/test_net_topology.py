@@ -1,0 +1,178 @@
+"""Topology model and generators."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.topology import (
+    MeshTopology,
+    binary_tree_topology,
+    chain_topology,
+    from_edges,
+    grid_topology,
+    random_disk_topology,
+    star_topology,
+)
+
+
+class TestMeshTopology:
+    def test_links_are_both_directions_of_each_edge(self, chain5):
+        assert (0, 1) in chain5.links
+        assert (1, 0) in chain5.links
+        assert chain5.num_links() == 2 * chain5.graph.number_of_edges()
+
+    def test_links_sorted_canonically(self, chain5):
+        assert chain5.links == sorted(chain5.links)
+
+    def test_link_index_is_stable(self, chain5):
+        for i, link in enumerate(chain5.links):
+            assert chain5.link_index(link) == i
+
+    def test_link_index_unknown_link_raises(self, chain5):
+        with pytest.raises(ConfigurationError):
+            chain5.link_index((0, 4))
+
+    def test_has_link(self, chain5):
+        assert chain5.has_link((2, 3))
+        assert not chain5.has_link((0, 3))
+
+    def test_neighbors_sorted(self, grid33):
+        assert grid33.neighbors(4) == [1, 3, 5, 7]
+
+    def test_hop_distance(self, grid33):
+        assert grid33.hop_distance(0, 8) == 4
+        assert grid33.hop_distance(0, 0) == 0
+
+    def test_distance_requires_positions(self):
+        topo = from_edges([(0, 1)])
+        with pytest.raises(ConfigurationError):
+            topo.distance(0, 1)
+
+    def test_distance_euclidean(self, chain5):
+        assert chain5.distance(0, 3) == pytest.approx(300.0)
+
+    def test_disconnected_rejected(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 1)
+        graph.add_edge(2, 3)
+        with pytest.raises(ConfigurationError, match="connected"):
+            MeshTopology(graph)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MeshTopology(nx.Graph())
+
+    def test_non_integer_nodes_rejected(self):
+        graph = nx.Graph()
+        graph.add_edge("a", "b")
+        with pytest.raises(ConfigurationError, match="integer"):
+            MeshTopology(graph)
+
+
+class TestChain:
+    def test_structure(self):
+        topo = chain_topology(4)
+        assert topo.num_nodes() == 4
+        assert topo.num_links() == 6
+        assert topo.neighbors(1) == [0, 2]
+
+    def test_single_node(self):
+        topo = chain_topology(1)
+        assert topo.num_nodes() == 1
+        assert topo.num_links() == 0
+
+    def test_invalid_size(self):
+        with pytest.raises(ConfigurationError):
+            chain_topology(0)
+
+    def test_positions_spaced(self):
+        topo = chain_topology(3, spacing=50.0)
+        assert topo.positions[2] == (100.0, 0.0)
+
+
+class TestGrid:
+    def test_structure(self):
+        topo = grid_topology(2, 3)
+        assert topo.num_nodes() == 6
+        # 2*3 grid has 7 undirected edges
+        assert topo.num_links() == 14
+
+    def test_node_ids_row_major(self):
+        topo = grid_topology(3, 3)
+        # node 4 is the center; corner 0 connects right (1) and down (3)
+        assert topo.neighbors(0) == [1, 3]
+
+    def test_invalid_dims(self):
+        with pytest.raises(ConfigurationError):
+            grid_topology(0, 3)
+
+
+class TestStar:
+    def test_all_leaves_connect_to_hub(self):
+        topo = star_topology(5)
+        assert topo.num_nodes() == 6
+        for leaf in range(1, 6):
+            assert topo.neighbors(leaf) == [0]
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            star_topology(0)
+
+
+class TestBinaryTree:
+    def test_depth_zero_is_single_node(self):
+        assert binary_tree_topology(0).num_nodes() == 1
+
+    def test_complete_tree_node_count(self):
+        assert binary_tree_topology(3).num_nodes() == 15
+
+    def test_invalid_depth(self):
+        with pytest.raises(ConfigurationError):
+            binary_tree_topology(-1)
+
+
+class TestRandomDisk:
+    def test_connected_and_within_range(self):
+        rng = np.random.default_rng(5)
+        topo = random_disk_topology(12, radio_range=400.0, area=800.0,
+                                    rng=rng)
+        assert topo.num_nodes() == 12
+        assert nx.is_connected(topo.graph)
+        for u, v in topo.graph.edges:
+            assert topo.distance(u, v) <= 400.0 + 1e-9
+
+    def test_non_edges_out_of_range(self):
+        rng = np.random.default_rng(5)
+        topo = random_disk_topology(10, radio_range=400.0, area=800.0,
+                                    rng=rng)
+        for u in topo.nodes:
+            for v in topo.nodes:
+                if u < v and not topo.graph.has_edge(u, v):
+                    assert topo.distance(u, v) > 400.0
+
+    def test_reproducible_given_rng_seed(self):
+        topo1 = random_disk_topology(8, 400.0, 700.0,
+                                     np.random.default_rng(3))
+        topo2 = random_disk_topology(8, 400.0, 700.0,
+                                     np.random.default_rng(3))
+        assert set(topo1.graph.edges) == set(topo2.graph.edges)
+
+    def test_impossible_parameters_raise(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError, match="connected"):
+            random_disk_topology(20, radio_range=10.0, area=10_000.0,
+                                 rng=rng, max_tries=5)
+
+    def test_invalid_parameters(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            random_disk_topology(0, 100.0, 100.0, rng)
+        with pytest.raises(ConfigurationError):
+            random_disk_topology(5, -1.0, 100.0, rng)
+
+
+def test_from_edges():
+    topo = from_edges([(0, 1), (1, 2)], name="tiny")
+    assert topo.name == "tiny"
+    assert topo.num_links() == 4

@@ -1,0 +1,114 @@
+"""Cold-start behaviour: lock acquisition and class-priority queues."""
+
+import pytest
+
+from repro.analysis.scenarios import (
+    make_voip_flows,
+    run_tdma_scenario,
+    schedule_for_flows,
+)
+from repro.core.schedule import Schedule, SlotBlock
+from repro.mesh16.frame import default_frame_config
+from repro.net.packet import Packet
+from repro.net.topology import chain_topology, grid_topology
+from repro.sim.random import RngRegistry
+from repro.traffic.voip import G729
+
+
+@pytest.mark.slow
+def test_cold_start_acquires_lock_and_stabilizes():
+    """Clocks start up to +-2 ms apart (a whole control subframe!); the
+    beacon flood must pull everyone in, after which the mesh runs clean."""
+    topology = grid_topology(3, 3)
+    frame = default_frame_config()
+    rngs = RngRegistry(seed=91)
+    flows = make_voip_flows(topology, 2, rngs, codec=G729, gateway=0,
+                            delay_budget_s=0.1)
+    schedule = schedule_for_flows(topology, flows, frame)
+    result = run_tdma_scenario(
+        topology, flows, frame, schedule, duration_s=6.0,
+        rngs=rngs.spawn("run"), drift_ppm=10.0,
+        start_synced=False, initial_offset_bound_s=2e-3,
+        codec=G729, warmup_s=2.0)
+    samples = result.extras["sync_error_samples"]
+    # earliest samples see the cold start; the last second must be locked
+    assert samples[-1] < frame.guard_s
+    assert max(samples[-5:]) < frame.guard_s
+    # after warmup, packets flow with bounded delay
+    for qos in result.qos.values():
+        assert qos.received > 0
+        assert qos.p95_delay_s < 0.05
+
+
+def test_guaranteed_class_preempts_bulk_in_link_queue():
+    """A guaranteed packet enqueued behind a pile of bulk fragments must
+    still leave first (class-priority queueing)."""
+    from repro.mesh16.network import ControlPlane
+    from repro.overlay.emulation import TdmaOverlay
+    from repro.overlay.sync import SyncConfig, SyncDaemon
+    from repro.phy.channel import BroadcastChannel
+    from repro.sim.clock import DriftingClock
+    from repro.sim.engine import Simulator
+    from repro.sim.trace import Trace
+
+    topology = chain_topology(2)
+    frame = default_frame_config()
+    sim = Simulator()
+    trace = Trace()
+    channel = BroadcastChannel(sim, topology, frame.phy, trace)
+    rngs = RngRegistry(seed=5)
+    clocks = {n: DriftingClock() for n in topology.nodes}
+    daemons = {n: SyncDaemon(n, 0, clocks[n], SyncConfig(),
+                             rngs.stream(f"s{n}"), trace)
+               for n in topology.nodes}
+    delivered = []
+    overlay = TdmaOverlay(
+        sim, topology, channel, frame, ControlPlane(topology, 0, frame),
+        Schedule(frame.data_slots, {(0, 1): SlotBlock(0, 1)}),
+        clocks, daemons,
+        on_packet=lambda n, p: delivered.append(p.flow), trace=trace)
+
+    # ten bulk packets first, then one VoIP packet
+    for seq in range(10):
+        overlay.transmit(0, Packet(flow="bulk", seq=seq, size_bits=800,
+                                   created_s=0.0, route=((0, 1),),
+                                   priority=1))
+    overlay.transmit(0, Packet(flow="voip", seq=0, size_bits=480,
+                               created_s=0.0, route=((0, 1),), priority=0))
+    overlay.start()
+    sim.run(until=0.2)
+    assert delivered[0] == "voip"
+    assert delivered.count("bulk") == 10
+
+
+def test_equal_priority_stays_fifo():
+    from repro.mesh16.network import ControlPlane
+    from repro.overlay.emulation import TdmaOverlay
+    from repro.overlay.sync import SyncConfig, SyncDaemon
+    from repro.phy.channel import BroadcastChannel
+    from repro.sim.clock import DriftingClock
+    from repro.sim.engine import Simulator
+    from repro.sim.trace import Trace
+
+    topology = chain_topology(2)
+    frame = default_frame_config()
+    sim = Simulator()
+    channel = BroadcastChannel(sim, topology, frame.phy)
+    rngs = RngRegistry(seed=5)
+    clocks = {n: DriftingClock() for n in topology.nodes}
+    daemons = {n: SyncDaemon(n, 0, clocks[n], SyncConfig(),
+                             rngs.stream(f"s{n}"))
+               for n in topology.nodes}
+    delivered = []
+    overlay = TdmaOverlay(
+        sim, topology, channel, frame, ControlPlane(topology, 0, frame),
+        Schedule(frame.data_slots, {(0, 1): SlotBlock(0, 1)}),
+        clocks, daemons,
+        on_packet=lambda n, p: delivered.append(p.seq))
+    for seq in range(6):
+        overlay.transmit(0, Packet(flow="voip", seq=seq, size_bits=480,
+                                   created_s=0.0, route=((0, 1),),
+                                   priority=0))
+    overlay.start()
+    sim.run(until=0.1)
+    assert delivered == list(range(6))

@@ -1,0 +1,161 @@
+"""Slot-level ARQ extension of the TDMA overlay."""
+
+import numpy as np
+import pytest
+
+from repro.core.schedule import Schedule, SlotBlock
+from repro.errors import ConfigurationError
+from repro.mesh16.frame import MeshFrameConfig, default_frame_config
+from repro.mesh16.network import ControlPlane
+from repro.net.packet import Packet
+from repro.overlay.emulation import TdmaOverlay
+from repro.overlay.sync import SyncConfig, SyncDaemon
+from repro.phy.channel import BroadcastChannel
+from repro.sim.clock import DriftingClock
+from repro.sim.engine import Simulator
+from repro.sim.random import RngRegistry
+from repro.sim.trace import Trace
+from repro.net.topology import chain_topology
+
+
+def build(topology, schedule, arq=True, error_rate=0.0, per_link=None,
+          seed=21, retry_limit=3):
+    sim = Simulator()
+    trace = Trace(capacity=100_000)
+    # ARQ pays the preamble twice per slot: use coarser (8) data slots so a
+    # fragment + SIFS + micro-ACK comfortably fit
+    config = default_frame_config(data_slots=8)
+    channel = BroadcastChannel(sim, topology, config.phy, trace)
+    rngs = RngRegistry(seed=seed)
+    if error_rate or per_link:
+        channel.set_error_model(rngs.stream("err"), error_rate, per_link)
+    clocks, daemons = {}, {}
+    for node in topology.nodes:
+        clocks[node] = DriftingClock()
+        daemons[node] = SyncDaemon(node, 0, clocks[node], SyncConfig(),
+                                   rngs.stream(f"s{node}"), trace)
+    delivered = []
+    overlay = TdmaOverlay(
+        sim, topology, channel, config, ControlPlane(topology, 0, config),
+        schedule, clocks, daemons,
+        on_packet=lambda n, p: delivered.append((sim.now, n, p)),
+        trace=trace, arq=arq, arq_retry_limit=retry_limit)
+    overlay.start()
+    return sim, overlay, delivered, trace, config
+
+
+def packet(route, bits=600, seq=0):
+    return Packet(flow="f", seq=seq, size_bits=bits, created_s=0.0,
+                  route=tuple(route))
+
+
+class TestCleanChannel:
+    def test_delivery_unchanged_without_errors(self):
+        topo = chain_topology(2)
+        schedule = Schedule(8, {(0, 1): SlotBlock(0, 1)})
+        sim, overlay, delivered, trace, config = build(topo, schedule)
+        for seq in range(5):
+            overlay.transmit(0, packet([(0, 1)], seq=seq))
+        sim.run(until=0.1)
+        assert len(delivered) == 5
+        assert trace.count("tdma.arq_retx") == 0
+        # every fragment was micro-ACKed
+        assert trace.count("tdma.arq_ack") == 5
+
+    def test_arq_reduces_fragment_capacity(self):
+        topo = chain_topology(2)
+        schedule = Schedule(8, {(0, 1): SlotBlock(0, 1)})
+        ____, with_arq, ____, ____, config = build(topo, schedule, arq=True)
+        ____, without, ____, ____, ____ = build(topo, schedule, arq=False)
+        assert with_arq.fragment_capacity_bits < without.fragment_capacity_bits
+        assert with_arq.fragment_capacity_bits > 0
+
+    def test_ack_does_not_collide_with_spatially_reused_slot(self):
+        # (0,1) and (5,6) share slot 0 on a long chain; their micro-ACKs
+        # (from 1 and 6) are as far apart as the data and must not corrupt
+        topo = chain_topology(8)
+        schedule = Schedule(8, {(0, 1): SlotBlock(0, 1),
+                                (5, 6): SlotBlock(0, 1)})
+        sim, overlay, delivered, trace, ____ = build(topo, schedule)
+        for seq in range(10):
+            overlay.transmit(0, packet([(0, 1)], seq=seq))
+            overlay.transmit(5, packet([(5, 6)], seq=seq))
+        sim.run(until=0.3)
+        assert len(delivered) == 20
+        assert trace.count("tdma.rx_corrupt") == 0
+
+
+class TestLossRecovery:
+    def test_retransmission_recovers_lost_fragment(self):
+        topo = chain_topology(2)
+        schedule = Schedule(8, {(0, 1): SlotBlock(0, 1)})
+        sim, overlay, delivered, trace, ____ = build(
+            topo, schedule, per_link={(0, 1): 0.3}, retry_limit=8)
+        for seq in range(40):
+            overlay.transmit(0, packet([(0, 1)], seq=seq))
+        sim.run(until=2.0)
+        assert len(delivered) == 40          # everything recovered
+        assert trace.count("tdma.arq_retx") > 0
+
+    def test_no_arq_loses_packets_on_same_channel(self):
+        topo = chain_topology(2)
+        schedule = Schedule(8, {(0, 1): SlotBlock(0, 1)})
+        sim, overlay, delivered, ____, ____ = build(
+            topo, schedule, arq=False, per_link={(0, 1): 0.3})
+        for seq in range(40):
+            overlay.transmit(0, packet([(0, 1)], seq=seq))
+        sim.run(until=2.0)
+        assert len(delivered) < 40
+
+    def test_no_duplicate_deliveries_when_ack_lost(self):
+        # errors on the reverse direction kill ACKs but not data: the
+        # sender retransmits, the receiver must dedup
+        topo = chain_topology(2)
+        schedule = Schedule(8, {(0, 1): SlotBlock(0, 1)})
+        sim, overlay, delivered, trace, ____ = build(
+            topo, schedule, per_link={(1, 0): 0.5}, retry_limit=8)
+        for seq in range(20):
+            overlay.transmit(0, packet([(0, 1)], seq=seq))
+        sim.run(until=2.0)
+        seqs = [p.seq for ____, ____, p in delivered]
+        assert sorted(seqs) == sorted(set(seqs))  # no dupes
+        assert len(seqs) == 20
+        assert trace.count("tdma.arq_retx") > 0
+
+    def test_retry_limit_drops_then_moves_on(self):
+        topo = chain_topology(2)
+        schedule = Schedule(8, {(0, 1): SlotBlock(0, 1)})
+        sim, overlay, delivered, trace, ____ = build(
+            topo, schedule, per_link={(0, 1): 0.97}, retry_limit=2,
+            seed=3)
+        for seq in range(6):
+            overlay.transmit(0, packet([(0, 1)], seq=seq))
+        sim.run(until=3.0)
+        assert trace.count("tdma.arq_drop") > 0
+        # the queue kept draining despite the drops
+        assert overlay.nodes[0].queued_fragments() == 0
+
+
+def test_slot_too_short_for_arq_rejected():
+    topo = chain_topology(2)
+    # 40 slots of ~210 us cannot fit data + SIFS + ACK on 802.11b
+    from repro.phy.radio import DOT11B_11M
+    from repro.units import MS, US
+    with pytest.raises(ConfigurationError):
+        config = MeshFrameConfig(frame_duration_s=10 * MS, control_slots=0,
+                                 control_slot_s=0.0, data_slots=23,
+                                 guard_s=60 * US, phy=DOT11B_11M)
+        schedule = Schedule(23)
+        build_cfg_overlay(topo, config, schedule)
+
+
+def build_cfg_overlay(topology, config, schedule):
+    sim = Simulator()
+    channel = BroadcastChannel(sim, topology, config.phy)
+    rngs = RngRegistry(seed=0)
+    clocks = {n: DriftingClock() for n in topology.nodes}
+    daemons = {n: SyncDaemon(n, 0, clocks[n], SyncConfig(),
+                             rngs.stream(f"s{n}")) for n in topology.nodes}
+    return TdmaOverlay(sim, topology, channel, config,
+                       ControlPlane(topology, 0, config), schedule, clocks,
+                       daemons, on_packet=lambda n, p: None, arq=True)

@@ -1,0 +1,146 @@
+"""In-band schedule distribution (MSH-DSCH flooding)."""
+
+import pytest
+
+from repro.core.schedule import Schedule, SlotBlock
+from repro.errors import ConfigurationError
+from repro.mesh16.frame import default_frame_config
+from repro.mesh16.network import ControlPlane
+from repro.net.packet import Packet
+from repro.overlay.distribution import ScheduleDistributor
+from repro.overlay.emulation import TdmaOverlay
+from repro.overlay.sync import SyncConfig, SyncDaemon
+from repro.phy.channel import BroadcastChannel
+from repro.sim.clock import DriftingClock
+from repro.sim.engine import Simulator
+from repro.sim.random import RngRegistry
+from repro.sim.trace import Trace
+from repro.net.topology import chain_topology, grid_topology
+from repro.units import ppm
+
+
+def build(topology, initial_schedule=None, gateway=0, seed=3,
+          drift_ppm=5.0):
+    sim = Simulator()
+    trace = Trace()
+    config = default_frame_config()
+    channel = BroadcastChannel(sim, topology, config.phy, trace)
+    rngs = RngRegistry(seed=seed)
+    clocks, daemons = {}, {}
+    for node in topology.nodes:
+        skew = 0.0 if node == gateway else float(
+            rngs.stream(f"skew/{node}").uniform(-ppm(drift_ppm),
+                                                ppm(drift_ppm)))
+        clocks[node] = DriftingClock(skew=skew)
+        daemons[node] = SyncDaemon(node, gateway, clocks[node], SyncConfig(),
+                                   rngs.stream(f"sync/{node}"), trace)
+    delivered = []
+    overlay = TdmaOverlay(
+        sim, topology, channel, config,
+        ControlPlane(topology, gateway, config),
+        initial_schedule or Schedule(config.data_slots),
+        clocks, daemons,
+        on_packet=lambda n, p: delivered.append((sim.now, n, p)),
+        trace=trace)
+    distributor = ScheduleDistributor(overlay, gateway)
+    overlay.attach_distributor(distributor)
+    return sim, overlay, distributor, delivered, trace, config
+
+
+def test_announcement_floods_to_all_nodes():
+    topology = grid_topology(3, 3)
+    sim, overlay, distributor, ____, trace, config = build(topology)
+    new_schedule = Schedule(config.data_slots,
+                            {(0, 1): SlotBlock(0, 1),
+                             (1, 2): SlotBlock(1, 1)})
+    overlay.start()
+    distributor.announce(new_schedule, activation_frame=40)
+    sim.run(until=0.5)
+    assert distributor.coverage() == 1.0
+    assert trace.count("dsch.learn") == topology.num_nodes()
+
+
+def test_nodes_apply_at_activation_frame():
+    topology = chain_topology(3)
+    sim, overlay, distributor, ____, trace, config = build(topology)
+    new_schedule = Schedule(config.data_slots, {(1, 2): SlotBlock(4, 2)})
+    overlay.start()
+    distributor.announce(new_schedule, activation_frame=30)
+    activation_time = 30 * config.frame_duration_s
+
+    sim.run(until=activation_time - 0.001)
+    assert overlay.nodes[1].tx_slots == []  # learned but not applied
+    sim.run(until=activation_time + 0.02)
+    assert overlay.nodes[1].tx_slots == [(4, (1, 2)), (5, (1, 2))]
+    assert trace.count("dsch.activate") == 3
+
+
+def test_data_flows_after_in_band_activation():
+    topology = chain_topology(2)
+    sim, overlay, distributor, delivered, ____, config = build(topology)
+    overlay.start()
+    distributor.announce(
+        Schedule(config.data_slots, {(0, 1): SlotBlock(2, 1)}),
+        activation_frame=10)
+    packet = Packet(flow="f", seq=0, size_bits=400, created_s=0.0,
+                    route=((0, 1),))
+    overlay.transmit(0, packet)
+    # before activation nothing moves; after it, the queued packet drains
+    sim.run(until=10 * config.frame_duration_s - 0.001)
+    assert delivered == []
+    sim.run(until=12 * config.frame_duration_s)
+    assert [(n, p) for ____, n, p in delivered] == [(1, packet)]
+
+
+def test_newer_version_supersedes_older():
+    topology = chain_topology(3)
+    sim, overlay, distributor, ____, ____, config = build(topology)
+    overlay.start()
+    distributor.announce(
+        Schedule(config.data_slots, {(0, 1): SlotBlock(0, 1)}),
+        activation_frame=20)
+    distributor.announce(
+        Schedule(config.data_slots, {(0, 1): SlotBlock(7, 1)}),
+        activation_frame=25)
+    sim.run(until=0.5)
+    assert overlay.nodes[0].tx_slots == [(7, (0, 1))]
+    assert distributor.applied_version[0] == 2
+
+
+def test_beacons_resume_after_distribution():
+    topology = chain_topology(3)
+    sim, overlay, distributor, ____, trace, config = build(topology)
+    overlay.start()
+    distributor.announce(Schedule(config.data_slots), activation_frame=15)
+    sim.run(until=1.0)
+    # sync still works: beacons were sent after the flood finished
+    assert trace.count("sync.beacon") > 0
+    assert trace.count("sync.adopt") > 0
+
+
+def test_announce_validates_frame_geometry():
+    topology = chain_topology(2)
+    ____, overlay, distributor, ____, ____, ____ = build(topology)
+    with pytest.raises(ConfigurationError):
+        distributor.announce(Schedule(5), activation_frame=10)
+
+
+def test_double_attach_rejected():
+    topology = chain_topology(2)
+    ____, overlay, distributor, ____, ____, ____ = build(topology)
+    with pytest.raises(ConfigurationError):
+        overlay.attach_distributor(distributor)
+
+
+def test_rebroadcast_budget_respected():
+    topology = chain_topology(2)
+    sim, overlay, distributor, ____, trace, ____ = build(topology)
+    overlay.start()
+    distributor.announce(Schedule(default_frame_config().data_slots),
+                         activation_frame=50)
+    sim.run(until=2.0)
+    # each node transmits the announcement at most `rebroadcasts` times
+    control_txs = sum(1 for r in trace.records("phy.tx")
+                      if r["kind"] == "control")
+    assert control_txs <= distributor.rebroadcasts * topology.num_nodes()
+    assert control_txs >= 2  # gateway + at least one relay

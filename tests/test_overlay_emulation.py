@@ -1,0 +1,217 @@
+"""TDMA overlay MAC: slot adherence, delivery, sync integration."""
+
+import pytest
+
+from repro.core.schedule import Schedule, SlotBlock
+from repro.errors import ConfigurationError
+from repro.mesh16.frame import default_frame_config
+from repro.mesh16.network import ControlPlane
+from repro.net.packet import Packet
+from repro.overlay.emulation import TdmaOverlay
+from repro.overlay.sync import SyncConfig, SyncDaemon
+from repro.phy.channel import BroadcastChannel
+from repro.sim.clock import DriftingClock
+from repro.sim.engine import Simulator
+from repro.sim.random import RngRegistry
+from repro.sim.trace import Trace
+from repro.net.topology import chain_topology
+from repro.units import US, ppm
+
+
+def build_overlay(topology, schedule, drift_skews=None, sync_enabled=True,
+                  jitter=0.0, gateway=0, seed=9):
+    sim = Simulator()
+    trace = Trace()
+    config = default_frame_config()
+    channel = BroadcastChannel(sim, topology, config.phy, trace)
+    rngs = RngRegistry(seed=seed)
+    clocks, daemons = {}, {}
+    sync_config = SyncConfig(timestamp_jitter_s=jitter,
+                             enabled=sync_enabled)
+    for node in topology.nodes:
+        skew = (drift_skews or {}).get(node, 0.0)
+        clocks[node] = DriftingClock(skew=skew)
+        daemons[node] = SyncDaemon(node, gateway, clocks[node], sync_config,
+                                   rngs.stream(f"s{node}"), trace)
+    delivered = []
+    plane = ControlPlane(topology, gateway, config)
+    overlay = TdmaOverlay(sim, topology, channel, config, plane, schedule,
+                          clocks, daemons,
+                          on_packet=lambda n, p: delivered.append((sim.now,
+                                                                   n, p)),
+                          trace=trace)
+    return sim, overlay, delivered, trace, config
+
+
+def make_packet(route, bits=800, flow="f", seq=0):
+    return Packet(flow=flow, seq=seq, size_bits=bits, created_s=0.0,
+                  route=tuple(route))
+
+
+class TestBasicOperation:
+    def test_single_hop_delivery_in_assigned_slot(self):
+        topo = chain_topology(2)
+        schedule = Schedule(16, {(0, 1): SlotBlock(3, 1)})
+        sim, overlay, delivered, trace, config = build_overlay(topo, schedule)
+        packet = make_packet([(0, 1)])
+        assert overlay.transmit(0, packet)
+        overlay.start()
+        sim.run(until=0.05)
+        assert [(n, p) for ____, n, p in delivered] == [(1, packet)]
+        # the transmission happened inside data slot 3 of some frame
+        tx = trace.last("tdma.tx")
+        assert tx["slot"] == 3
+        offset = tx.time % config.frame_duration_s
+        slot_start = config.data_slot_offset(3)
+        assert slot_start <= offset < slot_start + config.data_slot_s
+
+    def test_queue_drains_one_fragment_per_slot(self):
+        topo = chain_topology(2)
+        schedule = Schedule(16, {(0, 1): SlotBlock(0, 1)})
+        sim, overlay, delivered, trace, config = build_overlay(topo, schedule)
+        for seq in range(3):
+            overlay.transmit(0, make_packet([(0, 1)], seq=seq))
+        overlay.start()
+        sim.run(until=3.5 * config.frame_duration_s)
+        assert len(delivered) == 3
+        # one per frame
+        deltas = [b - a for (a, ____, ____), (b, ____, ____)
+                  in zip(delivered, delivered[1:])]
+        assert all(d == pytest.approx(config.frame_duration_s, rel=1e-3)
+                   for d in deltas)
+
+    def test_block_of_two_slots_doubles_throughput(self):
+        topo = chain_topology(2)
+        schedule = Schedule(16, {(0, 1): SlotBlock(0, 2)})
+        sim, overlay, delivered, ____, config = build_overlay(topo, schedule)
+        for seq in range(4):
+            overlay.transmit(0, make_packet([(0, 1)], seq=seq))
+        overlay.start()
+        sim.run(until=2.5 * config.frame_duration_s)
+        assert len(delivered) == 4
+
+    def test_multihop_relay(self):
+        topo = chain_topology(4)
+        schedule = Schedule(16, {(0, 1): SlotBlock(0, 1),
+                                 (1, 2): SlotBlock(1, 1),
+                                 (2, 3): SlotBlock(2, 1)})
+        sim, overlay, delivered, ____, config = build_overlay(topo, schedule)
+        packet = make_packet([(0, 1)])
+
+        # wire a mini-forwarder: on arrival, advance and re-enqueue
+        full_route = ((0, 1), (1, 2), (2, 3))
+        packet = make_packet(full_route)
+        arrived = []
+
+        def forward(node, pkt):
+            pkt.advance()
+            if pkt.delivered:
+                arrived.append((sim.now, node))
+            else:
+                overlay.transmit(node, pkt)
+
+        overlay.on_packet = forward
+        overlay.transmit(0, packet)
+        overlay.start()
+        sim.run(until=0.1)
+        assert len(arrived) == 1
+        assert arrived[0][1] == 3
+
+    def test_fragmentation_reassembly_over_air(self):
+        topo = chain_topology(2)
+        schedule = Schedule(16, {(0, 1): SlotBlock(0, 3)})
+        sim, overlay, delivered, ____, config = build_overlay(topo, schedule)
+        big = make_packet([(0, 1)],
+                          bits=2 * config.data_slot_capacity_bits + 10)
+        overlay.transmit(0, big)
+        overlay.start()
+        sim.run(until=0.05)
+        assert [p for ____, ____, p in delivered] == [big]
+
+    def test_queue_overflow_rejected(self):
+        topo = chain_topology(2)
+        schedule = Schedule(16, {(0, 1): SlotBlock(0, 1)})
+        sim, overlay, ____, trace, config = build_overlay(topo, schedule)
+        results = [overlay.transmit(0, make_packet([(0, 1)], seq=i))
+                   for i in range(300)]
+        assert not all(results)
+        assert trace.count("tdma.queue_drop") > 0
+
+    def test_wrong_node_enqueue_rejected(self):
+        topo = chain_topology(2)
+        schedule = Schedule(16, {(0, 1): SlotBlock(0, 1)})
+        ____, overlay, ____, ____, ____ = build_overlay(topo, schedule)
+        with pytest.raises(ConfigurationError):
+            overlay.transmit(1, make_packet([(0, 1)]))
+
+
+class TestScheduleValidation:
+    def test_slot_count_mismatch_rejected(self):
+        topo = chain_topology(2)
+        schedule = Schedule(8, {(0, 1): SlotBlock(0, 1)})  # frame has 16
+        with pytest.raises(ConfigurationError, match="slots"):
+            build_overlay(topo, schedule)
+
+    def test_unknown_transmitter_rejected(self):
+        topo = chain_topology(2)
+        schedule = Schedule(16, {(7, 8): SlotBlock(0, 1)})
+        with pytest.raises(ConfigurationError):
+            build_overlay(topo, schedule)
+
+
+class TestSlotAdherence:
+    def test_conflicting_slots_no_collisions_when_synced(self):
+        topo = chain_topology(3)
+        schedule = Schedule(16, {(0, 1): SlotBlock(0, 1),
+                                 (2, 1): SlotBlock(1, 1)})
+        sim, overlay, delivered, trace, config = build_overlay(
+            topo, schedule,
+            drift_skews={1: ppm(10), 2: -ppm(10)})
+        for seq in range(20):
+            overlay.transmit(0, make_packet([(0, 1)], flow="a", seq=seq))
+            overlay.transmit(2, make_packet([(2, 1)], flow="b", seq=seq))
+        overlay.start()
+        sim.run(until=0.3)
+        assert trace.count("tdma.rx_corrupt") == 0
+        flows = [p.flow for ____, ____, p in delivered]
+        assert flows.count("a") == 20
+        assert flows.count("b") == 20
+
+    def test_desync_causes_slot_collisions(self):
+        # no sync, huge drift: node 2's slot boundary walks into node 0's
+        topo = chain_topology(3)
+        schedule = Schedule(16, {(0, 1): SlotBlock(0, 1),
+                                 (2, 1): SlotBlock(1, 1)})
+        sim, overlay, ____, trace, config = build_overlay(
+            topo, schedule, drift_skews={2: 0.01},  # 10000 ppm!
+            sync_enabled=False)
+        for seq in range(200):
+            overlay.transmit(0, make_packet([(0, 1)], flow="a", seq=seq))
+            overlay.transmit(2, make_packet([(2, 1)], flow="b", seq=seq))
+        overlay.start()
+        sim.run(until=2.0)
+        assert trace.count("tdma.rx_corrupt") > 0
+
+
+class TestSyncIntegration:
+    def test_sync_error_bounded_with_beacons(self):
+        topo = chain_topology(4)
+        schedule = Schedule(16, {})
+        sim, overlay, ____, trace, ____ = build_overlay(
+            topo, schedule,
+            drift_skews={1: ppm(10), 2: -ppm(10), 3: ppm(5)},
+            jitter=1 * US)
+        overlay.start()
+        sim.run(until=2.0)
+        assert trace.count("sync.adopt") > 0
+        assert overlay.max_sync_error_s() < 50 * US
+
+    def test_without_sync_error_grows(self):
+        topo = chain_topology(2)
+        schedule = Schedule(16, {})
+        sim, overlay, ____, ____, ____ = build_overlay(
+            topo, schedule, drift_skews={1: ppm(10)}, sync_enabled=False)
+        overlay.start()
+        sim.run(until=2.0)
+        assert overlay.max_sync_error_s() == pytest.approx(
+            ppm(10) * sim.now, rel=0.2)

@@ -1,0 +1,71 @@
+"""Guard-time dimensioning."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.overlay.guard import (
+    DEFAULT_TURNAROUND_S,
+    max_resync_interval_s,
+    required_guard_s,
+    slot_overhead_fraction,
+)
+from repro.units import US, ppm
+
+
+class TestRequiredGuard:
+    def test_linear_in_drift_and_interval(self):
+        base = required_guard_s(10, 1.0)
+        double_drift = required_guard_s(20, 1.0)
+        double_interval = required_guard_s(10, 2.0)
+        mutual = 2 * ppm(10) * 1.0
+        assert double_drift - base == pytest.approx(mutual)
+        assert double_interval - base == pytest.approx(mutual)
+
+    def test_includes_fixed_terms(self):
+        guard = required_guard_s(0, 0.0, sync_residual_s=5 * US,
+                                 propagation_s=2 * US,
+                                 turnaround_s=3 * US)
+        assert guard == pytest.approx(10e-6)
+
+    def test_default_turnaround(self):
+        guard = required_guard_s(0, 0.0, propagation_s=0.0)
+        assert guard == pytest.approx(DEFAULT_TURNAROUND_S)
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            required_guard_s(-1, 1.0)
+        with pytest.raises(ConfigurationError):
+            required_guard_s(1, -1.0)
+
+
+class TestMaxResync:
+    def test_inverse_of_required_guard(self):
+        for drift in (5.0, 10.0, 50.0):
+            for interval in (0.1, 1.0, 10.0):
+                guard = required_guard_s(drift, interval,
+                                         sync_residual_s=10 * US)
+                recovered = max_resync_interval_s(
+                    guard, drift, sync_residual_s=10 * US)
+                assert recovered == pytest.approx(interval)
+
+    def test_insufficient_guard_yields_zero(self):
+        assert max_resync_interval_s(1 * US, 10.0) == 0.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            max_resync_interval_s(0.0, 10.0)
+        with pytest.raises(ConfigurationError):
+            max_resync_interval_s(1e-3, 0.0)
+
+
+class TestOverheadFraction:
+    def test_basic(self):
+        assert slot_overhead_fraction(500 * US, 50 * US, 50 * US) == \
+            pytest.approx(0.2)
+
+    def test_clamped_at_one(self):
+        assert slot_overhead_fraction(100 * US, 200 * US, 50 * US) == 1.0
+
+    def test_invalid_slot(self):
+        with pytest.raises(ConfigurationError):
+            slot_overhead_fraction(0.0, 1 * US, 1 * US)

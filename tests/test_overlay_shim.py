@@ -1,0 +1,99 @@
+"""Shim fragmentation and reassembly."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.packet import Packet
+from repro.overlay.shim import Reassembler, ShimFragment, fragment_packet
+
+
+def packet(bits=1000):
+    return Packet(flow="f", seq=0, size_bits=bits, created_s=0.0,
+                  route=((0, 1),))
+
+
+class TestFragmentation:
+    def test_small_packet_single_fragment(self):
+        frags = fragment_packet(packet(500), (0, 1), capacity_bits=1000)
+        assert len(frags) == 1
+        assert frags[0].payload_bits == 500
+        assert frags[0].count == 1
+
+    def test_exact_fit_single_fragment(self):
+        frags = fragment_packet(packet(1000), (0, 1), capacity_bits=1000)
+        assert len(frags) == 1
+
+    def test_large_packet_split(self):
+        frags = fragment_packet(packet(2500), (0, 1), capacity_bits=1000)
+        assert [f.payload_bits for f in frags] == [1000, 1000, 500]
+        assert [f.index for f in frags] == [0, 1, 2]
+        assert all(f.count == 3 for f in frags)
+
+    def test_total_bits_preserved(self):
+        for size in (1, 999, 1000, 1001, 12345):
+            frags = fragment_packet(packet(size), (0, 1), 1000)
+            assert sum(f.payload_bits for f in frags) == size
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            fragment_packet(packet(), (0, 1), 0)
+
+    def test_fragment_validation(self):
+        with pytest.raises(ConfigurationError):
+            ShimFragment((0, 1), packet(), index=3, count=3,
+                         payload_bits=10)
+        with pytest.raises(ConfigurationError):
+            ShimFragment((0, 1), packet(), index=0, count=1,
+                         payload_bits=0)
+
+
+class TestReassembly:
+    def test_single_fragment_immediate(self):
+        reassembler = Reassembler()
+        original = packet(500)
+        frags = fragment_packet(original, (0, 1), 1000)
+        assert reassembler.accept(frags[0]) is original
+
+    def test_multi_fragment_completes_on_last(self):
+        reassembler = Reassembler()
+        original = packet(2500)
+        frags = fragment_packet(original, (0, 1), 1000)
+        assert reassembler.accept(frags[0]) is None
+        assert reassembler.accept(frags[1]) is None
+        assert reassembler.accept(frags[2]) is original
+        assert reassembler.pending == 0
+
+    def test_out_of_order_fragments(self):
+        reassembler = Reassembler()
+        original = packet(2500)
+        frags = fragment_packet(original, (0, 1), 1000)
+        assert reassembler.accept(frags[2]) is None
+        assert reassembler.accept(frags[0]) is None
+        assert reassembler.accept(frags[1]) is original
+
+    def test_duplicate_fragment_does_not_complete(self):
+        reassembler = Reassembler()
+        frags = fragment_packet(packet(2000), (0, 1), 1000)
+        assert reassembler.accept(frags[0]) is None
+        assert reassembler.accept(frags[0]) is None
+        assert reassembler.pending == 1
+
+    def test_interleaved_packets(self):
+        reassembler = Reassembler()
+        p1, p2 = packet(2000), packet(2000)
+        f1 = fragment_packet(p1, (0, 1), 1000)
+        f2 = fragment_packet(p2, (0, 1), 1000)
+        assert reassembler.accept(f1[0]) is None
+        assert reassembler.accept(f2[0]) is None
+        assert reassembler.accept(f2[1]) is p2
+        assert reassembler.accept(f1[1]) is p1
+
+    def test_stale_partials_evicted(self):
+        reassembler = Reassembler(max_partial=2)
+        partials = [fragment_packet(packet(2000), (0, 1), 1000)
+                    for ____ in range(3)]
+        for frags in partials:
+            reassembler.accept(frags[0])
+        assert reassembler.pending == 2
+        # the first packet was evicted; completing it now fails silently
+        assert reassembler.accept(partials[0][1]) is None

@@ -1,0 +1,147 @@
+"""Synchronization daemon logic (unit level, no channel)."""
+
+import numpy as np
+import pytest
+
+from repro.mesh16.messages import SyncBeacon
+from repro.overlay.sync import SyncConfig, SyncDaemon
+from repro.sim.clock import DriftingClock, PerfectClock
+from repro.units import US, ppm
+
+
+def daemon(node=1, root=0, clock=None, jitter=0.0, enabled=True,
+           skew_comp=False, seed=3):
+    return SyncDaemon(
+        node, root, clock or DriftingClock(),
+        SyncConfig(timestamp_jitter_s=jitter, enabled=enabled,
+                   skew_compensation=skew_comp),
+        np.random.default_rng(seed))
+
+
+def beacon(root_time, round_id=1, hops=0, origin=0, sender=0):
+    return SyncBeacon(origin=origin, sender=sender,
+                      root_time_at_tx=root_time, round_id=round_id,
+                      hops=hops)
+
+
+class TestRoot:
+    def test_root_is_always_synced(self):
+        root = daemon(node=0, root=0)
+        assert root.is_root and root.synced
+
+    def test_root_mints_increasing_rounds(self):
+        root = daemon(node=0, root=0, clock=PerfectClock())
+        b1 = root.make_beacon(1.0)
+        b2 = root.make_beacon(2.0)
+        assert b2.round_id == b1.round_id + 1
+        assert b1.hops == 0
+
+    def test_root_stamps_its_clock(self):
+        clock = DriftingClock(offset=0.5)
+        root = daemon(node=0, root=0, clock=clock)
+        b = root.make_beacon(1.0)
+        assert b.root_time_at_tx == pytest.approx(1.5)
+
+    def test_root_ignores_beacons(self):
+        root = daemon(node=0, root=0)
+        assert not root.on_beacon(beacon(5.0), 1.0, 0.0, 0.0)
+
+
+class TestAdoption:
+    def test_adoption_steps_clock_to_root_estimate(self):
+        clock = DriftingClock(offset=0.01)
+        node = daemon(clock=clock)
+        airtime, prop = 200e-6, 1e-6
+        assert node.on_beacon(beacon(5.0), 1.0, airtime, prop)
+        assert clock.local_time(1.0) == pytest.approx(5.0 + airtime + prop)
+        assert node.synced
+
+    def test_stale_round_rejected(self):
+        node = daemon()
+        assert node.on_beacon(beacon(5.0, round_id=3), 1.0, 0.0, 0.0)
+        assert not node.on_beacon(beacon(9.0, round_id=2), 2.0, 0.0, 0.0)
+        assert not node.on_beacon(beacon(9.0, round_id=3, hops=5),
+                                  2.0, 0.0, 0.0)
+
+    def test_closer_estimate_same_round_adopted(self):
+        node = daemon()
+        assert node.on_beacon(beacon(5.0, round_id=3, hops=4), 1.0, 0.0, 0.0)
+        assert node.state.hops == 5
+        assert node.on_beacon(beacon(5.1, round_id=3, hops=1), 2.0, 0.0, 0.0)
+        assert node.state.hops == 2
+
+    def test_disabled_sync_never_adopts(self):
+        node = daemon(enabled=False)
+        assert not node.on_beacon(beacon(5.0), 1.0, 0.0, 0.0)
+        assert node.make_beacon(1.0) is None
+
+
+class TestRelay:
+    def test_unsynced_node_stays_silent(self):
+        node = daemon()
+        assert node.make_beacon(1.0) is None
+
+    def test_synced_node_relays_with_own_hops(self):
+        node = daemon(clock=PerfectClock())
+        node.on_beacon(beacon(1.0, round_id=2, hops=1), 1.0, 0.0, 0.0)
+        relay = node.make_beacon(2.0)
+        assert relay is not None
+        assert relay.round_id == 2
+        assert relay.hops == 2
+        assert relay.sender == 1
+        assert relay.origin == 0
+
+    def test_relay_stamp_is_own_estimate(self):
+        clock = DriftingClock()
+        node = daemon(clock=clock)
+        node.on_beacon(beacon(10.0), 1.0, 0.0, 0.0)  # clock now reads 10
+        relay = node.make_beacon(2.0)
+        assert relay.root_time_at_tx == pytest.approx(11.0)
+
+
+class TestJitter:
+    def test_jitter_bounds_adoption_error(self):
+        for seed in range(5):
+            clock = DriftingClock()
+            node = daemon(clock=clock, jitter=2 * US, seed=seed)
+            node.on_beacon(beacon(5.0), 1.0, 0.0, 0.0)
+            error = clock.local_time(1.0) - 5.0
+            # tx stamp jitter is the sender's; only our rx jitter applies
+            assert abs(error) <= 2 * US + 1e-12
+
+    def test_zero_jitter_exact(self):
+        clock = DriftingClock()
+        node = daemon(clock=clock, jitter=0.0)
+        node.on_beacon(beacon(5.0), 1.0, 100e-6, 1e-6)
+        assert clock.local_time(1.0) == pytest.approx(5.0 + 101e-6)
+
+
+class TestSkewCompensation:
+    def test_rate_disciplined_after_window(self):
+        skew = ppm(20)
+        clock = DriftingClock(skew=skew)
+        node = daemon(clock=clock, skew_comp=True, jitter=0.0)
+        # beacons every 0.5 s from a perfect root; root time == true time
+        round_id = 1
+        for k in range(1, 8):
+            t = 0.5 * k
+            node.on_beacon(beacon(t, round_id=round_id), t, 0.0, 0.0)
+            round_id += 1
+        # after >= 1 s of telescoped steps the daemon should have
+        # disciplined the 20 ppm oscillator well below 5 ppm effective
+        assert abs(clock.effective_rate - 1.0) < ppm(5)
+
+    def test_without_compensation_rate_untouched(self):
+        skew = ppm(20)
+        clock = DriftingClock(skew=skew)
+        node = daemon(clock=clock, skew_comp=False, jitter=0.0)
+        for k in range(1, 8):
+            t = 0.5 * k
+            node.on_beacon(beacon(t, round_id=k), t, 0.0, 0.0)
+        assert clock.effective_rate == pytest.approx(1.0 + skew)
+
+
+def test_invalid_config():
+    from repro.errors import ConfigurationError
+    with pytest.raises(ConfigurationError):
+        SyncConfig(timestamp_jitter_s=-1.0)

@@ -1,0 +1,196 @@
+"""Broadcast channel: delivery, collisions, carrier sense."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.phy.channel import BroadcastChannel, ChannelClient
+from repro.phy.frames import FrameKind, PhyFrame
+from repro.phy.radio import PhyParams
+from repro.sim.engine import Simulator
+from repro.sim.trace import Trace
+from repro.units import US
+
+#: convenient test PHY: 1 Mb/s, no preamble, 1 us propagation
+TEST_PHY = PhyParams("test", data_rate_bps=1e6, basic_rate_bps=1e6,
+                     plcp_overhead_s=0.0, propagation_delay_s=1 * US)
+
+
+class Listener(ChannelClient):
+    def __init__(self):
+        self.received: list[tuple[PhyFrame, bool]] = []
+        self.medium_changes = 0
+
+    def on_receive(self, frame, success):
+        self.received.append((frame, success))
+
+    def on_medium_change(self):
+        self.medium_changes += 1
+
+
+def setup_channel(topology, trace=None):
+    sim = Simulator()
+    channel = BroadcastChannel(sim, topology, TEST_PHY, trace)
+    listeners = {}
+    for node in topology.nodes:
+        listeners[node] = Listener()
+        channel.attach(node, listeners[node])
+    return sim, channel, listeners
+
+
+def frame_from(src, bits=1000, dst=None):
+    return PhyFrame(FrameKind.DATA, src, dst, bits)
+
+
+class TestDelivery:
+    def test_neighbors_receive(self, chain5):
+        sim, channel, listeners = setup_channel(chain5)
+        channel.transmit(1, frame_from(1))
+        sim.run()
+        assert len(listeners[0].received) == 1
+        assert len(listeners[2].received) == 1
+        assert listeners[0].received[0][1] is True
+
+    def test_non_neighbors_hear_nothing(self, chain5):
+        sim, channel, listeners = setup_channel(chain5)
+        channel.transmit(0, frame_from(0))
+        sim.run()
+        assert listeners[2].received == []
+        assert listeners[4].received == []
+
+    def test_delivery_time_is_airtime_plus_propagation(self, chain5):
+        sim, channel, listeners = setup_channel(chain5)
+        channel.transmit(0, frame_from(0, bits=1000))
+        sim.run()
+        # 1000 bits at 1 Mb/s = 1 ms, plus 1 us propagation
+        assert sim.now == pytest.approx(1e-3 + 1e-6)
+
+    def test_explicit_duration_respected(self, chain5):
+        sim, channel, ____ = setup_channel(chain5)
+        returned = channel.transmit(0, frame_from(0), duration=5e-4)
+        assert returned == pytest.approx(5e-4)
+
+    def test_src_mismatch_rejected(self, chain5):
+        ____, channel, ____ = setup_channel(chain5)
+        with pytest.raises(SimulationError):
+            channel.transmit(0, frame_from(1))
+
+    def test_double_transmit_rejected(self, chain5):
+        ____, channel, ____ = setup_channel(chain5)
+        channel.transmit(0, frame_from(0))
+        with pytest.raises(SimulationError, match="already transmitting"):
+            channel.transmit(0, frame_from(0))
+
+    def test_unknown_node_rejected(self, chain5):
+        ____, channel, ____ = setup_channel(chain5)
+        with pytest.raises(ConfigurationError):
+            channel.transmit(99, frame_from(99))
+
+    def test_double_attach_rejected(self, chain5):
+        sim = Simulator()
+        channel = BroadcastChannel(sim, chain5, TEST_PHY)
+        channel.attach(0, Listener())
+        with pytest.raises(ConfigurationError):
+            channel.attach(0, Listener())
+
+
+class TestCollisions:
+    def test_hidden_terminal_collision(self, chain5):
+        # 0 and 2 both transmit to 1 simultaneously: 1 hears garbage
+        trace = Trace()
+        sim, channel, listeners = setup_channel(chain5, trace)
+        channel.transmit(0, frame_from(0))
+        channel.transmit(2, frame_from(2))
+        sim.run()
+        results = [ok for ____, ok in listeners[1].received]
+        assert results == [False, False]
+        assert trace.count("phy.rx_collision") >= 2
+
+    def test_partial_overlap_still_collides(self, chain5):
+        sim, channel, listeners = setup_channel(chain5)
+        channel.transmit(0, frame_from(0, bits=1000))  # 1 ms
+        sim.run(until=0.5e-3)
+        channel.transmit(2, frame_from(2, bits=1000))
+        sim.run()
+        assert all(not ok for ____, ok in listeners[1].received)
+
+    def test_back_to_back_no_collision(self, chain5):
+        sim, channel, listeners = setup_channel(chain5)
+        channel.transmit(0, frame_from(0, bits=1000))
+        sim.run(until=1.1e-3)  # first fully delivered
+        channel.transmit(2, frame_from(2, bits=1000))
+        sim.run()
+        assert [ok for ____, ok in listeners[1].received] == [True, True]
+
+    def test_non_interfering_parallel_transmissions(self, chain8):
+        # 0->1 and 5->6 are far apart: both succeed simultaneously
+        sim, channel, listeners = setup_channel(chain8)
+        channel.transmit(0, frame_from(0))
+        channel.transmit(5, frame_from(5))
+        sim.run()
+        assert listeners[1].received[0][1] is True
+        assert listeners[6].received[0][1] is True
+
+    def test_rx_during_tx_lost(self, chain5):
+        # 1 starts transmitting while 0's frame is arriving: 1 loses it
+        trace = Trace()
+        sim, channel, listeners = setup_channel(chain5, trace)
+        channel.transmit(0, frame_from(0, bits=1000))
+        sim.run(until=0.2e-3)
+        channel.transmit(1, frame_from(1, bits=100))
+        sim.run()
+        zero_to_one = [ok for f, ok in listeners[1].received if f.src == 0]
+        assert zero_to_one == [False]
+        # symmetric: node 0 also loses node 1's frame while transmitting
+        assert trace.count("phy.rx_rx_during_tx") == 2
+
+    def test_transmission_starting_mid_reception_also_corrupts(self, chain5):
+        # receiver starts its own tx after the reception began
+        sim, channel, listeners = setup_channel(chain5)
+        channel.transmit(0, frame_from(0, bits=2000))  # 2 ms
+        sim.run(until=1.5e-3)
+        channel.transmit(1, frame_from(1, bits=100))
+        sim.run()
+        zero_to_one = [ok for f, ok in listeners[1].received if f.src == 0]
+        assert zero_to_one == [False]
+
+
+class TestCarrierSense:
+    def test_transmitter_senses_own_tx(self, chain5):
+        sim, channel, ____ = setup_channel(chain5)
+        assert not channel.medium_busy(0)
+        channel.transmit(0, frame_from(0, bits=1000))
+        assert channel.transmitting(0)
+        assert channel.medium_busy(0)
+        sim.run()
+        assert not channel.medium_busy(0)
+
+    def test_neighbor_senses_after_propagation(self, chain5):
+        sim, channel, ____ = setup_channel(chain5)
+        channel.transmit(0, frame_from(0, bits=1000))
+        assert not channel.medium_busy(1)  # propagation not elapsed
+        sim.run(until=2e-6)
+        assert channel.medium_busy(1)
+
+    def test_two_hop_node_never_senses(self, chain5):
+        sim, channel, ____ = setup_channel(chain5)
+        channel.transmit(0, frame_from(0, bits=1000))
+        sim.run(until=0.5e-3)
+        assert not channel.medium_busy(2)
+
+    def test_busy_until(self, chain5):
+        sim, channel, ____ = setup_channel(chain5)
+        channel.transmit(0, frame_from(0, bits=1000))
+        assert channel.busy_until(0) == pytest.approx(1e-3)
+        sim.run(until=2e-6)
+        assert channel.busy_until(1) == pytest.approx(1e-3 + 1e-6)
+        assert channel.busy_until(3) == pytest.approx(sim.now)
+
+    def test_medium_change_notifications(self, chain5):
+        sim, channel, listeners = setup_channel(chain5)
+        channel.transmit(0, frame_from(0))
+        sim.run()
+        # neighbour 1: busy at arrival start + idle at arrival end (plus
+        # the delivery notification)
+        assert listeners[1].medium_changes >= 2
+        # transmitter: start + end
+        assert listeners[0].medium_changes >= 2

@@ -1,0 +1,83 @@
+"""Channel error injection (fading model)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.phy.channel import BroadcastChannel, ChannelClient
+from repro.phy.frames import FrameKind, PhyFrame
+from repro.phy.radio import PhyParams
+from repro.sim.engine import Simulator
+from repro.sim.trace import Trace
+from repro.net.topology import chain_topology
+
+TEST_PHY = PhyParams("t", 1e6, 1e6, plcp_overhead_s=0.0,
+                     propagation_delay_s=1e-6)
+
+
+class Counter(ChannelClient):
+    def __init__(self):
+        self.ok = 0
+        self.bad = 0
+
+    def on_receive(self, frame, success):
+        if success:
+            self.ok += 1
+        else:
+            self.bad += 1
+
+    def on_medium_change(self):
+        pass
+
+
+def run_transmissions(error_rate=0.0, per_link=None, count=400, seed=9):
+    topo = chain_topology(2)
+    sim = Simulator()
+    trace = Trace()
+    channel = BroadcastChannel(sim, topo, TEST_PHY, trace)
+    if error_rate or per_link:
+        channel.set_error_model(np.random.default_rng(seed), error_rate,
+                                per_link)
+    counter = Counter()
+    channel.attach(0, Counter())
+    channel.attach(1, counter)
+    for i in range(count):
+        frame = PhyFrame(FrameKind.DATA, 0, 1, 100)
+        sim.schedule_at(i * 1e-3, channel.transmit, 0, frame, 1e-4)
+    sim.run()
+    return counter, trace
+
+
+def test_no_model_means_no_random_loss():
+    counter, ____ = run_transmissions()
+    assert counter.bad == 0
+    assert counter.ok == 400
+
+
+def test_loss_rate_approximates_configured():
+    counter, trace = run_transmissions(error_rate=0.2)
+    assert counter.bad == pytest.approx(80, abs=30)
+    assert trace.count("phy.rx_channel_error") == counter.bad
+
+
+def test_per_link_rate_overrides_default():
+    # reverse direction unaffected by a (0,1)-only rate
+    counter, ____ = run_transmissions(error_rate=0.0,
+                                      per_link={(0, 1): 0.5})
+    assert counter.bad == pytest.approx(200, abs=40)
+
+
+def test_deterministic_with_seed():
+    a, ____ = run_transmissions(error_rate=0.1, seed=4)
+    b, ____ = run_transmissions(error_rate=0.1, seed=4)
+    assert a.bad == b.bad
+
+
+def test_invalid_rates_rejected():
+    topo = chain_topology(2)
+    channel = BroadcastChannel(Simulator(), topo, TEST_PHY)
+    with pytest.raises(ConfigurationError):
+        channel.set_error_model(np.random.default_rng(0), 1.0)
+    with pytest.raises(ConfigurationError):
+        channel.set_error_model(np.random.default_rng(0), 0.0,
+                                {(0, 1): -0.1})

@@ -1,0 +1,28 @@
+"""PHY frame model."""
+
+from repro.phy.frames import FrameKind, PhyFrame
+
+
+def test_broadcast_detection():
+    frame = PhyFrame(FrameKind.DATA, src=1, dst=None, size_bits=100)
+    assert frame.is_broadcast
+    unicast = PhyFrame(FrameKind.DATA, src=1, dst=2, size_bits=100)
+    assert not unicast.is_broadcast
+
+
+def test_frame_ids_unique_and_increasing():
+    a = PhyFrame(FrameKind.DATA, 0, 1, 10)
+    b = PhyFrame(FrameKind.ACK, 1, 0, 10)
+    assert a.frame_id != b.frame_id
+    assert b.frame_id > a.frame_id
+
+
+def test_payload_carried_opaquely():
+    payload = {"anything": [1, 2, 3]}
+    frame = PhyFrame(FrameKind.CONTROL, 0, None, 10, payload)
+    assert frame.payload is payload
+
+
+def test_kinds():
+    assert {k.value for k in FrameKind} == {"data", "ack", "rts", "cts",
+                                            "beacon", "control"}

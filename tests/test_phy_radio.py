@@ -1,0 +1,64 @@
+"""PHY parameter sets and airtime math."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.phy.radio import DOT11A_6M, DOT11B_11M, DOT11G_54M, PhyParams
+from repro.units import US
+
+
+def test_airtime_includes_plcp():
+    phy = PhyParams("t", data_rate_bps=1e6, basic_rate_bps=1e6,
+                    plcp_overhead_s=100 * US)
+    assert phy.airtime(1000) == pytest.approx(100e-6 + 1e-3)
+
+
+def test_airtime_basic_rate():
+    phy = DOT11B_11M
+    slow = phy.airtime(112, basic_rate=True)
+    fast = phy.airtime(112, basic_rate=False)
+    assert slow > fast  # 1 Mb/s vs 11 Mb/s
+
+
+def test_airtime_zero_bits_is_preamble_only():
+    assert DOT11A_6M.airtime(0) == pytest.approx(20e-6)
+
+
+def test_negative_bits_rejected():
+    with pytest.raises(ConfigurationError):
+        DOT11B_11M.airtime(-1)
+
+
+def test_bits_in_inverts_airtime():
+    phy = DOT11B_11M
+    for duration in (300e-6, 500e-6, 1e-3):
+        bits = phy.bits_in(duration)
+        assert phy.airtime(bits) <= duration + 1e-12
+        assert phy.airtime(bits + phy.data_rate_bps * 1e-6) > duration - 1e-6
+
+
+def test_bits_in_too_short_returns_zero():
+    assert DOT11B_11M.bits_in(100e-6) == 0  # below the 192 us preamble
+
+
+def test_standard_profiles():
+    assert DOT11B_11M.data_rate_bps == pytest.approx(11e6)
+    assert DOT11B_11M.basic_rate_bps == pytest.approx(1e6)
+    assert DOT11G_54M.data_rate_bps == pytest.approx(54e6)
+    assert DOT11A_6M.plcp_overhead_s == pytest.approx(20e-6)
+
+
+def test_invalid_params_rejected():
+    with pytest.raises(ConfigurationError):
+        PhyParams("bad", data_rate_bps=0, basic_rate_bps=1e6,
+                  plcp_overhead_s=0)
+    with pytest.raises(ConfigurationError):
+        PhyParams("bad", data_rate_bps=1e6, basic_rate_bps=1e6,
+                  plcp_overhead_s=-1e-6)
+
+
+def test_g711_packet_airtime_sanity():
+    # a 200 B VoIP packet + 34 B MAC header at 11 Mb/s with long preamble:
+    # 192 us + 1872/11e6 ~= 362 us
+    airtime = DOT11B_11M.airtime((200 + 34) * 8)
+    assert 350e-6 < airtime < 380e-6

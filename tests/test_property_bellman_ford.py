@@ -1,0 +1,72 @@
+"""Property-based tests for the difference-constraint solver."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bellman_ford import DifferenceConstraints
+from repro.errors import InfeasibleScheduleError
+
+
+@st.composite
+def constraint_systems(draw):
+    """Random small systems over integer variables 0..n-1."""
+    n = draw(st.integers(min_value=2, max_value=8))
+    m = draw(st.integers(min_value=1, max_value=20))
+    edges = []
+    for ____ in range(m):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u == v:
+            continue
+        w = draw(st.integers(min_value=-10, max_value=10))
+        edges.append((u, v, float(w)))
+    return edges
+
+
+@given(constraint_systems())
+@settings(max_examples=200, deadline=None)
+def test_solution_satisfies_every_constraint_or_certificate_is_negative(
+        edges):
+    """Soundness both ways: a returned solution satisfies all constraints;
+    a raised infeasibility carries a genuinely negative cycle whose edges
+    are real constraints."""
+    system = DifferenceConstraints()
+    for u, v, w in edges:
+        system.add(u, v, w)
+    try:
+        solution = system.solve()
+    except InfeasibleScheduleError as exc:
+        cycle = exc.certificate
+        assert cycle.weight < 0
+        # every consecutive cycle pair is an actual constraint edge
+        edge_set = {(u, v) for u, v, ____ in edges}
+        ring = cycle.vertices + [cycle.vertices[0]]
+        for u, v in zip(ring, ring[1:]):
+            assert (u, v) in edge_set
+        # and the cycle weight telescopes from real edge weights
+        total = 0.0
+        for u, v in zip(ring, ring[1:]):
+            total += min(w for (eu, ev, w) in edges if (eu, ev) == (u, v))
+        assert total <= cycle.weight + 1e-9
+    else:
+        for u, v, w in edges:
+            assert solution[v] <= solution[u] + w + 1e-9
+
+
+@given(constraint_systems())
+@settings(max_examples=100, deadline=None)
+def test_origin_pinned_solution_also_feasible(edges):
+    system = DifferenceConstraints()
+    for u, v, w in edges:
+        system.add(u, v, w)
+    # bound everything relative to an origin so it is reachable
+    for vertex in list(system.vertices()):
+        system.add_upper("o", vertex, 100)
+        system.add_lower("o", vertex, -100)
+    try:
+        solution = system.solve(origin="o")
+    except InfeasibleScheduleError:
+        return
+    assert solution["o"] == 0.0
+    for u, v, w in edges:
+        assert solution[v] <= solution[u] + w + 1e-9

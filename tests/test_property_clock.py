@@ -1,0 +1,87 @@
+"""Property-based tests for clocks and guard arithmetic."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.overlay.guard import max_resync_interval_s, required_guard_s
+from repro.sim.clock import DriftingClock
+from repro.units import ppm
+
+skews = st.floats(min_value=-100e-6, max_value=100e-6,
+                  allow_nan=False, allow_infinity=False)
+offsets = st.floats(min_value=-1.0, max_value=1.0,
+                    allow_nan=False, allow_infinity=False)
+times = st.floats(min_value=0.0, max_value=1e4,
+                  allow_nan=False, allow_infinity=False)
+
+
+@given(skews, offsets, times)
+@settings(max_examples=200, deadline=None)
+def test_local_true_roundtrip(skew, offset, t):
+    clock = DriftingClock(skew=skew, offset=offset)
+    assert clock.true_time(clock.local_time(t)) == pytest.approx(
+        t, abs=1e-6, rel=1e-9)
+
+
+@given(skews, times, times)
+@settings(max_examples=200, deadline=None)
+def test_local_time_monotone(skew, t1, t2):
+    clock = DriftingClock(skew=skew)
+    lo, hi = min(t1, t2), max(t1, t2)
+    assert clock.local_time(lo) <= clock.local_time(hi)
+
+
+@given(skews, offsets, times,
+       st.floats(min_value=-0.1, max_value=0.1, allow_nan=False))
+@settings(max_examples=200, deadline=None)
+def test_step_changes_only_future(skew, offset, t, correction):
+    clock = DriftingClock(skew=skew, offset=offset)
+    before = clock.local_time(t)
+    clock.step(t, correction)
+    assert clock.local_time(t) == pytest.approx(before + correction,
+                                                abs=1e-9)
+    # rate unchanged: one second later the gap is still the correction
+    gap = clock.local_time(t + 1.0) - (before + (1 + skew) + correction)
+    assert abs(gap) < 1e-9
+
+
+@given(skews, times)
+@settings(max_examples=100, deadline=None)
+def test_offset_grows_at_skew_rate(skew, t):
+    clock = DriftingClock(skew=skew)
+    assert clock.offset_at(t) == pytest.approx(skew * t, abs=1e-9,
+                                               rel=1e-9)
+
+
+@given(st.floats(min_value=0.1, max_value=100.0, allow_nan=False),
+       st.floats(min_value=0.01, max_value=100.0, allow_nan=False),
+       st.floats(min_value=0.0, max_value=1e-3, allow_nan=False))
+@settings(max_examples=200, deadline=None)
+def test_guard_resync_inverse_roundtrip(drift, interval, residual):
+    guard = required_guard_s(drift, interval, sync_residual_s=residual)
+    recovered = max_resync_interval_s(guard, drift,
+                                      sync_residual_s=residual)
+    assert recovered == pytest.approx(interval, rel=1e-9)
+
+
+@given(st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+       st.floats(min_value=0.0, max_value=100.0, allow_nan=False))
+@settings(max_examples=100, deadline=None)
+def test_guard_monotone_in_both_inputs(drift, interval):
+    base = required_guard_s(drift, interval)
+    assert required_guard_s(drift + 1, interval) >= base
+    assert required_guard_s(drift, interval + 1) >= base
+
+
+@given(skews, skews, times)
+@settings(max_examples=100, deadline=None)
+def test_mutual_error_bounded_by_guard_model(skew_a, skew_b, t):
+    """The guard dimensioning's core claim: two clocks resynced at t=0 drift
+    apart by at most 2 * drift_bound * elapsed."""
+    a = DriftingClock(skew=skew_a)
+    b = DriftingClock(skew=skew_b)
+    bound_ppm = max(abs(skew_a), abs(skew_b)) / 1e-6
+    mutual = abs(a.local_time(t) - b.local_time(t))
+    assert mutual <= 2 * ppm(bound_ppm) * t + 1e-12

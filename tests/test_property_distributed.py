@@ -1,0 +1,106 @@
+"""Property-based tests: distributed scheduling and two-class packing."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.besteffort import pack_best_effort, schedule_two_classes
+from repro.core.conflict import conflict_graph
+from repro.errors import InfeasibleScheduleError
+from repro.mesh16.distributed import DistributedScheduler
+from repro.phy.interference import interference_graph
+from repro.net.topology import chain_topology, grid_topology, random_disk_topology
+
+
+@st.composite
+def random_instances(draw):
+    """A topology plus a random sparse demand vector."""
+    kind = draw(st.sampled_from(["chain", "grid", "disk"]))
+    if kind == "chain":
+        topology = chain_topology(draw(st.integers(3, 9)))
+    elif kind == "grid":
+        topology = grid_topology(draw(st.integers(2, 3)),
+                                 draw(st.integers(2, 3)))
+    else:
+        seed = draw(st.integers(0, 50))
+        topology = random_disk_topology(
+            draw(st.integers(5, 10)), 350.0, 700.0,
+            np.random.default_rng(seed))
+    links = topology.links
+    k = draw(st.integers(1, min(8, len(links))))
+    chosen = draw(st.lists(st.integers(0, len(links) - 1),
+                           min_size=k, max_size=k, unique=True))
+    demands = {links[i]: draw(st.integers(1, 3)) for i in chosen}
+    return topology, demands
+
+
+@given(random_instances())
+@settings(max_examples=60, deadline=None)
+def test_distributed_outcome_always_interference_free(instance):
+    """Whatever the handshake commits is physically collision-free, and
+    served demand is exactly the ask."""
+    topology, demands = instance
+    scheduler = DistributedScheduler(topology, frame_slots=48,
+                                     max_cycles=32)
+    outcome = scheduler.run(demands)
+    outcome.schedule.validate(interference_graph(topology))
+    for link, demand in demands.items():
+        if link not in outcome.unserved:
+            assert outcome.schedule.block(link).length == demand
+    # conservation: every negotiation is served or reported, never both
+    for link in outcome.unserved:
+        assert link not in outcome.schedule
+
+
+@given(random_instances())
+@settings(max_examples=60, deadline=None)
+def test_distributed_generous_frame_serves_everything(instance):
+    """With a frame big enough for the serial schedule, the handshake can
+    never strand demand."""
+    topology, demands = instance
+    total = sum(demands.values())
+    scheduler = DistributedScheduler(topology, frame_slots=max(total, 1),
+                                     max_cycles=64)
+    outcome = scheduler.run(demands)
+    assert outcome.fully_served
+    assert outcome.messages == 3 * len(demands)
+
+
+@given(random_instances(), st.integers(0, 8), st.integers(4, 16))
+@settings(max_examples=60, deadline=None)
+def test_best_effort_packing_invariants(instance, region_start, extra):
+    """Best-effort packing never violates conflicts, never exceeds asks,
+    and stays inside its region."""
+    topology, demands = instance
+    conflicts = conflict_graph(topology, hops=2)
+    frame_slots = region_start + extra
+    schedule = pack_best_effort(conflicts, demands, region_start,
+                                frame_slots)
+    schedule.validate(conflicts)
+    for link, block in schedule.items():
+        assert block.start >= region_start
+        assert block.end <= frame_slots
+        assert block.length <= demands[link]
+
+
+@given(random_instances())
+@settings(max_examples=40, deadline=None)
+def test_two_class_regions_never_overlap(instance):
+    topology, demands = instance
+    conflicts = conflict_graph(topology, hops=2)
+    # split demands: alternate links between classes
+    items = sorted(demands.items())
+    guaranteed = dict(items[::2])
+    best_effort = dict(items[1::2])
+    total = sum(demands.values())
+    try:
+        result = schedule_two_classes(conflicts, guaranteed, best_effort,
+                                      frame_slots=max(total, 1))
+    except InfeasibleScheduleError:
+        return
+    for ____, block in result.guaranteed.items():
+        assert block.end <= result.guaranteed_region
+    for ____, block in result.best_effort.items():
+        assert block.start >= result.guaranteed_region
+    result.guaranteed.validate(conflicts)
+    result.best_effort.validate(conflicts)

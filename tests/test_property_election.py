@@ -1,0 +1,51 @@
+"""Property-based tests for mesh election."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mesh16.election import ElectionControlPlane
+from repro.mesh16.frame import default_frame_config
+from repro.net.topology import random_disk_topology
+
+
+@st.composite
+def disk_topologies(draw):
+    seed = draw(st.integers(0, 100))
+    n = draw(st.integers(4, 12))
+    return random_disk_topology(n, 350.0, 700.0,
+                                np.random.default_rng(seed))
+
+
+@given(disk_topologies(), st.integers(4, 32))
+@settings(max_examples=40, deadline=None)
+def test_winner_separation_invariant(topology, holdoff):
+    """On any topology and holdoff, simultaneous winners are always more
+    than two hops apart and holdoffs are respected."""
+    plane = ElectionControlPlane(topology, topology.nodes[0],
+                                 default_frame_config(),
+                                 holdoff_opportunities=holdoff)
+    last_win: dict[int, int] = {}
+    for opportunity in range(80):
+        winners = sorted(plane.winners(opportunity))
+        for i, a in enumerate(winners):
+            for b in winners[i + 1:]:
+                assert topology.hop_distance(a, b) > 2
+        for node in winners:
+            if node in last_win:
+                assert opportunity - last_win[node] >= holdoff
+            last_win[node] = opportunity
+
+
+@given(disk_topologies())
+@settings(max_examples=30, deadline=None)
+def test_no_starvation(topology):
+    plane = ElectionControlPlane(topology, topology.nodes[0],
+                                 default_frame_config(),
+                                 holdoff_opportunities=8)
+    wins = {n: 0 for n in topology.nodes}
+    horizon = 40 * topology.num_nodes()
+    for opportunity in range(horizon):
+        for node in plane.winners(opportunity):
+            wins[node] += 1
+    assert all(count > 0 for count in wins.values()), wins

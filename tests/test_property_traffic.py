@@ -1,0 +1,59 @@
+"""Property-based tests for QoS metrics and shim fragmentation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.packet import Packet
+from repro.overlay.shim import Reassembler, fragment_packet
+from repro.traffic.qos import FlowQoS, e_model_r_factor, mos_from_r
+from repro.traffic.voip import G711, G723, G729
+
+delays = st.lists(st.floats(min_value=0.0, max_value=2.0,
+                            allow_nan=False), min_size=1, max_size=200)
+
+
+@given(delays)
+@settings(max_examples=200, deadline=None)
+def test_percentiles_ordered_and_within_range(samples):
+    qos = FlowQoS.from_samples("f", sent=len(samples),
+                               received=len(samples), delays=samples)
+    assert min(samples) <= qos.p50_delay_s <= qos.p95_delay_s
+    assert qos.p95_delay_s <= qos.p99_delay_s <= qos.max_delay_s
+    assert qos.max_delay_s == max(samples)
+    assert min(samples) - 1e-12 <= qos.mean_delay_s <= max(samples) + 1e-12
+
+
+@given(st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+       st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+       st.sampled_from([G711, G729, G723]))
+@settings(max_examples=200, deadline=None)
+def test_r_factor_monotone_in_delay_and_loss(delay, loss, codec):
+    base = e_model_r_factor(delay, loss, codec)
+    assert e_model_r_factor(delay + 0.05, loss, codec) <= base + 1e-9
+    if loss <= 0.9:
+        assert e_model_r_factor(delay, loss + 0.05, codec) <= base + 1e-9
+
+
+@given(st.floats(min_value=-50, max_value=150, allow_nan=False))
+@settings(max_examples=200, deadline=None)
+def test_mos_always_in_valid_band(r):
+    mos = mos_from_r(r)
+    assert 1.0 <= mos <= 4.5
+
+
+@given(st.integers(min_value=1, max_value=100_000),
+       st.integers(min_value=1, max_value=5000))
+@settings(max_examples=200, deadline=None)
+def test_fragmentation_preserves_bits_and_reassembles(size, capacity):
+    packet = Packet(flow="f", seq=0, size_bits=size, created_s=0.0,
+                    route=((0, 1),))
+    fragments = fragment_packet(packet, (0, 1), capacity)
+    assert sum(f.payload_bits for f in fragments) == size
+    assert all(f.payload_bits <= capacity for f in fragments)
+    assert [f.index for f in fragments] == list(range(len(fragments)))
+
+    reassembler = Reassembler()
+    completed = [reassembler.accept(f) for f in fragments]
+    assert completed[-1] is packet
+    assert all(c is None for c in completed[:-1])
+    assert reassembler.pending == 0

@@ -1,0 +1,56 @@
+"""Public API surface checks."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+def test_version():
+    assert repro.__version__
+
+
+@pytest.mark.parametrize("name", sorted(repro.__all__))
+def test_root_exports_resolve(name):
+    assert getattr(repro, name) is not None
+
+
+@pytest.mark.parametrize("module_name", [
+    "repro.core", "repro.sim", "repro.phy", "repro.dot11", "repro.mesh16",
+    "repro.net", "repro.overlay", "repro.traffic", "repro.analysis",
+])
+def test_subpackage_all_exports_resolve(module_name):
+    module = importlib.import_module(module_name)
+    for name in getattr(module, "__all__", []):
+        assert getattr(module, name) is not None, f"{module_name}.{name}"
+
+
+def test_quickstart_snippet_from_docstring():
+    """The module docstring's quickstart must actually run."""
+    from repro import (Flow, FlowSet, chain_topology, conflict_graph,
+                       default_frame_config, minimum_slots, route_all)
+
+    topo = chain_topology(6)
+    flows = route_all(topo, FlowSet([
+        Flow("voip0", src=0, dst=5, rate_bps=80_000,
+             delay_budget_s=0.1)]))
+    frame = default_frame_config()
+    demands = flows.link_demands(frame.frame_duration_s,
+                                 frame.data_slot_capacity_bits)
+    result = minimum_slots(conflict_graph(topo), demands,
+                           frame_slots=frame.data_slots)
+    assert result.feasible
+    assert result.result.schedule is not None
+
+
+def test_exceptions_form_a_hierarchy():
+    from repro import errors
+
+    for name in ("ConfigurationError", "SimulationError",
+                 "SchedulingError", "RoutingError"):
+        assert issubclass(getattr(errors, name), errors.ReproError)
+    assert issubclass(errors.InfeasibleScheduleError,
+                      errors.SchedulingError)
+    assert issubclass(errors.SolverError, errors.SchedulingError)
+    assert issubclass(errors.AdmissionError, errors.SchedulingError)

@@ -1,0 +1,99 @@
+"""Drifting-clock model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.clock import DriftingClock, PerfectClock
+from repro.units import ppm
+
+
+def test_perfect_clock_identity():
+    clock = PerfectClock()
+    for t in (0.0, 1.5, 100.0):
+        assert clock.local_time(t) == pytest.approx(t)
+        assert clock.true_time(t) == pytest.approx(t)
+        assert clock.offset_at(t) == pytest.approx(0.0)
+
+
+def test_fast_clock_gains_time():
+    clock = DriftingClock(skew=ppm(10))
+    assert clock.offset_at(1.0) == pytest.approx(10e-6)
+    assert clock.offset_at(100.0) == pytest.approx(1e-3)
+
+
+def test_slow_clock_loses_time():
+    clock = DriftingClock(skew=-ppm(20))
+    assert clock.offset_at(10.0) == pytest.approx(-200e-6)
+
+
+def test_initial_offset():
+    clock = DriftingClock(skew=0.0, offset=0.5)
+    assert clock.local_time(0.0) == pytest.approx(0.5)
+    assert clock.local_time(2.0) == pytest.approx(2.5)
+
+
+def test_true_time_inverts_local_time():
+    clock = DriftingClock(skew=ppm(50), offset=0.01)
+    for t in (0.0, 3.7, 1000.0):
+        assert clock.true_time(clock.local_time(t)) == pytest.approx(t)
+
+
+def test_implausible_skew_rejected():
+    with pytest.raises(ConfigurationError):
+        DriftingClock(skew=10.0)  # forgot units.ppm()
+
+
+def test_step_advances_phase():
+    clock = DriftingClock(skew=0.0)
+    clock.step(5.0, 0.002)
+    assert clock.local_time(5.0) == pytest.approx(5.002)
+    assert clock.local_time(6.0) == pytest.approx(6.002)
+
+
+def test_step_preserves_continuity_before_step():
+    clock = DriftingClock(skew=ppm(100))
+    before = clock.local_time(10.0)
+    clock.step(10.0, -before + 10.0)  # zero the offset at t=10
+    assert clock.local_time(10.0) == pytest.approx(10.0)
+    # skew still applies after the step
+    assert clock.offset_at(11.0) == pytest.approx(100e-6, rel=1e-3)
+
+
+def test_set_local_pins_reading():
+    clock = DriftingClock(skew=ppm(10), offset=0.1)
+    clock.set_local(50.0, 50.0)
+    assert clock.local_time(50.0) == pytest.approx(50.0)
+    assert clock.offset_at(51.0) == pytest.approx(10e-6, rel=1e-3)
+
+
+def test_discipline_rate_cancels_skew():
+    skew = ppm(10)
+    clock = DriftingClock(skew=skew)
+    clock.set_local(0.0, 0.0)
+    clock.discipline_rate(0.0, 1.0 / (1.0 + skew))
+    assert clock.effective_rate == pytest.approx(1.0)
+    assert clock.offset_at(1000.0) == pytest.approx(0.0, abs=1e-9)
+
+
+def test_discipline_rate_must_be_positive():
+    clock = DriftingClock()
+    with pytest.raises(ConfigurationError):
+        clock.discipline_rate(0.0, 0.0)
+    with pytest.raises(ConfigurationError):
+        clock.discipline_rate(0.0, -1.0)
+
+
+def test_skew_property_reports_intrinsic_rate():
+    clock = DriftingClock(skew=ppm(25))
+    assert clock.skew == pytest.approx(ppm(25))
+    clock.discipline_rate(0.0, 0.9999)
+    # intrinsic skew unchanged by discipline
+    assert clock.skew == pytest.approx(ppm(25))
+
+
+def test_two_clocks_diverge_at_relative_rate():
+    a = DriftingClock(skew=ppm(10))
+    b = DriftingClock(skew=-ppm(10))
+    t = 5.0
+    mutual = abs(a.local_time(t) - b.local_time(t))
+    assert mutual == pytest.approx(2 * ppm(10) * t)

@@ -1,0 +1,183 @@
+"""Discrete-event kernel behaviour."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+def test_starts_at_zero(sim):
+    assert sim.now == 0.0
+    assert sim.pending == 0
+
+
+def test_schedule_and_run(sim):
+    fired = []
+    sim.schedule(1.5, fired.append, "a")
+    sim.run()
+    assert fired == ["a"]
+    assert sim.now == 1.5
+
+
+def test_events_run_in_time_order(sim):
+    order = []
+    sim.schedule(2.0, order.append, "late")
+    sim.schedule(1.0, order.append, "early")
+    sim.schedule(1.5, order.append, "middle")
+    sim.run()
+    assert order == ["early", "middle", "late"]
+
+
+def test_equal_timestamps_fifo(sim):
+    order = []
+    for label in "abcde":
+        sim.schedule(1.0, order.append, label)
+    sim.run()
+    assert order == list("abcde")
+
+
+def test_zero_delay_runs_after_current_instant_events(sim):
+    order = []
+
+    def first():
+        order.append("first")
+        sim.schedule(0.0, order.append, "nested")
+
+    sim.schedule(1.0, first)
+    sim.schedule(1.0, order.append, "second")
+    sim.run()
+    assert order == ["first", "second", "nested"]
+
+
+def test_negative_delay_rejected(sim):
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_in_past_rejected(sim):
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_non_finite_time_rejected(sim):
+    with pytest.raises(SimulationError):
+        sim.schedule_at(float("inf"), lambda: None)
+    with pytest.raises(SimulationError):
+        sim.schedule_at(float("nan"), lambda: None)
+
+
+def test_cancelled_event_does_not_fire(sim):
+    fired = []
+    event = sim.schedule(1.0, fired.append, "x")
+    event.cancel()
+    sim.run()
+    assert fired == []
+
+
+def test_cancel_is_idempotent(sim):
+    event = sim.schedule(1.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    sim.run()
+
+
+def test_run_until_stops_and_advances_clock(sim):
+    fired = []
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(5.0, fired.append, "b")
+    sim.run(until=3.0)
+    assert fired == ["a"]
+    assert sim.now == 3.0
+    sim.run()
+    assert fired == ["a", "b"]
+
+
+def test_run_until_includes_boundary_events(sim):
+    fired = []
+    sim.schedule(2.0, fired.append, "exact")
+    sim.run(until=2.0)
+    assert fired == ["exact"]
+
+
+def test_events_scheduled_during_run_execute(sim):
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 3:
+            sim.schedule(1.0, chain, n + 1)
+
+    sim.schedule(1.0, chain, 0)
+    sim.run()
+    assert fired == [0, 1, 2, 3]
+    assert sim.now == 4.0
+
+
+def test_max_events_guard(sim):
+    def forever():
+        sim.schedule(0.0, forever)
+
+    sim.schedule(0.0, forever)
+    with pytest.raises(SimulationError, match="max_events"):
+        sim.run(max_events=100)
+
+
+def test_run_not_reentrant(sim):
+    def nested():
+        sim.run()
+
+    sim.schedule(1.0, nested)
+    with pytest.raises(SimulationError, match="reentrant"):
+        sim.run()
+
+
+def test_step_executes_one_event(sim):
+    fired = []
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(2.0, fired.append, "b")
+    assert sim.step() is True
+    assert fired == ["a"]
+    assert sim.step() is True
+    assert fired == ["a", "b"]
+    assert sim.step() is False
+
+
+def test_step_skips_cancelled(sim):
+    fired = []
+    event = sim.schedule(1.0, fired.append, "a")
+    sim.schedule(2.0, fired.append, "b")
+    event.cancel()
+    assert sim.step() is True
+    assert fired == ["b"]
+
+
+def test_peek_time(sim):
+    assert sim.peek_time() is None
+    event = sim.schedule(2.0, lambda: None)
+    sim.schedule(3.0, lambda: None)
+    assert sim.peek_time() == 2.0
+    event.cancel()
+    assert sim.peek_time() == 3.0
+
+
+def test_events_executed_counter(sim):
+    for i in range(5):
+        sim.schedule(float(i + 1), lambda: None)
+    cancelled = sim.schedule(10.0, lambda: None)
+    cancelled.cancel()
+    sim.run()
+    assert sim.events_executed == 5
+
+
+def test_determinism_across_instances():
+    def run_once():
+        sim = Simulator()
+        log = []
+        for i in range(10):
+            sim.schedule(1.0, log.append, i)
+        sim.run()
+        return log
+
+    assert run_once() == run_once()

@@ -1,0 +1,78 @@
+"""Periodic timer helper."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.engine import Simulator
+from repro.sim.process import PeriodicTimer
+
+
+def test_fires_every_period(sim):
+    ticks = []
+    PeriodicTimer(sim, 1.0, lambda: ticks.append(sim.now))
+    sim.run(until=5.5)
+    assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+
+def test_start_delay_overrides_first_fire(sim):
+    ticks = []
+    PeriodicTimer(sim, 1.0, lambda: ticks.append(sim.now), start_delay=0.25)
+    sim.run(until=3.0)
+    assert ticks == [0.25, 1.25, 2.25]
+
+
+def test_stop_suppresses_future_fires(sim):
+    ticks = []
+    timer = PeriodicTimer(sim, 1.0, lambda: ticks.append(sim.now))
+    sim.schedule(2.5, timer.stop)
+    sim.run(until=10.0)
+    assert ticks == [1.0, 2.0]
+    assert not timer.running
+
+
+def test_callback_can_stop_its_own_timer(sim):
+    timer = None
+    ticks = []
+
+    def tick():
+        ticks.append(sim.now)
+        if len(ticks) == 3:
+            timer.stop()
+
+    timer = PeriodicTimer(sim, 1.0, tick)
+    sim.run(until=20.0)
+    assert len(ticks) == 3
+
+
+def test_fired_counter(sim):
+    timer = PeriodicTimer(sim, 0.5, lambda: None)
+    sim.run(until=2.0)
+    assert timer.fired == 4
+
+
+def test_no_phase_drift_from_slow_callbacks(sim):
+    # the timer reschedules from the nominal fire time, so a callback that
+    # schedules other work cannot skew the cadence
+    ticks = []
+
+    def tick():
+        ticks.append(sim.now)
+        sim.schedule(0.3, lambda: None)  # unrelated work
+
+    PeriodicTimer(sim, 1.0, tick)
+    sim.run(until=4.5)
+    assert ticks == [1.0, 2.0, 3.0, 4.0]
+
+
+def test_invalid_period_rejected(sim):
+    with pytest.raises(ConfigurationError):
+        PeriodicTimer(sim, 0.0, lambda: None)
+    with pytest.raises(ConfigurationError):
+        PeriodicTimer(sim, -1.0, lambda: None)
+
+
+def test_args_passed_to_callback(sim):
+    seen = []
+    PeriodicTimer(sim, 1.0, lambda a, b: seen.append((a, b)), "x", 2)
+    sim.run(until=1.0)
+    assert seen == [("x", 2)]

@@ -1,0 +1,130 @@
+"""QoS metrics and the E-model."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traffic.qos import (
+    FlowQoS,
+    e_model_r_factor,
+    mos_from_r,
+    rfc3550_jitter,
+)
+from repro.traffic.voip import G711, G729
+
+
+class TestEModel:
+    def test_perfect_call_near_ceiling(self):
+        r = e_model_r_factor(0.0, 0.0, G711)
+        assert r == pytest.approx(93.2)
+
+    def test_delay_impairment_grows(self):
+        r_small = e_model_r_factor(0.050, 0.0, G711)
+        r_large = e_model_r_factor(0.300, 0.0, G711)
+        assert r_small > r_large
+
+    def test_kink_at_177ms(self):
+        # the slope steepens past 177.3 ms
+        slope_before = (e_model_r_factor(0.100, 0, G711)
+                        - e_model_r_factor(0.150, 0, G711)) / 50
+        slope_after = (e_model_r_factor(0.200, 0, G711)
+                       - e_model_r_factor(0.250, 0, G711)) / 50
+        assert slope_after > slope_before
+
+    def test_loss_impairment(self):
+        assert e_model_r_factor(0.05, 0.05, G711) < \
+            e_model_r_factor(0.05, 0.0, G711)
+
+    def test_g729_starts_lower(self):
+        assert e_model_r_factor(0.05, 0.0, G729) < \
+            e_model_r_factor(0.05, 0.0, G711)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            e_model_r_factor(-0.1, 0.0, G711)
+        with pytest.raises(ConfigurationError):
+            e_model_r_factor(0.1, 1.5, G711)
+
+
+class TestMos:
+    def test_range(self):
+        assert mos_from_r(-10) == 1.0
+        assert mos_from_r(0) == 1.0
+        assert mos_from_r(100) == 4.5
+        assert mos_from_r(200) == 4.5
+
+    def test_monotone(self):
+        values = [mos_from_r(r) for r in range(0, 101, 10)]
+        assert values == sorted(values)
+
+    def test_toll_quality_threshold(self):
+        # R = 80 is the classic "satisfied" boundary, ~MOS 4.0
+        assert mos_from_r(80) == pytest.approx(4.0, abs=0.1)
+
+
+class TestJitter:
+    def test_constant_delay_zero_jitter(self):
+        assert rfc3550_jitter([0.01] * 20) == pytest.approx(0.0)
+
+    def test_alternating_delay_converges(self):
+        delays = [0.01, 0.02] * 100
+        jitter = rfc3550_jitter(delays)
+        assert 0.005 < jitter <= 0.010
+
+    def test_empty_and_single(self):
+        assert rfc3550_jitter([]) == 0.0
+        assert rfc3550_jitter([0.5]) == 0.0
+
+
+class TestFlowQoS:
+    def test_from_samples(self):
+        delays = [0.01 * (i + 1) for i in range(100)]
+        qos = FlowQoS.from_samples("f", sent=110, received=100,
+                                   delays=delays)
+        assert qos.mean_delay_s == pytest.approx(0.505)
+        assert qos.p50_delay_s == pytest.approx(0.50)
+        assert qos.p95_delay_s == pytest.approx(0.95)
+        assert qos.p99_delay_s == pytest.approx(0.99)
+        assert qos.max_delay_s == pytest.approx(1.0)
+        assert qos.loss_fraction == pytest.approx(10 / 110)
+
+    def test_empty_samples_nan(self):
+        qos = FlowQoS.from_samples("f", sent=10, received=0, delays=[])
+        assert math.isnan(qos.mean_delay_s)
+        assert qos.loss_fraction == 1.0
+
+    def test_nothing_sent_no_loss(self):
+        qos = FlowQoS.from_samples("f", sent=0, received=0, delays=[])
+        assert qos.loss_fraction == 0.0
+
+    def test_mos_uses_choice_of_delay_metric(self):
+        delays = [0.01] * 99 + [0.5]
+        qos = FlowQoS.from_samples("f", sent=100, received=100,
+                                   delays=delays)
+        assert qos.mos(G711, delay_metric="p50") > \
+            qos.mos(G711, delay_metric="max")
+
+    def test_mos_of_dead_flow_is_one(self):
+        qos = FlowQoS.from_samples("f", sent=100, received=0, delays=[])
+        assert qos.mos(G711) == 1.0
+
+    def test_unknown_metric_rejected(self):
+        qos = FlowQoS.from_samples("f", 1, 1, [0.01])
+        with pytest.raises(ConfigurationError):
+            qos.r_factor(G711, delay_metric="median")
+
+    def test_meets_targets(self):
+        delays = [0.02] * 100
+        qos = FlowQoS.from_samples("f", sent=100, received=100,
+                                   delays=delays)
+        assert qos.meets(max_delay_s=0.05, max_loss=0.01)
+        assert not qos.meets(max_delay_s=0.01)
+        lossy = FlowQoS.from_samples("f", sent=100, received=90,
+                                     delays=delays[:90])
+        assert not lossy.meets(max_loss=0.05)
+        assert lossy.meets(max_loss=0.15)
+
+    def test_meets_with_no_deliveries_fails_delay(self):
+        qos = FlowQoS.from_samples("f", sent=10, received=0, delays=[])
+        assert not qos.meets(max_delay_s=1.0)

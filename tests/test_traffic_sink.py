@@ -1,0 +1,63 @@
+"""Flow sinks."""
+
+import pytest
+
+from repro.net.packet import Packet
+from repro.traffic.sink import FlowSink, SinkRegistry
+
+
+def packet(seq, created=0.0):
+    return Packet(flow="f", seq=seq, size_bits=100, created_s=created,
+                  route=((0, 1),))
+
+
+class TestFlowSink:
+    def test_records_deliveries(self):
+        sink = FlowSink("f")
+        sink.record(packet(0, created=1.0), 1.5)
+        sink.record(packet(1, created=2.0), 2.7)
+        assert sink.received == 2
+        assert sink.delays() == pytest.approx([0.5, 0.7])
+
+    def test_duplicate_sequence_ignored(self):
+        sink = FlowSink("f")
+        sink.record(packet(0), 1.0)
+        sink.record(packet(0), 2.0)
+        assert sink.received == 1
+
+    def test_qos_summary(self):
+        sink = FlowSink("f")
+        for i in range(10):
+            sink.record(packet(i, created=float(i)), i + 0.05)
+        qos = sink.qos(sent=12)
+        assert qos.received == 10
+        assert qos.sent == 12
+        assert qos.mean_delay_s == pytest.approx(0.05)
+
+    def test_warmup_excluded_from_delay_but_not_loss(self):
+        sink = FlowSink("f")
+        sink.record(packet(0, created=0.1), 5.0)   # cold start outlier
+        sink.record(packet(1, created=2.0), 2.05)
+        qos = sink.qos(sent=2, warmup_s=1.0)
+        assert qos.received == 2  # loss accounting keeps both
+        assert qos.mean_delay_s == pytest.approx(0.05)
+
+
+class TestSinkRegistry:
+    def test_sink_created_on_demand(self):
+        registry = SinkRegistry()
+        sink = registry.sink("a")
+        assert registry.sink("a") is sink
+        assert registry.get("missing") is None
+
+    def test_on_delivered_routes_by_flow(self):
+        registry = SinkRegistry()
+        p1 = Packet(flow="a", seq=0, size_bits=1, created_s=0.0,
+                    route=((0, 1),))
+        p2 = Packet(flow="b", seq=0, size_bits=1, created_s=0.0,
+                    route=((0, 1),))
+        registry.on_delivered(p1, 1.0)
+        registry.on_delivered(p2, 2.0)
+        assert registry.sink("a").received == 1
+        assert registry.sink("b").received == 1
+        assert registry.flows() == ["a", "b"]

@@ -1,0 +1,128 @@
+"""Traffic sources."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.flows import Flow
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+from repro.traffic.sources import CbrSource, OnOffVoipSource, PoissonSource
+from repro.traffic.voip import G711, G729
+
+
+def routed_flow(name="f"):
+    return Flow(name, 0, 2, rate_bps=80_000,
+                delay_budget_s=0.1).with_route([(0, 1), (1, 2)])
+
+
+def collector():
+    packets = []
+
+    def originate(packet, now):
+        packets.append((now, packet))
+        return True
+
+    return packets, originate
+
+
+class TestCbr:
+    def test_emits_at_fixed_interval(self, sim):
+        packets, originate = collector()
+        CbrSource(sim, routed_flow(), originate, packet_bits=800,
+                  interval_s=0.02, start_s=0.0)
+        sim.run(until=0.1)
+        times = [t for t, ____ in packets]
+        assert times == pytest.approx([0.0, 0.02, 0.04, 0.06, 0.08, 0.1])
+
+    def test_sequence_numbers_increment(self, sim):
+        packets, originate = collector()
+        CbrSource(sim, routed_flow(), originate, 800, 0.02)
+        sim.run(until=0.1)
+        assert [p.seq for ____, p in packets] == list(range(len(packets)))
+
+    def test_packets_carry_route_and_flow(self, sim):
+        packets, originate = collector()
+        CbrSource(sim, routed_flow("voip3"), originate, 800, 0.02)
+        sim.run(until=0.02)
+        ____, packet = packets[0]
+        assert isinstance(packet, Packet)
+        assert packet.flow == "voip3"
+        assert packet.route == ((0, 1), (1, 2))
+
+    def test_stop_time_respected(self, sim):
+        packets, originate = collector()
+        source = CbrSource(sim, routed_flow(), originate, 800, 0.02,
+                           stop_s=0.05)
+        sim.run(until=1.0)
+        assert all(t < 0.05 for t, ____ in packets)
+        assert source.sent == len(packets)
+
+    def test_for_codec_matches_packetization(self, sim):
+        packets, originate = collector()
+        CbrSource.for_codec(sim, routed_flow(), originate, G711)
+        sim.run(until=0.1)
+        ____, packet = packets[0]
+        assert packet.size_bits == G711.packet_bits
+        assert len(packets) == 6  # t = 0.0 .. 0.1 at 20 ms
+
+    def test_unrouted_flow_rejected(self, sim):
+        flow = Flow("f", 0, 2, rate_bps=1000)
+        with pytest.raises(ConfigurationError):
+            CbrSource(sim, flow, lambda p, t: True, 800, 0.02)
+
+    def test_invalid_parameters(self, sim):
+        with pytest.raises(ConfigurationError):
+            CbrSource(sim, routed_flow(), lambda p, t: True, 0, 0.02)
+        with pytest.raises(ConfigurationError):
+            CbrSource(sim, routed_flow(), lambda p, t: True, 800, 0.0)
+
+
+class TestPoisson:
+    def test_mean_rate_approximately_met(self, sim):
+        packets, originate = collector()
+        PoissonSource(sim, routed_flow(), originate, packet_bits=800,
+                      rate_pps=100.0, rng=np.random.default_rng(7))
+        sim.run(until=10.0)
+        assert len(packets) == pytest.approx(1000, rel=0.15)
+
+    def test_interarrivals_vary(self, sim):
+        packets, originate = collector()
+        PoissonSource(sim, routed_flow(), originate, 800, 50.0,
+                      np.random.default_rng(7))
+        sim.run(until=2.0)
+        gaps = {round(b - a, 9) for (a, ____), (b, ____)
+                in zip(packets, packets[1:])}
+        assert len(gaps) > 10
+
+    def test_invalid_rate(self, sim):
+        with pytest.raises(ConfigurationError):
+            PoissonSource(sim, routed_flow(), lambda p, t: True, 800, 0.0,
+                          np.random.default_rng(0))
+
+
+class TestOnOff:
+    def test_alternates_talk_and_silence(self, sim):
+        packets, originate = collector()
+        OnOffVoipSource(sim, routed_flow(), originate, G729,
+                        np.random.default_rng(11),
+                        mean_talk_s=0.5, mean_silence_s=0.5)
+        sim.run(until=20.0)
+        # activity factor ~0.5: noticeably fewer packets than steady CBR
+        steady = 20.0 / G729.packet_interval_s
+        assert 0.2 * steady < len(packets) < 0.8 * steady
+
+    def test_silence_gaps_exist(self, sim):
+        packets, originate = collector()
+        OnOffVoipSource(sim, routed_flow(), originate, G729,
+                        np.random.default_rng(11),
+                        mean_talk_s=0.3, mean_silence_s=1.0)
+        sim.run(until=20.0)
+        gaps = [b - a for (a, ____), (b, ____)
+                in zip(packets, packets[1:])]
+        assert max(gaps) > 5 * G729.packet_interval_s
+
+    def test_invalid_spurts(self, sim):
+        with pytest.raises(ConfigurationError):
+            OnOffVoipSource(sim, routed_flow(), lambda p, t: True, G729,
+                            np.random.default_rng(0), mean_talk_s=0.0)

@@ -1,0 +1,47 @@
+"""VoIP codec models."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traffic.voip import G711, G723, G729, RTP_UDP_IP_BYTES, VoipCodec
+
+
+def test_g711_packetization():
+    assert G711.payload_bytes == 160
+    assert G711.packet_bits == (160 + 40) * 8
+    assert G711.packets_per_second == pytest.approx(50.0)
+    assert G711.voice_rate_bps == pytest.approx(64_000)
+    assert G711.wire_rate_bps == pytest.approx(80_000)
+
+
+def test_g729_packetization():
+    assert G729.voice_rate_bps == pytest.approx(8_000)
+    assert G729.packet_bits == (20 + 40) * 8
+    # header overhead dominates for low-rate codecs
+    assert G729.wire_rate_bps == pytest.approx(24_000)
+
+
+def test_g723_packetization():
+    assert G723.packets_per_second == pytest.approx(1 / 0.030)
+    assert G723.voice_rate_bps == pytest.approx(6400)
+
+
+def test_header_constant():
+    assert RTP_UDP_IP_BYTES == 40
+
+
+def test_emodel_parameters_ordering():
+    # G.711 is the reference codec (no equipment impairment); compressed
+    # codecs are worse
+    assert G711.ie == 0.0
+    assert G729.ie > G711.ie
+    assert G723.ie > G729.ie
+
+
+def test_invalid_codec():
+    with pytest.raises(ConfigurationError):
+        VoipCodec("bad", payload_bytes=0, packet_interval_s=0.02,
+                  ie=0, bpl=4)
+    with pytest.raises(ConfigurationError):
+        VoipCodec("bad", payload_bytes=100, packet_interval_s=0.0,
+                  ie=0, bpl=4)

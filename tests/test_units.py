@@ -1,0 +1,48 @@
+"""Unit-conversion helpers."""
+
+import pytest
+
+from repro import units
+
+
+def test_microseconds():
+    assert units.microseconds(5) == pytest.approx(5e-6)
+
+
+def test_milliseconds():
+    assert units.milliseconds(10) == pytest.approx(0.01)
+
+
+def test_seconds_identity():
+    assert units.seconds(3) == 3.0
+    assert isinstance(units.seconds(3), float)
+
+
+def test_kbps():
+    assert units.kbps(64) == pytest.approx(64_000)
+
+
+def test_mbps():
+    assert units.mbps(11) == pytest.approx(11e6)
+
+
+def test_bytes_to_bits():
+    assert units.bytes_to_bits(200) == 1600
+
+
+def test_bits_to_bytes():
+    assert units.bits_to_bytes(12) == pytest.approx(1.5)
+
+
+def test_ppm():
+    assert units.ppm(10) == pytest.approx(1e-5)
+
+
+def test_ppm_drift_over_interval():
+    # a 10 ppm clock gains at most 10 us over one second
+    assert units.ppm(10) * 1.0 == pytest.approx(10e-6)
+
+
+def test_constants_consistency():
+    assert units.MS == 1000 * units.US
+    assert units.MBPS == 1000 * units.KBPS
