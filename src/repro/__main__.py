@@ -2,9 +2,17 @@
 
 Run reconstructed experiments by id and print their tables:
 
-    python -m repro E2 E4            # specific experiments
-    python -m repro --list           # what's available
-    python -m repro --all            # everything (tens of minutes)
+    python -m repro E2 E4              # specific experiments
+    python -m repro --list             # what's available
+    python -m repro --all --jobs 4     # everything, 4 worker processes
+
+Results are cached under ``.repro_cache/`` keyed by (experiment shard,
+package version, source fingerprint), so an unchanged tree re-prints in
+seconds; ``--no-cache`` forces recomputation.  Every task execution is
+appended to the JSONL run ledger (``.repro_cache/ledger.jsonl``);
+``--ledger-summary`` prints where the time went.  A suite interrupted
+mid-run resumes from the cache automatically; ``--resume`` additionally
+skips work the ledger records as already completed.
 
 Benchmarks (``pytest benchmarks/ --benchmark-only``) run the same code
 under timing and shape assertions; this entry point is for interactive
@@ -14,13 +22,26 @@ exploration.
 from __future__ import annotations
 
 import argparse
+import os
+import pathlib
 import sys
-import time
+import tempfile
 
 from repro.analysis.experiments import ALL_EXPERIMENTS
+from repro.runtime.cache import DEFAULT_CACHE_DIR
+from repro.runtime.ledger import (
+    DEFAULT_LEDGER_NAME,
+    format_ledger_summary,
+    summarize_ledger,
+)
+from repro.runtime.runner import (
+    ExperimentOutcome,
+    dedupe_ids,
+    run_experiments,
+)
 
 
-def main(argv: list[str] | None = None) -> int:
+def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Run reconstructed experiments (see DESIGN.md).")
@@ -31,8 +52,63 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--all", action="store_true",
                         help="run every experiment")
     parser.add_argument("--report", metavar="PATH",
-                        help="also write the tables to a markdown file")
+                        help="also write the tables to a markdown file "
+                             "(updated incrementally as experiments finish)")
+    parser.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                        help="worker processes (default 1 = in-process "
+                             "serial; 0 = one per CPU)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="neither read nor write the result cache")
+    parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                        metavar="DIR",
+                        help="cache/ledger directory (default %(default)s)")
+    parser.add_argument("--resume", action="store_true",
+                        help="skip work the run ledger records as already "
+                             "completed (cached tables still print)")
+    parser.add_argument("--ledger-summary", action="store_true",
+                        help="print outcome counts and slowest tasks from "
+                             "the run ledger, then exit")
+    return parser
+
+
+def _write_report(path: str, requested: list[str],
+                  outcomes: dict[int, ExperimentOutcome]) -> None:
+    """Atomically rewrite the report from every finished experiment.
+
+    Called after each completion, so the file on disk always holds all
+    tables computed *so far* -- a crash mid-suite loses nothing.
+    """
+    sections: list[str] = []
+    for index, key in enumerate(requested):
+        outcome = outcomes.get(index)
+        if outcome is None:
+            continue
+        if outcome.ok:
+            sections.append(f"## {key}\n\n```\n{outcome.result.table()}\n"
+                            f"```\n_({outcome.wall_s:.1f}s"
+                            f"{', cached' if outcome.cached else ''})_\n")
+        else:
+            sections.append(f"## {key}\n\n**{outcome.outcome.upper()}**: "
+                            f"{outcome.error}\n")
+    text = "# Experiment report\n\n" + "\n".join(sections)
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_name = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
     args = parser.parse_args(argv)
+    ledger_path = pathlib.Path(args.cache_dir) / DEFAULT_LEDGER_NAME
 
     if args.list:
         for key in sorted(ALL_EXPERIMENTS,
@@ -41,9 +117,25 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{key:>4}  {doc[0] if doc else ''}")
         return 0
 
+    if args.ledger_summary:
+        print(format_ledger_summary(summarize_ledger(ledger_path)))
+        return 0
+
+    if args.jobs < 0:
+        print("error: --jobs must be >= 0", file=sys.stderr)
+        return 2
+    jobs = args.jobs if args.jobs > 0 else None  # None -> cpu_count
+
+    try:
+        pathlib.Path(args.cache_dir).mkdir(parents=True, exist_ok=True)
+    except OSError as exc:
+        print(f"error: cannot use --cache-dir {args.cache_dir!r}: {exc}",
+              file=sys.stderr)
+        return 2
+
     requested = ([k for k in sorted(ALL_EXPERIMENTS,
                                     key=lambda k: int(k[1:]))]
-                 if args.all else [e.upper() for e in args.experiments])
+                 if args.all else dedupe_ids(args.experiments))
     if not requested:
         parser.print_usage()
         print("error: give experiment ids, --all, or --list",
@@ -55,20 +147,44 @@ def main(argv: list[str] | None = None) -> int:
               "try --list", file=sys.stderr)
         return 2
 
-    sections: list[str] = []
-    for key in requested:
-        started = time.perf_counter()
-        result = ALL_EXPERIMENTS[key]()
-        elapsed = time.perf_counter() - started
-        table = result.table()
-        print(table)
-        print(f"({elapsed:.1f}s)\n")
-        sections.append(f"## {key}\n\n```\n{table}\n```\n"
-                        f"_({elapsed:.1f}s)_\n")
+    outcomes: dict[int, ExperimentOutcome] = {}
+    next_to_print = 0
+
+    def emit(outcome: ExperimentOutcome) -> None:
+        if outcome.ok:
+            print(outcome.result.table())
+            print(f"({outcome.wall_s:.1f}s"
+                  f"{', cached' if outcome.cached else ''})\n")
+        elif outcome.outcome == "skipped":
+            print(f"[{outcome.experiment}] skipped: {outcome.error}\n")
+        else:
+            print(f"[{outcome.experiment}] FAILED: {outcome.error}\n",
+                  file=sys.stderr)
+
+    def on_experiment(index: int, outcome: ExperimentOutcome) -> None:
+        nonlocal next_to_print
+        outcomes[index] = outcome
+        if args.report:
+            _write_report(args.report, requested, outcomes)
+        # Stream tables in requested order as they become available.
+        while next_to_print in outcomes:
+            emit(outcomes[next_to_print])
+            next_to_print += 1
+
+    run_experiments(requested, jobs=jobs, use_cache=not args.no_cache,
+                    cache_dir=args.cache_dir, ledger_path=str(ledger_path),
+                    resume=args.resume, on_experiment=on_experiment)
+
     if args.report:
-        with open(args.report, "w", encoding="utf-8") as handle:
-            handle.write("# Experiment report\n\n" + "\n".join(sections))
         print(f"report written to {args.report}")
+    failures = [o for o in outcomes.values() if o.outcome == "failed"]
+    if failures:
+        print(f"error: {len(failures)} experiment(s) failed:",
+              file=sys.stderr)
+        for outcome in sorted(failures, key=lambda o: o.experiment):
+            print(f"  {outcome.experiment}: {outcome.error}",
+                  file=sys.stderr)
+        return 1
     return 0
 
 

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import Callable, Mapping, Sequence
 
 from repro.analysis.stats import mean_confidence_interval
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.sim.random import RngRegistry
 
 
@@ -35,19 +35,28 @@ class ReplicatedMetric:
         return f"{self.name}: {self.mean:.4g} +- {self.half_width:.2g}"
 
 
-def replicate(scenario: Callable[[RngRegistry], Mapping[str, float]],
+def replicate(scenario: Callable[[RngRegistry], Mapping[str, float]] | str,
               seeds: Sequence[int],
-              confidence: float = 0.95) -> dict[str, ReplicatedMetric]:
+              confidence: float = 0.95,
+              jobs: int | None = 1) -> dict[str, ReplicatedMetric]:
     """Run ``scenario`` once per seed and summarize each metric.
 
     Parameters
     ----------
     scenario:
         Callable taking a fresh :class:`RngRegistry` and returning a flat
-        mapping of metric name to numeric value.  Every replication must
+        mapping of metric name to numeric value, or a
+        ``"module:function"`` path naming one.  Every replication must
         return the same metric names.
     seeds:
         Root seeds, one per replication (e.g. ``range(10)``).
+    jobs:
+        Worker processes for the replications; ``1`` (the default) runs
+        serially in-process, ``None`` uses one per CPU.  Each replication
+        derives its own :class:`RngRegistry` from its seed -- no state is
+        shared -- so the summary is bitwise-identical for every ``jobs``
+        value.  For ``jobs > 1`` the scenario must be a module-level
+        callable (it crosses a process boundary).
 
     Returns
     -------
@@ -58,13 +67,29 @@ def replicate(scenario: Callable[[RngRegistry], Mapping[str, float]],
     if not seeds:
         raise ConfigurationError("need at least one seed")
     runs: list[Mapping[str, float]] = []
-    for seed in seeds:
-        result = scenario(RngRegistry(seed=int(seed)))
-        if runs and set(result) != set(runs[0]):
+    if jobs is None or jobs > 1:
+        from repro.runtime.pool import run_tasks
+        from repro.runtime.tasks import make_task
+
+        tasks = [make_task(scenario, seed=int(seed)) for seed in seeds]
+        for outcome in run_tasks(tasks, jobs=jobs):
+            if not outcome.ok:
+                raise SimulationError(
+                    f"replication seed={outcome.task.seed} "
+                    f"{outcome.outcome}: {outcome.error}")
+            runs.append(outcome.value)
+    else:
+        if isinstance(scenario, str):
+            from repro.runtime.tasks import make_task, resolve_target
+
+            scenario = resolve_target(make_task(scenario))
+        runs.extend(scenario(RngRegistry(seed=int(seed)))
+                    for seed in seeds)
+    for result in runs[1:]:
+        if set(result) != set(runs[0]):
             raise ConfigurationError(
                 "replications returned differing metric sets: "
                 f"{sorted(set(result) ^ set(runs[0]))}")
-        runs.append(result)
 
     summary: dict[str, ReplicatedMetric] = {}
     for name in runs[0]:

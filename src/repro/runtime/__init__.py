@@ -1,0 +1,74 @@
+"""Parallel experiment-execution runtime.
+
+The single execution substrate for replications, parameter sweeps,
+benchmarks, and the ``python -m repro`` CLI:
+
+- :mod:`repro.runtime.tasks` -- declarative tasks with stable content
+  keys; experiment sharding along parallel sweep axes.
+- :mod:`repro.runtime.sweep` -- parameter grids expanded into task
+  lists; resumable via the cache.
+- :mod:`repro.runtime.pool` -- process-pool fan-out with bounded
+  retries, backoff, per-task timeouts, and an in-process serial mode.
+- :mod:`repro.runtime.cache` -- content-addressed JSON result cache
+  under ``.repro_cache/`` (invalidated by version or source changes).
+- :mod:`repro.runtime.ledger` -- append-only JSONL run ledger plus a
+  summary reader.
+- :mod:`repro.runtime.runner` -- experiment-level orchestration used
+  by the CLI.
+"""
+
+from repro.runtime.cache import DEFAULT_CACHE_DIR, CachedEntry, ResultCache
+from repro.runtime.ledger import (
+    DEFAULT_LEDGER_NAME,
+    LedgerSummary,
+    RunLedger,
+    format_ledger_summary,
+    summarize_ledger,
+)
+from repro.runtime.pool import default_jobs, run_tasks
+from repro.runtime.runner import (
+    ExperimentOutcome,
+    dedupe_ids,
+    run_experiments,
+)
+from repro.runtime.sweep import Sweep, run_sweep
+from repro.runtime.tasks import (
+    SHARD_AXES,
+    Task,
+    TaskResult,
+    make_task,
+    merge_experiment_results,
+    resolve_target,
+    run_task,
+    shard_experiment,
+    source_fingerprint,
+    task_key,
+)
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "DEFAULT_LEDGER_NAME",
+    "CachedEntry",
+    "ExperimentOutcome",
+    "LedgerSummary",
+    "ResultCache",
+    "RunLedger",
+    "SHARD_AXES",
+    "Sweep",
+    "Task",
+    "TaskResult",
+    "dedupe_ids",
+    "default_jobs",
+    "format_ledger_summary",
+    "make_task",
+    "merge_experiment_results",
+    "resolve_target",
+    "run_experiments",
+    "run_sweep",
+    "run_task",
+    "run_tasks",
+    "shard_experiment",
+    "source_fingerprint",
+    "summarize_ledger",
+    "task_key",
+]

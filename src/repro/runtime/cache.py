@@ -1,0 +1,156 @@
+"""Content-addressed on-disk result cache.
+
+Results live as one JSON file per task under ``<root>/results/``, named
+by the task's content key (:func:`repro.runtime.tasks.task_key`).  The
+key folds in the package version and a fingerprint of the source tree,
+so bumping the version or editing any module makes every old entry
+unreachable -- re-running ``--all`` after a code change recomputes
+work, while an unchanged tree serves warm results in milliseconds.
+
+Values are encoded through a small tagged-JSON layer so that
+:class:`~repro.analysis.experiments.ExperimentResult` tables round-trip
+exactly (JSON preserves Python floats bit-for-bit via ``repr``); plain
+mappings/sequences of numbers pass through untouched.  Anything else is
+rejected at :meth:`ResultCache.put` time with :class:`ValueError` -- the
+pool then simply skips caching that task.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.runtime.tasks import Task, source_fingerprint, task_key
+
+_EXPERIMENT_TAG = "experiment_result"
+
+#: Default cache directory, relative to the working directory.
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+
+def encode_value(value: Any) -> Any:
+    """Encode a task value into a JSON-serializable structure."""
+    from repro.analysis.experiments import ExperimentResult
+
+    if isinstance(value, ExperimentResult):
+        return {"__kind__": _EXPERIMENT_TAG,
+                "experiment": value.experiment, "title": value.title,
+                "headers": list(value.headers),
+                "rows": [list(row) for row in value.rows],
+                "notes": value.notes}
+    # Round-trip through json to reject unserializable payloads early.
+    try:
+        json.dumps(value)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"task value is not cacheable: {exc}") from exc
+    return value
+
+
+def decode_value(payload: Any) -> Any:
+    """Invert :func:`encode_value`."""
+    if isinstance(payload, dict) and payload.get("__kind__") == \
+            _EXPERIMENT_TAG:
+        from repro.analysis.experiments import ExperimentResult
+
+        return ExperimentResult(
+            experiment=payload["experiment"], title=payload["title"],
+            headers=list(payload["headers"]),
+            rows=[list(row) for row in payload["rows"]],
+            notes=payload.get("notes", ""))
+    return payload
+
+
+@dataclass
+class CachedEntry:
+    """A cache hit: the decoded value plus the original compute time."""
+
+    value: Any
+    wall_s: float
+
+
+class ResultCache:
+    """Filesystem-backed ``task -> value`` store under ``root``."""
+
+    def __init__(self, root: str | os.PathLike = DEFAULT_CACHE_DIR, *,
+                 version: Optional[str] = None,
+                 fingerprint: Optional[str] = None) -> None:
+        import repro
+
+        self.root = pathlib.Path(root)
+        self.results_dir = self.root / "results"
+        self.version = version if version is not None else repro.__version__
+        self.fingerprint = (fingerprint if fingerprint is not None
+                            else source_fingerprint())
+
+    def key_for(self, task: Task) -> str:
+        return task_key(task, version=self.version,
+                        fingerprint=self.fingerprint)
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.results_dir / f"{key}.json"
+
+    def get(self, task: Task) -> Optional[CachedEntry]:
+        """Return the cached entry for ``task``, or ``None`` on a miss."""
+        path = self._path(self.key_for(task))
+        try:
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        # Defense in depth: the key already encodes version+fingerprint,
+        # but a hand-copied file must not smuggle stale results in.
+        if payload.get("version") != self.version or \
+                payload.get("fingerprint") != self.fingerprint:
+            return None
+        return CachedEntry(value=decode_value(payload["value"]),
+                           wall_s=float(payload.get("wall_s", 0.0)))
+
+    def put(self, task: Task, value: Any, wall_s: float = 0.0) -> str:
+        """Store ``value``; atomic (write-temp-then-rename); returns key."""
+        key = self.key_for(task)
+        payload = {"task": task.spec(), "version": self.version,
+                   "fingerprint": self.fingerprint, "wall_s": wall_s,
+                   "value": encode_value(value)}
+        self.results_dir.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=self.results_dir,
+                                        suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp_name, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return key
+
+    def invalidate(self, task: Task) -> bool:
+        """Drop one task's entry; returns whether one existed."""
+        try:
+            os.unlink(self._path(self.key_for(task)))
+            return True
+        except OSError:
+            return False
+
+    def clear(self) -> int:
+        """Drop every cached result; returns how many were removed."""
+        removed = 0
+        if self.results_dir.is_dir():
+            for path in self.results_dir.glob("*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def __len__(self) -> int:
+        if not self.results_dir.is_dir():
+            return 0
+        return sum(1 for _ in self.results_dir.glob("*.json"))

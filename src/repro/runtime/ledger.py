@@ -1,0 +1,121 @@
+"""Append-only JSONL run ledger.
+
+Every task execution -- fresh, cached, failed, or timed out -- appends
+one JSON line, giving a durable record of where suite time goes.  The
+file is append-only and tolerant of concurrent writers (each record is
+one ``write`` of one line) and of torn/corrupt lines on read.
+
+:func:`summarize_ledger` condenses a ledger into outcome counts, the
+slowest tasks, and per-target failure tallies;
+:func:`format_ledger_summary` renders that for the CLI's
+``--ledger-summary`` flag.
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+import os
+import pathlib
+import time
+from dataclasses import dataclass, field
+
+from repro.runtime.tasks import TaskResult
+
+#: Ledger filename used by default inside the cache directory.
+DEFAULT_LEDGER_NAME = "ledger.jsonl"
+
+
+class RunLedger:
+    """Appender/reader for one JSONL ledger file."""
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = pathlib.Path(path)
+
+    def record(self, result: TaskResult) -> None:
+        entry = {
+            "ts": time.time(),
+            "target": result.task.target,
+            "label": result.task.label,
+            "key": result.key,
+            "seed": result.task.seed,
+            "params": result.task.spec()["params"],
+            "outcome": result.outcome,
+            "wall_s": round(result.wall_s, 6),
+            "attempts": result.attempts,
+            "worker": result.worker,
+        }
+        if result.error:
+            entry["error"] = result.error
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry) + "\n")
+
+    def entries(self) -> list[dict]:
+        """Parse every well-formed line; silently skip corrupt ones."""
+        records: list[dict] = []
+        try:
+            with open(self.path, encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        records.append(json.loads(line))
+                    except json.JSONDecodeError:
+                        continue
+        except OSError:
+            return []
+        return records
+
+    def completed_keys(self) -> set[str]:
+        """Content keys of every task that ever finished successfully."""
+        return {e["key"] for e in self.entries()
+                if e.get("outcome") in ("ok", "cached") and e.get("key")}
+
+
+@dataclass
+class LedgerSummary:
+    """Aggregate view over a ledger's entries."""
+
+    total: int = 0
+    by_outcome: collections.Counter = field(
+        default_factory=collections.Counter)
+    total_wall_s: float = 0.0
+    slowest: list[tuple[str, float]] = field(default_factory=list)
+    failures: list[tuple[str, str]] = field(default_factory=list)
+
+
+def summarize_ledger(path: str | os.PathLike,
+                     top: int = 10) -> LedgerSummary:
+    """Read ``path`` and aggregate outcomes, wall time, and failures."""
+    summary = LedgerSummary()
+    for entry in RunLedger(path).entries():
+        summary.total += 1
+        outcome = entry.get("outcome", "?")
+        summary.by_outcome[outcome] += 1
+        wall = float(entry.get("wall_s", 0.0))
+        summary.total_wall_s += wall
+        summary.slowest.append((entry.get("label", "?"), wall))
+        if outcome in ("failed", "timeout"):
+            summary.failures.append((entry.get("label", "?"),
+                                     entry.get("error", outcome)))
+    summary.slowest.sort(key=lambda pair: pair[1], reverse=True)
+    del summary.slowest[top:]
+    return summary
+
+
+def format_ledger_summary(summary: LedgerSummary) -> str:
+    lines = [f"tasks: {summary.total}  "
+             + "  ".join(f"{k}={v}"
+                         for k, v in sorted(summary.by_outcome.items())),
+             f"total wall time: {summary.total_wall_s:.1f}s"]
+    if summary.slowest:
+        lines.append("slowest tasks:")
+        lines.extend(f"  {wall:8.2f}s  {label}"
+                     for label, wall in summary.slowest)
+    if summary.failures:
+        lines.append(f"failures ({len(summary.failures)}):")
+        lines.extend(f"  {label}: {error}"
+                     for label, error in summary.failures)
+    return "\n".join(lines)

@@ -1,0 +1,283 @@
+"""Process-pool fan-out with cache, ledger, retries, and timeouts.
+
+:func:`run_tasks` is the single execution entry point of the runtime:
+it takes a list of :class:`~repro.runtime.tasks.Task`, consults the
+result cache, dispatches misses across a ``ProcessPoolExecutor`` (or
+runs them inline when ``jobs=1``), retries transient failures with
+exponential backoff, enforces a per-task wall-clock timeout, appends
+every outcome to the run ledger, and returns one
+:class:`~repro.runtime.tasks.TaskResult` per input task *in input
+order* -- so callers see identical result sequences regardless of
+``jobs``.
+
+Serial mode (``jobs=1``) never pickles anything and never forks: tasks
+run in-process, closures work, ``pdb`` works, and per-task timeouts are
+not enforced (there is no second process to bound).  This is the
+debugging path and the Windows-safe path.
+
+Parallel mode keeps at most ``jobs`` tasks in flight.  A task that
+exceeds ``timeout_s`` is marked ``"timeout"`` and abandoned (its worker
+process finishes in the background; the pool's effective width shrinks
+by one until it does), and is *not* retried -- timeouts are assumed to
+be systematic, unlike the transient solver hiccups retries exist for.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.runtime.cache import ResultCache
+from repro.runtime.ledger import RunLedger
+from repro.runtime.tasks import Task, TaskResult, run_task, task_key
+
+#: ``on_result`` callback signature: (input index, finished result).
+ResultCallback = Callable[[int, TaskResult], None]
+
+
+def default_jobs() -> int:
+    return os.cpu_count() or 1
+
+
+def _worker_execute(task: Task) -> dict:
+    """Run one task in a worker; always returns (never raises) so the
+    parent gets wall time and worker identity even for failures."""
+    import traceback
+
+    started = time.perf_counter()
+    try:
+        value = run_task(task)
+        return {"ok": True, "value": value, "pid": os.getpid(),
+                "wall_s": time.perf_counter() - started}
+    except Exception as exc:  # noqa: BLE001 -- reported, not swallowed
+        return {"ok": False,
+                "error": f"{type(exc).__name__}: {exc}",
+                "traceback": traceback.format_exc(),
+                "pid": os.getpid(),
+                "wall_s": time.perf_counter() - started}
+
+
+@dataclass
+class _Attempt:
+    index: int
+    task: Task
+    key: str
+    attempt: int  # 1-based
+    eligible_at: float  # monotonic time before which it must not start
+
+
+def run_tasks(tasks: Sequence[Task], *,
+              jobs: Optional[int] = None,
+              timeout_s: Optional[float] = None,
+              retries: int = 0,
+              backoff_s: float = 0.25,
+              cache: Optional[ResultCache] = None,
+              ledger: Optional[RunLedger] = None,
+              on_result: Optional[ResultCallback] = None
+              ) -> list[TaskResult]:
+    """Execute ``tasks`` and return their results in input order.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; ``None`` means ``os.cpu_count()``; ``1`` runs
+        everything inline in this process.
+    timeout_s:
+        Per-task wall-clock limit (parallel mode only).
+    retries:
+        Extra attempts after a failed (not timed-out) attempt.
+    backoff_s:
+        Base delay before retry *k* of a task: ``backoff_s * 2**(k-1)``.
+    cache:
+        Consulted before dispatch; successful fresh results are stored.
+    ledger:
+        Every final outcome is appended (including cache hits).
+    on_result:
+        Called once per task as it finishes, out of input order.
+    """
+    jobs = default_jobs() if jobs is None else int(jobs)
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    if retries < 0:
+        raise ConfigurationError(f"retries must be >= 0, got {retries}")
+
+    results: dict[int, TaskResult] = {}
+
+    def finish(index: int, result: TaskResult) -> None:
+        results[index] = result
+        if result.outcome == "ok" and cache is not None:
+            try:
+                cache.put(result.task, result.value, wall_s=result.wall_s)
+            except ValueError:
+                pass  # value has no JSON form; skip caching it
+        if ledger is not None:
+            ledger.record(result)
+        if on_result is not None:
+            on_result(index, result)
+
+    # Cache pass: anything warm never reaches a worker.
+    pending: deque[_Attempt] = deque()
+    for index, task in enumerate(tasks):
+        key = cache.key_for(task) if cache is not None else task_key(task)
+        hit = cache.get(task) if cache is not None else None
+        if hit is not None:
+            finish(index, TaskResult(task=task, key=key, outcome="cached",
+                                     value=hit.value, wall_s=hit.wall_s,
+                                     attempts=0, worker="cache"))
+        else:
+            pending.append(_Attempt(index, task, key, 1, 0.0))
+
+    if jobs == 1:
+        _run_serial(pending, retries, backoff_s, finish)
+    elif pending:
+        _run_parallel(pending, jobs, timeout_s, retries, backoff_s, finish)
+    return [results[i] for i in range(len(tasks))]
+
+
+def _run_serial(pending: deque[_Attempt], retries: int, backoff_s: float,
+                finish: Callable[[int, TaskResult], None]) -> None:
+    for item in pending:
+        attempt, error = 0, ""
+        while True:
+            attempt += 1
+            started = time.perf_counter()
+            try:
+                value = run_task(item.task)
+            except Exception as exc:  # noqa: BLE001
+                error = f"{type(exc).__name__}: {exc}"
+                if attempt <= retries:
+                    time.sleep(backoff_s * 2 ** (attempt - 1))
+                    continue
+                finish(item.index, TaskResult(
+                    task=item.task, key=item.key, outcome="failed",
+                    error=error, wall_s=time.perf_counter() - started,
+                    attempts=attempt, worker="serial"))
+                break
+            finish(item.index, TaskResult(
+                task=item.task, key=item.key, outcome="ok", value=value,
+                wall_s=time.perf_counter() - started, attempts=attempt,
+                worker="serial"))
+            break
+
+
+def _run_parallel(pending: deque[_Attempt], jobs: int,
+                  timeout_s: Optional[float], retries: int,
+                  backoff_s: float,
+                  finish: Callable[[int, TaskResult], None]) -> None:
+    running: dict = {}  # future -> (_Attempt, submitted_at)
+    abandoned: set = set()  # timed-out futures still occupying a worker
+
+    with ProcessPoolExecutor(max_workers=jobs) as executor:
+        try:
+            while pending or running:
+                now = time.monotonic()
+                abandoned = {f for f in abandoned if not f.done()}
+                # Fill free (non-wedged) worker slots with eligible work,
+                # so every submitted future starts running immediately --
+                # which is what makes per-task timeouts meaningful.
+                capacity = jobs - len(abandoned) - len(running)
+                while pending and capacity > 0 and \
+                        pending[0].eligible_at <= now:
+                    item = pending.popleft()
+                    future = executor.submit(_worker_execute, item.task)
+                    running[future] = (item, time.monotonic())
+                    capacity -= 1
+
+                if not running:
+                    if not pending:
+                        break
+                    if jobs - len(abandoned) <= 0:
+                        # Every worker is wedged on an abandoned task.
+                        while pending:
+                            item = pending.popleft()
+                            finish(item.index, TaskResult(
+                                task=item.task, key=item.key,
+                                outcome="failed",
+                                error="worker pool exhausted by timed-out "
+                                      "tasks", attempts=item.attempt))
+                        break
+                    # Nothing running; wait for the next backoff window.
+                    time.sleep(min(0.25, max(0.0, pending[0].eligible_at -
+                                             time.monotonic())))
+                    continue
+
+                done, _ = wait(list(running), timeout=0.05,
+                               return_when=FIRST_COMPLETED)
+                for future in done:
+                    item, _submitted = running.pop(future)
+                    _handle_completion(future, item, retries, backoff_s,
+                                       pending, finish)
+
+                if timeout_s is not None:
+                    now = time.monotonic()
+                    for future in [f for f, (_, t0) in running.items()
+                                   if now - t0 > timeout_s]:
+                        item, started_at = running.pop(future)
+                        if future.cancel():
+                            # Never started (defensive; should not happen
+                            # under the capacity accounting above) --
+                            # requeue rather than falsely time it out.
+                            pending.appendleft(_Attempt(
+                                item.index, item.task, item.key,
+                                item.attempt, 0.0))
+                            continue
+                        abandoned.add(future)
+                        finish(item.index, TaskResult(
+                            task=item.task, key=item.key,
+                            outcome="timeout",
+                            error=f"timed out after {timeout_s:.3g}s",
+                            wall_s=now - started_at,
+                            attempts=item.attempt, worker=""))
+        except BrokenProcessPool:
+            for item, _t0 in running.values():
+                finish(item.index, TaskResult(
+                    task=item.task, key=item.key, outcome="failed",
+                    error="worker process pool broke (worker died)",
+                    attempts=item.attempt, worker=""))
+            while pending:
+                item = pending.popleft()
+                finish(item.index, TaskResult(
+                    task=item.task, key=item.key, outcome="failed",
+                    error="worker process pool broke (worker died)",
+                    attempts=item.attempt, worker=""))
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+
+def _handle_completion(future, item: _Attempt, retries: int,
+                       backoff_s: float, pending: deque,
+                       finish: Callable[[int, TaskResult], None]) -> None:
+    no_retry = False
+    try:
+        payload = future.result()
+    except Exception as exc:  # task/result unpicklable, worker crashed
+        message = f"{type(exc).__name__}: {exc}"
+        if "ickl" in type(exc).__name__ or "ickl" in str(exc):
+            message += ("; tasks must be built from module-level "
+                        "callables to cross process boundaries "
+                        "(use jobs=1 for closures)")
+            no_retry = True
+        payload = {"ok": False, "error": message, "pid": None,
+                   "wall_s": 0.0}
+    worker = f"pid:{payload.get('pid')}" if payload.get("pid") else ""
+    if payload["ok"]:
+        finish(item.index, TaskResult(
+            task=item.task, key=item.key, outcome="ok",
+            value=payload["value"], wall_s=payload["wall_s"],
+            attempts=item.attempt, worker=worker))
+    elif item.attempt <= retries and not no_retry:
+        pending.append(_Attempt(
+            item.index, item.task, item.key, item.attempt + 1,
+            time.monotonic() + backoff_s * 2 ** (item.attempt - 1)))
+    else:
+        finish(item.index, TaskResult(
+            task=item.task, key=item.key, outcome="failed",
+            error=payload.get("error", "unknown worker failure"),
+            wall_s=payload.get("wall_s", 0.0), attempts=item.attempt,
+            worker=worker))

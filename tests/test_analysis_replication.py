@@ -3,7 +3,9 @@
 import pytest
 
 from repro.analysis.replication import replicate
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SimulationError
+
+from tests.runtime_helpers import metrics_scenario
 
 
 def test_summarizes_each_metric():
@@ -57,6 +59,33 @@ def test_empty_seeds_rejected():
 def test_str_rendering():
     summary = replicate(lambda rngs: {"m": 2.0}, seeds=[1, 2])
     assert "m:" in str(summary["m"])
+
+
+def test_parallel_bitwise_identical_to_serial():
+    """jobs=4 must reproduce jobs=1 exactly: derived seeds, no shared RNG."""
+    serial = replicate(metrics_scenario, seeds=range(8), jobs=1)
+    parallel = replicate(metrics_scenario, seeds=range(8), jobs=4)
+    assert set(serial) == set(parallel) == {"value", "shifted"}
+    for name in serial:
+        assert serial[name].samples == parallel[name].samples  # bitwise
+        assert serial[name].mean == parallel[name].mean
+        assert serial[name].ci_low == parallel[name].ci_low
+        assert serial[name].ci_high == parallel[name].ci_high
+
+
+def test_string_target_works_serially_and_matches_parallel():
+    serial = replicate("tests.runtime_helpers:metrics_scenario",
+                       seeds=range(6), jobs=1)
+    parallel = replicate("tests.runtime_helpers:metrics_scenario",
+                         seeds=range(6), jobs=2)
+    for name in serial:
+        assert serial[name].samples == parallel[name].samples
+
+
+def test_parallel_failure_surfaces_as_simulation_error():
+    with pytest.raises(SimulationError, match="kaboom"):
+        replicate("tests.runtime_helpers:boom_scenario", seeds=[1, 2],
+                  jobs=2)
 
 
 @pytest.mark.slow

@@ -1,0 +1,86 @@
+"""Result cache: round-trips, misses, invalidation."""
+
+import pytest
+
+from repro.analysis.experiments import ALL_EXPERIMENTS, ExperimentResult
+from repro.runtime.cache import ResultCache
+from repro.runtime.tasks import make_task
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache", version="1.0-test",
+                       fingerprint="fp0")
+
+
+def test_miss_on_empty_cache(cache):
+    assert cache.get(make_task("E9")) is None
+    assert len(cache) == 0
+
+
+def test_mapping_round_trip(cache):
+    task = make_task("tests.runtime_helpers:add", {"a": 1, "b": 2})
+    cache.put(task, {"loss": 0.25, "delay_ms": 3.5}, wall_s=1.25)
+    entry = cache.get(task)
+    assert entry.value == {"loss": 0.25, "delay_ms": 3.5}
+    assert entry.wall_s == 1.25
+
+
+def test_experiment_result_round_trips_table_exactly(cache):
+    result = ALL_EXPERIMENTS["E9"]()
+    task = make_task("E9")
+    cache.put(task, result, wall_s=0.1)
+    loaded = cache.get(task).value
+    assert isinstance(loaded, ExperimentResult)
+    assert loaded.table() == result.table()
+    assert loaded.rows == result.rows
+
+
+def test_different_params_miss(cache):
+    cache.put(make_task("E9", {"guard_us": 60.0}), {"x": 1})
+    assert cache.get(make_task("E9", {"guard_us": 30.0})) is None
+
+
+def test_version_bump_invalidates(tmp_path):
+    old = ResultCache(tmp_path, version="1", fingerprint="fp")
+    task = make_task("E9")
+    old.put(task, {"x": 1})
+    assert old.get(task).value == {"x": 1}
+    bumped = ResultCache(tmp_path, version="2", fingerprint="fp")
+    assert bumped.get(task) is None
+
+
+def test_source_fingerprint_change_invalidates(tmp_path):
+    before = ResultCache(tmp_path, version="1", fingerprint="aaaa")
+    task = make_task("E9")
+    before.put(task, {"x": 1})
+    after = ResultCache(tmp_path, version="1", fingerprint="bbbb")
+    assert after.get(task) is None
+    # and the old view still hits -- entries are content-addressed
+    assert before.get(task).value == {"x": 1}
+
+
+def test_explicit_invalidate_and_clear(cache):
+    task = make_task("E9")
+    cache.put(task, {"x": 1})
+    assert cache.invalidate(task) is True
+    assert cache.get(task) is None
+    assert cache.invalidate(task) is False
+
+    cache.put(make_task("E9"), {"x": 1})
+    cache.put(make_task("E4"), {"y": 2})
+    assert cache.clear() == 2
+    assert len(cache) == 0
+
+
+def test_uncacheable_value_rejected(cache):
+    with pytest.raises(ValueError):
+        cache.put(make_task("E9"), object())
+
+
+def test_corrupt_entry_reads_as_miss(cache, tmp_path):
+    task = make_task("E9")
+    key = cache.put(task, {"x": 1})
+    path = cache.results_dir / f"{key}.json"
+    path.write_text("{ not json")
+    assert cache.get(task) is None

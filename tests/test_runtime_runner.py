@@ -1,0 +1,100 @@
+"""Experiment-level orchestration: sharding, merging, resume."""
+
+import pytest
+
+from repro.analysis.experiments import ALL_EXPERIMENTS
+from repro.runtime.cache import ResultCache
+from repro.runtime.ledger import DEFAULT_LEDGER_NAME, RunLedger
+from repro.runtime.runner import dedupe_ids, run_experiments
+
+
+def test_dedupe_ids_preserves_order():
+    assert dedupe_ids(["e2", "E4", "E2", "e4", "E1"]) == ["E2", "E4", "E1"]
+
+
+def test_sharded_experiment_matches_direct_call(tmp_path):
+    direct = ALL_EXPERIMENTS["E9"]()
+    outcomes = run_experiments(["E9"], jobs=1,
+                               cache_dir=str(tmp_path / "c"))
+    assert len(outcomes) == 1
+    outcome = outcomes[0]
+    assert outcome.ok
+    assert outcome.shards == 6  # one per slot duration
+    assert outcome.result.table() == direct.table()
+
+
+def test_parallel_table_identical_to_serial(tmp_path):
+    serial = run_experiments(["E9"], jobs=1, use_cache=False,
+                             cache_dir=str(tmp_path / "a"))
+    parallel = run_experiments(["E9"], jobs=3, use_cache=False,
+                               cache_dir=str(tmp_path / "b"))
+    assert serial[0].result.table() == parallel[0].result.table()
+
+
+def test_second_run_served_from_cache(tmp_path):
+    cache_dir = str(tmp_path / "c")
+    cold = run_experiments(["E9"], jobs=1, cache_dir=cache_dir)
+    warm = run_experiments(["E9"], jobs=1, cache_dir=cache_dir)
+    assert not cold[0].cached
+    assert warm[0].cached
+    assert warm[0].result.table() == cold[0].result.table()
+
+
+def test_failure_isolated_per_experiment(tmp_path, monkeypatch):
+    def explode(**kwargs):
+        raise RuntimeError("synthetic experiment failure")
+
+    monkeypatch.setitem(ALL_EXPERIMENTS, "E9", explode)
+    outcomes = run_experiments(["E9", "E3"], jobs=1, use_cache=False,
+                               cache_dir=str(tmp_path), retries=0)
+    by_id = {o.experiment: o for o in outcomes}
+    assert by_id["E9"].outcome == "failed"
+    assert "synthetic experiment failure" in by_id["E9"].error
+    assert by_id["E3"].ok
+
+
+def test_ledger_written_per_shard(tmp_path):
+    cache_dir = tmp_path / "c"
+    run_experiments(["E9"], jobs=1, cache_dir=str(cache_dir))
+    entries = RunLedger(cache_dir / DEFAULT_LEDGER_NAME).entries()
+    assert len(entries) == 6
+    assert all(e["target"] == "E9" for e in entries)
+    assert all(e["outcome"] == "ok" for e in entries)
+
+
+def test_resume_skips_previously_completed_work(tmp_path, monkeypatch):
+    cache_dir = str(tmp_path / "c")
+    # First run completes and ledgers E9.
+    first = run_experiments(["E9"], jobs=1, cache_dir=cache_dir)
+    assert first[0].ok
+    # The cache is lost but the ledger survives.
+    ResultCache(cache_dir).clear()
+
+    import functools
+
+    calls = []
+    real = ALL_EXPERIMENTS["E9"]
+
+    @functools.wraps(real)
+    def counting(**kwargs):
+        calls.append(kwargs)
+        return real(**kwargs)
+
+    monkeypatch.setitem(ALL_EXPERIMENTS, "E9", counting)
+    resumed = run_experiments(["E9"], jobs=1, cache_dir=cache_dir,
+                              resume=True)
+    assert resumed[0].outcome == "skipped"
+    assert calls == []  # nothing recomputed
+
+    # Without --resume the lost work is simply recomputed.
+    recomputed = run_experiments(["E9"], jobs=1, cache_dir=cache_dir)
+    assert recomputed[0].ok
+    assert len(calls) == 6
+
+
+def test_on_experiment_callback_order_and_indices(tmp_path):
+    seen = []
+    run_experiments(["E9", "E3"], jobs=1, cache_dir=str(tmp_path),
+                    on_experiment=lambda i, o: seen.append(
+                        (i, o.experiment, o.ok)))
+    assert seen == [(0, "E9", True), (1, "E3", True)]

@@ -1,0 +1,65 @@
+"""Sweeps: grid expansion, seeds, resume-through-cache."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime.cache import ResultCache
+from repro.runtime.sweep import Sweep, run_sweep
+from repro.runtime.tasks import make_task
+
+ADD = "tests.runtime_helpers:add"
+ECHO = "tests.runtime_helpers:seed_echo"
+
+
+def test_grid_expands_in_insertion_order_last_axis_fastest():
+    sweep = Sweep(ADD, grid={"a": (1, 2), "b": (10, 20)})
+    points = sweep.points()
+    assert points == [{"a": 1, "b": 10}, {"a": 1, "b": 20},
+                      {"a": 2, "b": 10}, {"a": 2, "b": 20}]
+    assert len(sweep) == 4
+
+
+def test_base_params_merged_into_every_point():
+    sweep = Sweep(ADD, grid={"a": (1, 2)}, base={"b": 100})
+    assert all(p["b"] == 100 for p in sweep.points())
+
+
+def test_seeds_replicate_each_point():
+    sweep = Sweep(ECHO, grid={"offset": (0.0, 1.0)}, seeds=(7, 8, 9))
+    tasks = sweep.tasks()
+    assert len(tasks) == 6 == len(sweep)
+    assert [t.seed for t in tasks] == [7, 8, 9, 7, 8, 9]
+
+
+def test_grid_base_collision_rejected():
+    with pytest.raises(ConfigurationError):
+        Sweep(ADD, grid={"a": (1,)}, base={"a": 2})
+
+
+def test_empty_axis_rejected():
+    with pytest.raises(ConfigurationError):
+        Sweep(ADD, grid={"a": ()})
+
+
+def test_run_sweep_returns_grid_order():
+    sweep = Sweep(ADD, grid={"a": (1, 2, 3)}, base={"b": 1})
+    results = run_sweep(sweep, jobs=1)
+    assert [r.value for r in results] == [2, 3, 4]
+
+
+def test_sweep_resumes_from_cache(tmp_path):
+    cache = ResultCache(tmp_path, version="t", fingerprint="f")
+    sweep = Sweep(ADD, grid={"a": (1, 2, 3)}, base={"b": 0})
+    first = run_sweep(sweep, jobs=1, cache=cache)
+    assert [r.outcome for r in first] == ["ok"] * 3
+
+    # Simulate a partially lost run: drop one point, keep the others.
+    cache.invalidate(make_task(ADD, {"a": 2, "b": 0}))
+    second = run_sweep(sweep, jobs=1, cache=cache)
+    assert [r.outcome for r in second] == ["cached", "ok", "cached"]
+    assert [r.value for r in second] == [r.value for r in first]
+
+    # Growing the grid only computes the new points.
+    grown = Sweep(ADD, grid={"a": (1, 2, 3, 4)}, base={"b": 0})
+    third = run_sweep(grown, jobs=1, cache=cache)
+    assert [r.outcome for r in third] == ["cached"] * 3 + ["ok"]

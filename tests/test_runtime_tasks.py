@@ -1,0 +1,115 @@
+"""Task model: content keys, resolution, sharding."""
+
+import pytest
+
+from repro.analysis.experiments import ALL_EXPERIMENTS
+from repro.errors import ConfigurationError
+from repro.runtime.tasks import (
+    SHARD_AXES,
+    make_task,
+    merge_experiment_results,
+    resolve_target,
+    run_task,
+    shard_experiment,
+    source_fingerprint,
+    task_key,
+)
+
+from tests import runtime_helpers
+
+
+def test_key_stable_across_param_order():
+    a = make_task("E9", {"guard_us": 60.0, "slot_durations_us": (300,)})
+    b = make_task("E9", {"slot_durations_us": (300,), "guard_us": 60.0})
+    assert task_key(a) == task_key(b)
+
+
+def test_key_distinguishes_target_params_seed():
+    base = make_task("E9", {"guard_us": 60.0})
+    assert task_key(base) != task_key(make_task("E4", {"guard_us": 60.0}))
+    assert task_key(base) != task_key(make_task("E9", {"guard_us": 30.0}))
+    assert task_key(base) != task_key(make_task("E9", {"guard_us": 60.0},
+                                                seed=3))
+
+
+def test_key_folds_in_version_and_fingerprint():
+    task = make_task("E9")
+    assert task_key(task, version="1") != task_key(task, version="2")
+    assert task_key(task, fingerprint="a") != task_key(task,
+                                                       fingerprint="b")
+
+
+def test_source_fingerprint_is_stable_within_process():
+    assert source_fingerprint() == source_fingerprint()
+    assert len(source_fingerprint()) == 16
+
+
+def test_resolve_experiment_id_case_insensitive():
+    assert resolve_target(make_task("e9")) is ALL_EXPERIMENTS["E9"]
+
+
+def test_resolve_dotted_path():
+    task = make_task("tests.runtime_helpers:add", {"a": 2, "b": 3})
+    assert resolve_target(task) is runtime_helpers.add
+    assert run_task(task) == 5
+
+
+def test_callable_target_keeps_fn_and_gets_stable_name():
+    task = make_task(runtime_helpers.add, {"a": 1, "b": 1})
+    assert task.target == "tests.runtime_helpers:add"
+    assert run_task(task) == 2
+
+
+def test_seeded_task_receives_rng_registry():
+    one = run_task(make_task(runtime_helpers.seed_echo, seed=7))
+    two = run_task(make_task(runtime_helpers.seed_echo, seed=7))
+    other = run_task(make_task(runtime_helpers.seed_echo, seed=8))
+    assert one == two
+    assert one != other
+
+
+def test_unknown_targets_rejected():
+    with pytest.raises(ConfigurationError):
+        resolve_target(make_task("E99"))
+    with pytest.raises(ConfigurationError):
+        resolve_target(make_task("not-a-dotted-path"))
+    with pytest.raises(ConfigurationError):
+        make_task(1234)
+
+
+def test_shard_axes_name_real_parameters():
+    import inspect
+
+    for exp_id, axis in SHARD_AXES.items():
+        signature = inspect.signature(ALL_EXPERIMENTS[exp_id])
+        assert axis in signature.parameters, (exp_id, axis)
+
+
+def test_shard_expansion_covers_axis():
+    tasks = shard_experiment("E9")
+    values = [dict(t.params)["slot_durations_us"] for t in tasks]
+    assert [v[0] for v in values] == [300, 400, 525, 800, 1200, 2000]
+    assert all(len(v) == 1 for v in values)
+
+
+def test_unshardable_experiment_is_one_task():
+    tasks = shard_experiment("E7")
+    assert len(tasks) == 1
+    assert tasks[0].params == ()
+
+
+def test_sharded_run_merges_to_serial_table():
+    serial = ALL_EXPERIMENTS["E9"]()
+    shards = [run_task(t) for t in shard_experiment("E9")]
+    merged = merge_experiment_results(shards)
+    assert merged.headers == serial.headers
+    assert merged.rows == serial.rows
+    assert merged.title == serial.title
+    assert merged.table() == serial.table()
+
+
+def test_label_mentions_target_params_and_seed():
+    task = make_task("E9", {"guard_us": 60.0}, seed=3)
+    assert "E9" in task.label
+    assert "guard_us" in task.label
+    assert "@s3" in task.label
