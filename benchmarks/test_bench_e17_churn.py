@@ -1,0 +1,28 @@
+"""E17 (extension): online schedule repair vs full re-solve under churn.
+
+Expected shape: every churn rate sees fault events; local Bellman-Ford
+repair handles the overwhelming majority of them with zero ILP probes, so
+its mean convergence window is strictly smaller than the full re-solve
+baseline's and fewer packets are lost during convergence.  After every
+event the live schedule must stay conflict-free (S8) and every carried
+call inside its delay budget (S30) -- the guarantee claim under churn.
+"""
+
+from conftest import run_experiment
+
+from repro.analysis.experiments import e17_churn
+
+
+def test_bench_e17_churn(benchmark):
+    result = run_experiment(benchmark, e17_churn)
+    assert all(row[1] > 0 for row in result.rows), "every rate sees churn"
+    for (____, events, local, ____, repair_f, resolve_f,
+         lost_repair, lost_resolve, ____, conflict_ok,
+         guarantee_ok) in result.rows:
+        assert local > 0, "local repair fires at every churn rate"
+        assert repair_f < resolve_f, \
+            "repair converges in fewer frames than the re-solve baseline"
+        assert lost_repair <= lost_resolve, \
+            "repair never loses more packets than re-solving would"
+        assert conflict_ok and guarantee_ok, \
+            "post-repair schedules keep the S8/S30 invariants"

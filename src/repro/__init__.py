@@ -17,6 +17,12 @@ simulation of the 802.16 mesh frame run in software over raw-broadcast
 802.11, with drifting per-node clocks, beacon synchronization, guard-time
 dimensioning -- compared packet-by-packet against native 802.11 DCF.
 
+**Dynamics** (:mod:`repro.faults` + :mod:`repro.core.repair`): seeded
+fault injection (node crashes, link cuts, loss steps, clock glitches)
+driven through first-class hooks, and an incremental schedule-repair
+engine that reroutes around failures and patches the TDMA schedule
+locally, falling back to a full re-solve only when it must.
+
 Quickstart::
 
     from repro import (chain_topology, conflict_graph, Flow, FlowSet,
@@ -39,6 +45,8 @@ experiment suite (EXPERIMENTS.md maps each to the paper).
 from repro.core import (
     AdmissionController,
     AdmissionDecision,
+    RepairEngine,
+    RepairOutcome,
     Schedule,
     SchedulingProblem,
     SlotBlock,
@@ -63,6 +71,7 @@ from repro.errors import (
     SimulationError,
     SolverError,
 )
+from repro.faults import FaultEvent, FaultInjector, FaultPlan
 from repro.mesh16 import MeshFrameConfig, default_frame_config
 from repro.net import (
     Flow,
@@ -88,6 +97,9 @@ __all__ = [
     "ConfigurationError",
     "DelayConstraint",
     "DriftingClock",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
     "Flow",
     "FlowQoS",
     "FlowSet",
@@ -97,6 +109,8 @@ __all__ = [
     "InfeasibleScheduleError",
     "MeshFrameConfig",
     "MeshTopology",
+    "RepairEngine",
+    "RepairOutcome",
     "ReproError",
     "RngRegistry",
     "RoutingError",

@@ -111,10 +111,24 @@ def main(argv: list[str] | None = None) -> int:
     ledger_path = pathlib.Path(args.cache_dir) / DEFAULT_LEDGER_NAME
 
     if args.list:
+        cache = None
+        if not args.no_cache:
+            from repro.runtime.cache import ResultCache
+            from repro.runtime.tasks import shard_experiment
+
+            cache = ResultCache(args.cache_dir)
         for key in sorted(ALL_EXPERIMENTS,
                           key=lambda k: int(k[1:])):
             doc = (ALL_EXPERIMENTS[key].__doc__ or "").strip().splitlines()
-            print(f"{key:>4}  {doc[0] if doc else ''}")
+            status = ""
+            if cache is not None:
+                tasks = shard_experiment(key)
+                hits = sum(1 for t in tasks if cache.get(t) is not None)
+                status = ("cached" if hits == len(tasks)
+                          else f"partial {hits}/{len(tasks)}" if hits
+                          else "uncached")
+                status = f"[{status:<8}] "
+            print(f"{key:>4}  {status}{doc[0] if doc else ''}")
         return 0
 
     if args.ledger_summary:

@@ -15,7 +15,8 @@ This package implements the paper line's algorithmic contribution:
   (:mod:`repro.core.tree_order`);
 - greedy baselines (:mod:`repro.core.greedy`);
 - end-to-end delay analysis (:mod:`repro.core.delay`);
-- incremental admission control (:mod:`repro.core.admission`).
+- incremental admission control (:mod:`repro.core.admission`);
+- online schedule repair under fault churn (:mod:`repro.core.repair`).
 """
 
 from repro.core.admission import AdmissionController, AdmissionDecision
@@ -32,6 +33,7 @@ from repro.core.guarantees import GuaranteeReport, check_guarantees
 from repro.core.ilp import ILPResult, SchedulingProblem, solve_schedule_ilp
 from repro.core.minslots import MinSlotResult, minimum_slots
 from repro.core.ordering import TransmissionOrder, schedule_from_order
+from repro.core.repair import RepairEngine, RepairOutcome
 from repro.core.schedule import Schedule, SlotBlock
 from repro.core.tree_order import min_delay_tree_order
 
@@ -42,6 +44,8 @@ __all__ = [
     "ILPResult",
     "MinSlotResult",
     "NegativeCycle",
+    "RepairEngine",
+    "RepairOutcome",
     "Schedule",
     "SchedulingProblem",
     "SlotBlock",

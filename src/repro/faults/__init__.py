@@ -1,0 +1,43 @@
+"""Deterministic fault injection for dynamic-mesh experiments (S31).
+
+The paper's guarantees are computed for a static mesh; this subpackage
+makes the mesh dynamic on purpose.  A seeded :class:`FaultPlan` (scripted
+or stochastic Poisson churn) describes node crashes/recoveries, link
+cuts/restores, link loss-rate steps and clock glitches; the
+:class:`FaultInjector` applies it to a live simulation through dedicated
+hooks in :mod:`repro.phy.channel`, :mod:`repro.sim.clock` and
+:mod:`repro.net.topology` -- never by monkey-patching -- and notifies
+listeners such as the online schedule-repair engine
+(:class:`repro.core.repair.RepairEngine`).
+
+Quickstart::
+
+    from repro.faults import FaultEvent, FaultInjector, FaultPlan
+
+    plan = FaultPlan.scripted([
+        FaultEvent(1.0, "link_loss", link=(1, 2), value=0.5),
+        FaultEvent(2.0, "link_down", link=(1, 2)),
+    ], topology)
+    injector = FaultInjector(plan, topology, sim=sim, channel=channel)
+    injector.arm()          # faults now strike at their timestamps
+"""
+
+from repro.faults.events import (
+    ALL_KINDS,
+    LINK_KINDS,
+    NODE_KINDS,
+    TOPOLOGY_KINDS,
+    FaultEvent,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+
+__all__ = [
+    "ALL_KINDS",
+    "LINK_KINDS",
+    "NODE_KINDS",
+    "TOPOLOGY_KINDS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+]

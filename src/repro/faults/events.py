@@ -1,0 +1,99 @@
+"""Fault-event vocabulary for dynamic-mesh experiments.
+
+A :class:`FaultEvent` is one timestamped mutation of the running system:
+a node crash or recovery, an undirected link severed or restored, a step
+change of a link's loss rate, or an uncommanded clock phase jump.  Events
+are plain validated data -- applying them to a live simulation is the
+:class:`repro.faults.injector.FaultInjector`'s job, through the hooks the
+channel/clock/topology layers expose for exactly this purpose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+#: node-scoped fault kinds (require ``node``)
+NODE_KINDS = frozenset({"node_down", "node_up", "clock_glitch"})
+#: link-scoped fault kinds (require ``link``)
+LINK_KINDS = frozenset({"link_down", "link_up", "link_loss"})
+#: every recognised fault kind
+ALL_KINDS = NODE_KINDS | LINK_KINDS
+#: kinds that change the connectivity graph (and hence trigger repair)
+TOPOLOGY_KINDS = frozenset({"node_down", "node_up", "link_down", "link_up"})
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One timestamped fault.
+
+    Parameters
+    ----------
+    at_s:
+        True (simulator) time at which the fault strikes, seconds.
+    kind:
+        One of :data:`ALL_KINDS`.
+    node:
+        Victim node for node-scoped kinds.
+    link:
+        Victim undirected link ``(u, v)`` for link-scoped kinds; ``(u, v)``
+        and ``(v, u)`` denote the same fault and are normalised to the
+        sorted pair.
+    value:
+        ``link_loss``: the new per-direction loss probability in ``[0, 1)``
+        (0.0 restores a clean link).  ``clock_glitch``: the phase jump in
+        local seconds (either sign).  Unused otherwise.
+    """
+
+    at_s: float
+    kind: str
+    node: Optional[int] = None
+    link: Optional[tuple[int, int]] = None
+    value: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ALL_KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{sorted(ALL_KINDS)}")
+        if self.at_s < 0:
+            raise ConfigurationError(f"fault time {self.at_s} is negative")
+        if self.kind in NODE_KINDS:
+            if self.node is None:
+                raise ConfigurationError(f"{self.kind} fault needs a node")
+            if self.link is not None:
+                raise ConfigurationError(
+                    f"{self.kind} fault takes a node, not a link")
+        else:
+            if self.link is None:
+                raise ConfigurationError(f"{self.kind} fault needs a link")
+            if self.node is not None:
+                raise ConfigurationError(
+                    f"{self.kind} fault takes a link, not a node")
+            u, v = self.link
+            if u == v:
+                raise ConfigurationError(f"degenerate link ({u}, {v})")
+            object.__setattr__(self, "link", (min(u, v), max(u, v)))
+        if self.kind == "link_loss":
+            if self.value is None or not 0.0 <= self.value < 1.0:
+                raise ConfigurationError(
+                    f"link_loss needs a loss rate in [0, 1), got {self.value}")
+        elif self.kind == "clock_glitch":
+            if self.value is None:
+                raise ConfigurationError(
+                    "clock_glitch needs a phase jump value")
+        elif self.value is not None:
+            raise ConfigurationError(
+                f"{self.kind} fault does not take a value")
+
+    @property
+    def is_topology_event(self) -> bool:
+        """True iff this fault changes the connectivity graph."""
+        return self.kind in TOPOLOGY_KINDS
+
+    def sort_key(self) -> tuple:
+        """Deterministic total order: time, then kind, then victim."""
+        return (self.at_s, self.kind, self.node if self.node is not None
+                else -1, self.link or (-1, -1))

@@ -15,6 +15,7 @@ from repro.net.topology import (
     grid_topology,
     random_disk_topology,
     star_topology,
+    surviving_topology,
 )
 
 __all__ = [
@@ -31,4 +32,5 @@ __all__ = [
     "route_on_tree",
     "shortest_path_route",
     "star_topology",
+    "surviving_topology",
 ]

@@ -173,13 +173,22 @@ def binary_tree_topology(depth: int, spacing: float = 100.0) -> MeshTopology:
 
 
 def random_disk_topology(num_nodes: int, radio_range: float,
-                         area: float, rng: np.random.Generator,
-                         max_tries: int = 200) -> MeshTopology:
+                         area: float,
+                         rng: Optional[np.random.Generator] = None,
+                         max_tries: int = 200,
+                         seed: Optional[int] = None) -> MeshTopology:
     """Uniform random node placement with unit-disk connectivity.
 
     Nodes are placed uniformly in an ``area x area`` square; two nodes are
     connected iff their distance is at most ``radio_range``.  Placement is
     retried until the graph is connected (up to ``max_tries`` draws).
+
+    Either ``rng`` or ``seed`` must be given.  Every retry draws its own
+    child seed from the caller's generator and places nodes with a fresh
+    generator seeded from it, so the whole retry loop is a pure function of
+    the initial seed -- two runs with the same seed walk the exact same
+    sequence of candidate placements, and the failing child seed can be
+    reported when the loop gives up.
 
     Random-disk meshes model unplanned community deployments; they produce
     irregular conflict graphs that stress the schedulers differently from
@@ -189,8 +198,17 @@ def random_disk_topology(num_nodes: int, radio_range: float,
         raise ConfigurationError("need at least one node")
     if radio_range <= 0 or area <= 0:
         raise ConfigurationError("radio_range and area must be positive")
+    if rng is None:
+        if seed is None:
+            raise ConfigurationError(
+                "random_disk_topology needs an rng or a seed")
+        rng = np.random.default_rng(seed)
+    try_seeds = []
     for _ in range(max_tries):
-        coords = rng.uniform(0.0, area, size=(num_nodes, 2))
+        try_seed = int(rng.integers(0, 2 ** 32))
+        try_seeds.append(try_seed)
+        coords = np.random.default_rng(try_seed).uniform(
+            0.0, area, size=(num_nodes, 2))
         graph = nx.Graph()
         graph.add_nodes_from(range(num_nodes))
         for i in range(num_nodes):
@@ -203,7 +221,9 @@ def random_disk_topology(num_nodes: int, radio_range: float,
             return MeshTopology(graph, positions,
                                 name=f"disk{num_nodes}")
     raise ConfigurationError(
-        f"failed to draw a connected random-disk topology in {max_tries} tries; "
+        f"failed to draw a connected random-disk topology in {max_tries} "
+        f"tries (seed={seed if seed is not None else 'external rng'}, "
+        f"first/last try seeds {try_seeds[0]}/{try_seeds[-1]}); "
         "increase radio_range or decrease area")
 
 
@@ -212,3 +232,44 @@ def from_edges(edges: Iterable[tuple[int, int]], name: str = "custom") -> MeshTo
     graph = nx.Graph()
     graph.add_edges_from(edges)
     return MeshTopology(graph, name=name)
+
+
+def surviving_topology(topology: MeshTopology,
+                       dead_nodes: Iterable[int] = (),
+                       dead_edges: Iterable[tuple[int, int]] = (),
+                       anchor: int = 0,
+                       ) -> tuple[MeshTopology, frozenset[int]]:
+    """Topology induced by removing failed nodes/edges, anchored at a node.
+
+    This is the fault-injection hook used by :mod:`repro.faults` and
+    :mod:`repro.core.repair`: given the base topology and the current set of
+    dead nodes and dead undirected edges, it returns the
+    :class:`MeshTopology` of the connected component containing ``anchor``
+    (typically the gateway) together with the set of nodes that are *not*
+    in that component -- dead nodes plus nodes partitioned away from the
+    anchor.  Returning only the anchor's component keeps the result
+    connected (a :class:`MeshTopology` invariant) and matches what the
+    schedule-repair engine can actually serve: flows to unreachable nodes
+    must be parked, not scheduled.
+
+    ``dead_edges`` pairs are undirected; ``(u, v)`` and ``(v, u)`` are the
+    same edge.  Dead entries that do not exist in the base topology are
+    ignored, so callers can pass accumulated fault state verbatim.
+    """
+    dead_node_set = frozenset(dead_nodes)
+    if anchor not in topology.graph or anchor in dead_node_set:
+        raise ConfigurationError(
+            f"anchor node {anchor} is dead or not in the topology")
+    graph = topology.graph.copy()
+    graph.remove_nodes_from(n for n in dead_node_set if n in graph)
+    for u, v in dead_edges:
+        if graph.has_edge(u, v):
+            graph.remove_edge(u, v)
+    component = nx.node_connected_component(graph, anchor)
+    unreachable = frozenset(topology.graph.nodes) - frozenset(component)
+    survivor = graph.subgraph(component).copy()
+    positions = {n: topology.positions[n] for n in component
+                 if n in topology.positions}
+    return (MeshTopology(survivor, positions,
+                         name=f"{topology.name}-survivor"),
+            unreachable)

@@ -94,6 +94,9 @@ class BroadcastChannel:
         self._error_rng = None
         self._error_rates: dict[tuple[int, int], float] = {}
         self._default_error_rate = 0.0
+        #: fault-injection state; see :meth:`set_node_down` / :meth:`set_link_down`
+        self._down_nodes: set[int] = set()
+        self._down_links: set[frozenset[int]] = set()
 
     def set_error_model(self, rng, default_error_rate: float = 0.0,
                         per_link: Optional[dict[tuple[int, int], float]]
@@ -115,6 +118,71 @@ class BroadcastChannel:
         self._error_rng = rng
         self._default_error_rate = default_error_rate
         self._error_rates = dict(per_link or {})
+
+    def update_link_error_rates(
+            self, rates: dict[tuple[int, int], float]) -> None:
+        """Step per-link error rates mid-run (fault-injection hook).
+
+        Merges ``rates`` into the per-link overrides installed by
+        :meth:`set_error_model`, which must have been called first (the
+        channel needs its loss RNG).  Directed pairs; a rate of 0.0 pins
+        the pair back to lossless regardless of the default.
+        """
+        if self._error_rng is None:
+            raise ConfigurationError(
+                "call set_error_model() before update_link_error_rates() "
+                "so the channel has a loss RNG")
+        for pair, rate in rates.items():
+            if not 0.0 <= rate < 1.0:
+                raise ConfigurationError(f"error rate {rate} for {pair}")
+        self._error_rates.update(rates)
+
+    # -- fault-injection hooks ---------------------------------------------
+
+    def set_node_down(self, node: int, down: bool = True) -> None:
+        """Crash or recover a radio (fault-injection hook).
+
+        A down node radiates nothing when its MAC transmits (the airtime is
+        still accounted, so slot timing upstream is unchanged) and hears
+        nothing -- no receptions are created at it, so its MAC gets no
+        callbacks.  Upper layers need no crash-awareness: the fault lives
+        entirely at the PHY, exactly as a powered-off radio would.
+        """
+        self._state(node)  # validate the node id
+        if down:
+            self._down_nodes.add(node)
+        else:
+            self._down_nodes.discard(node)
+        self.trace.emit(self.sim.now,
+                        "phy.node_down" if down else "phy.node_up",
+                        node=node)
+
+    def node_is_down(self, node: int) -> bool:
+        return node in self._down_nodes
+
+    def set_link_down(self, pair: tuple[int, int],
+                      down: bool = True) -> None:
+        """Sever or restore one undirected radio link (fault-injection hook).
+
+        While down, frames simply do not propagate across the pair in either
+        direction -- as if the nodes moved out of range.  Both endpoints
+        otherwise behave normally.
+        """
+        u, v = pair
+        if not self.topology.has_link((u, v)):
+            raise ConfigurationError(
+                f"({u}, {v}) is not a link of {self.topology.name}")
+        key = frozenset((u, v))
+        if down:
+            self._down_links.add(key)
+        else:
+            self._down_links.discard(key)
+        self.trace.emit(self.sim.now,
+                        "phy.link_down" if down else "phy.link_up",
+                        node=u, peer=v)
+
+    def link_is_down(self, pair: tuple[int, int]) -> bool:
+        return frozenset(pair) in self._down_links
 
     def attach(self, node: int, client: ChannelClient) -> None:
         """Register the MAC entity for ``node``."""
@@ -179,6 +247,12 @@ class BroadcastChannel:
             duration = self.phy.airtime(
                 frame.size_bits, basic_rate=frame.kind.value != "data")
         now = self.sim.now
+        if node in self._down_nodes:
+            # Crashed radio: the MAC's transmit attempt consumes its slot
+            # time but nothing reaches the air.
+            self.trace.emit(now, "phy.tx_suppressed", node=node,
+                            frame=frame.frame_id, kind=frame.kind.value)
+            return duration
         tx_start, tx_end = now, now + duration
         self._prune(state, now)
         state.transmissions.append((tx_start, tx_end))
@@ -195,6 +269,9 @@ class BroadcastChannel:
         self._notify(node)
         prop = self.phy.propagation_delay_s
         for neighbor in self.topology.neighbors(node):
+            if (neighbor in self._down_nodes
+                    or frozenset((node, neighbor)) in self._down_links):
+                continue
             arrival_start = tx_start + prop
             arrival_end = tx_end + prop
             receiver_state = self._state(neighbor)
@@ -221,6 +298,14 @@ class BroadcastChannel:
         state = self._state(reception.receiver)
         if reception in state.receptions:
             state.receptions.remove(reception)
+        if reception.receiver in self._down_nodes:
+            # The receiver crashed while the frame was in flight: drop it
+            # without a MAC callback, as set_node_down() promises.
+            self.trace.emit(self.sim.now, "phy.rx_node_down",
+                            node=reception.receiver,
+                            frame=reception.frame.frame_id,
+                            kind=reception.frame.kind.value)
+            return
         # Half-duplex: if the receiver transmitted at any point during the
         # reception window, the frame is lost (the mark may have been set by
         # transmit(); re-check for transmissions that started mid-window).

@@ -54,6 +54,7 @@ SHARD_AXES: dict[str, str] = {
     "E12": "call_counts",
     "E13": "error_rates",
     "E16": "call_counts",
+    "E17": "churn_rates",
 }
 
 

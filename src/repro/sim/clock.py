@@ -47,6 +47,8 @@ class DriftingClock:
         self._local_epoch = float(epoch) + float(offset)
         #: rate correction applied by clock discipline (1.0 = none)
         self._discipline = 1.0
+        #: number of fault-injected phase jumps; see :meth:`glitch`
+        self._glitches = 0
 
     @property
     def skew(self) -> float:
@@ -82,6 +84,25 @@ class DriftingClock:
         """
         self._re_anchor(true_time)
         self._local_epoch += correction
+
+    def glitch(self, true_time: float, jump: float) -> None:
+        """Fault-injection hook: an uncommanded phase jump of ``jump`` local
+        seconds at ``true_time``.
+
+        Mechanically identical to :meth:`step` (continuity-preserving
+        re-anchor, then shift the local epoch) but semantically a *fault*:
+        it models oscillator upsets, counter wraps, or bad sync packets, and
+        is counted separately (:attr:`glitches`) so experiments can report
+        how many upsets the sync daemon had to recover from.
+        """
+        self._re_anchor(true_time)
+        self._local_epoch += jump
+        self._glitches += 1
+
+    @property
+    def glitches(self) -> int:
+        """How many fault-injected phase jumps this clock has suffered."""
+        return self._glitches
 
     def set_local(self, true_time: float, new_local: float) -> None:
         """Set the clock to read ``new_local`` at true time ``true_time``."""

@@ -180,5 +180,14 @@ def test_e16_shape():
     assert fractions == sorted(fractions, reverse=True)
 
 
+def test_e17_shape():
+    result = ex.e17_churn(churn_rates=(4.0,), horizon_s=60.0)
+    assert_well_formed(result)
+    for row in result.rows:
+        assert row[1] > 0  # churn actually happened
+        assert row[4] < row[5]  # repair window beats re-solve window
+        assert row[-2] and row[-1]  # conflict-free + guarantees hold
+
+
 def test_registry_lists_all():
-    assert set(ex.ALL_EXPERIMENTS) == {f"E{i}" for i in range(1, 17)}
+    assert set(ex.ALL_EXPERIMENTS) == {f"E{i}" for i in range(1, 18)}

@@ -20,6 +20,35 @@ def test_list(capsys):
     assert "E1" in out and "E14" in out
 
 
+def test_list_annotates_cache_status(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "[uncached]" in out and "[cached" not in out
+    assert main(["E9"]) == 0
+    capsys.readouterr()
+    assert main(["--list"]) == 0
+    lines = capsys.readouterr().out.splitlines()
+    e9 = next(l for l in lines if l.lstrip().startswith("E9"))
+    assert "[cached" in e9
+    e1 = next(l for l in lines if l.lstrip().startswith("E1 "))
+    assert "[uncached]" in e1
+
+
+def test_list_no_cache_drops_annotations(capsys):
+    assert main(["--list", "--no-cache"]) == 0
+    out = capsys.readouterr().out
+    assert "cached" not in out
+
+
+def test_list_respects_cache_dir(tmp_path, capsys):
+    assert main(["E9", "--cache-dir", str(tmp_path / "alt")]) == 0
+    capsys.readouterr()
+    assert main(["--list", "--cache-dir", str(tmp_path / "alt")]) == 0
+    lines = capsys.readouterr().out.splitlines()
+    e9 = next(l for l in lines if l.lstrip().startswith("E9"))
+    assert "[cached" in e9
+
+
 def test_runs_cheap_experiment(capsys):
     assert main(["E9"]) == 0
     out = capsys.readouterr().out

@@ -1,0 +1,131 @@
+"""Fault injector: state tracking, hook dispatch, listener protocol."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import FaultEvent, FaultInjector, FaultPlan
+from repro.phy.channel import BroadcastChannel
+from repro.phy.radio import PhyParams
+from repro.sim.clock import DriftingClock
+from repro.sim.engine import Simulator
+from repro.units import US
+
+TEST_PHY = PhyParams("test", data_rate_bps=1e6, basic_rate_bps=1e6,
+                     plcp_overhead_s=0.0, propagation_delay_s=1 * US)
+
+
+class Recorder:
+    def __init__(self):
+        self.events = []
+
+    def on_fault(self, event):
+        self.events.append(event)
+
+
+def test_victims_validated_against_topology(chain5):
+    plan = FaultPlan([FaultEvent(0.0, "node_down", node=42)])
+    with pytest.raises(ConfigurationError, match="node 42"):
+        FaultInjector(plan, chain5)
+
+
+def test_analytic_state_tracking(chain5):
+    plan = FaultPlan.scripted([
+        FaultEvent(1.0, "node_down", node=2),
+        FaultEvent(2.0, "link_down", link=(3, 4)),
+        FaultEvent(3.0, "node_up", node=2),
+    ], chain5)
+    injector = FaultInjector(plan, chain5)
+    injector.run_plan()
+    assert injector.dead_nodes == frozenset()
+    assert injector.dead_edges == frozenset({(3, 4)})
+    assert len(injector.applied) == 3
+
+
+def test_dead_directed_links(chain5):
+    plan = FaultPlan.scripted([
+        FaultEvent(1.0, "node_down", node=2),
+        FaultEvent(2.0, "link_down", link=(0, 1)),
+    ], chain5)
+    injector = FaultInjector(plan, chain5)
+    injector.run_plan()
+    assert injector.dead_directed_links() == frozenset(
+        {(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2)})
+
+
+def test_listeners_see_post_event_state(chain5):
+    class StateProbe:
+        def __init__(self, injector_ref):
+            self.injector = injector_ref
+            self.snapshots = []
+
+        def on_fault(self, event):
+            self.snapshots.append((event.kind, self.injector[0].dead_nodes))
+
+    plan = FaultPlan.scripted([FaultEvent(1.0, "node_down", node=1)], chain5)
+    holder = []
+    probe = StateProbe(holder)
+    injector = FaultInjector(plan, chain5, listeners=[probe])
+    holder.append(injector)
+    injector.run_plan()
+    assert probe.snapshots == [("node_down", frozenset({1}))]
+
+
+def test_add_listener_requires_on_fault(chain5):
+    injector = FaultInjector(FaultPlan([]), chain5)
+    with pytest.raises(ConfigurationError, match="on_fault"):
+        injector.add_listener(object())
+
+
+def test_arm_drives_channel_at_event_times(chain5):
+    sim = Simulator()
+    channel = BroadcastChannel(sim, chain5, TEST_PHY)
+    plan = FaultPlan.scripted([
+        FaultEvent(1.0, "node_down", node=2),
+        FaultEvent(2.0, "link_down", link=(0, 1)),
+        FaultEvent(3.0, "node_up", node=2),
+    ], chain5)
+    recorder = Recorder()
+    injector = FaultInjector(plan, chain5, sim=sim, channel=channel,
+                             listeners=[recorder])
+    injector.arm()
+    sim.run(until=1.5)
+    assert channel.node_is_down(2)
+    assert not channel.link_is_down((0, 1))
+    sim.run(until=3.5)
+    assert not channel.node_is_down(2)
+    assert channel.link_is_down((0, 1))
+    assert [e.kind for e in recorder.events] == [
+        "node_down", "link_down", "node_up"]
+
+
+def test_arm_requires_sim_and_is_once_only(chain5):
+    injector = FaultInjector(FaultPlan([]), chain5)
+    with pytest.raises(ConfigurationError, match="simulator"):
+        injector.arm()
+    armed = FaultInjector(FaultPlan([]), chain5, sim=Simulator())
+    armed.arm()
+    with pytest.raises(ConfigurationError, match="armed"):
+        armed.arm()
+
+
+def test_link_loss_updates_channel_error_model(chain5):
+    sim = Simulator()
+    channel = BroadcastChannel(sim, chain5, TEST_PHY)
+    channel.set_error_model(np.random.default_rng(0))
+    plan = FaultPlan.scripted(
+        [FaultEvent(1.0, "link_loss", link=(1, 2), value=0.5)], chain5)
+    FaultInjector(plan, chain5, sim=sim, channel=channel).arm()
+    sim.run()
+    assert channel._error_rates == {(1, 2): 0.5, (2, 1): 0.5}
+
+
+def test_clock_glitch_reaches_clock(chain5):
+    clocks = {n: DriftingClock() for n in chain5.nodes}
+    plan = FaultPlan.scripted(
+        [FaultEvent(1.0, "clock_glitch", node=3, value=2e-3)], chain5)
+    injector = FaultInjector(plan, chain5, clocks=clocks)
+    injector.run_plan()
+    assert clocks[3].glitches == 1
+    assert clocks[3].offset_at(1.0) == pytest.approx(2e-3)
+    assert clocks[0].glitches == 0

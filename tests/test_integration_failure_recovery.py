@@ -1,24 +1,25 @@
-"""Failure injection: a link degrades, the mesh reschedules in-band.
+"""Failure injection: a link degrades, dies, and the mesh repairs in-band.
 
-End-to-end recovery story built entirely from public APIs:
+End-to-end recovery story built entirely from public APIs -- the fault
+subsystem drives the hooks, the repair engine reacts, the overlay floods:
 
-1. a flow runs over its shortest path; one of its links then suffers a
-   50 % reception error rate (injected fading);
-2. operations notice the loss, route the flow around the bad link, and the
-   gateway floods a new schedule version through the control subframe;
-3. after the activation frame, deliveries resume loss-free over the detour
-   while the old path's slots are gone.
+1. a flow runs over its shortest path; a scripted :class:`FaultPlan` then
+   degrades one of its links to 50 % loss and, a second later, cuts it;
+2. the :class:`FaultInjector` applies both faults through the channel
+   hooks and notifies the :class:`RepairEngine`, which locally reroutes
+   the flow around the dead link and repairs the schedule without an ILP;
+3. the gateway floods the repaired schedule through the control subframe;
+4. after the activation frame, deliveries resume loss-free over the
+   detour while the dead link carries no slots.
 """
 
-import networkx as nx
 import pytest
 
-from repro.core.conflict import conflict_graph
-from repro.core.ilp import SchedulingProblem, solve_schedule_ilp
-from repro.core.schedule import Schedule
+from repro.core.repair import RepairEngine
+from repro.faults import FaultEvent, FaultInjector, FaultPlan
 from repro.mesh16.frame import default_frame_config
 from repro.mesh16.network import ControlPlane
-from repro.net.flows import Flow, FlowSet
+from repro.net.flows import Flow
 from repro.net.forwarding import SourceRoutedForwarder
 from repro.net.topology import grid_topology
 from repro.overlay.distribution import ScheduleDistributor
@@ -35,44 +36,39 @@ from repro.traffic.voip import G729
 from repro.units import ppm
 
 
-def schedule_for(topology, flows, frame):
-    demands = flows.link_demands(frame.frame_duration_s,
-                                 frame.data_slot_capacity_bits)
-    conflicts = conflict_graph(topology, hops=2, links=demands.keys())
-    result = solve_schedule_ilp(SchedulingProblem(
-        conflicts, demands, frame.data_slots))
-    assert result.feasible
-    return result.schedule
-
-
-def detour_route(topology, src, dst, avoid_link):
-    graph = topology.graph.copy()
-    graph.remove_edge(*sorted(avoid_link))
-    path = nx.shortest_path(graph, src, dst)
-    return tuple((a, b) for a, b in zip(path, path[1:]))
-
-
 @pytest.mark.slow
-def test_reroute_and_redistribute_recovers_from_link_degradation():
+def test_injected_faults_repair_and_redistribute():
     topology = grid_topology(3, 3)
     frame = default_frame_config()
     rngs = RngRegistry(seed=55)
     sim = Simulator()
     trace = Trace(capacity=100_000)
     channel = BroadcastChannel(sim, topology, frame.phy, trace)
+    channel.set_error_model(rngs.stream("fading"))  # lossless until faulted
 
-    # flow 0 -> 2 along the top edge; link (1, 2) will degrade.  Each
-    # phase uses its own flow name so the per-flow sinks (which dedup on
-    # sequence numbers) stay independent.
+    # flow 0 -> 2 along the top edge; link (1, 2) will degrade, then die.
+    # Each phase uses its own flow name so the per-flow sinks (which dedup
+    # on sequence numbers) stay independent.
     bad_link = (1, 2)
-    primary_route = ((0, 1), (1, 2))
 
-    def phase_flow(name):
+    def phase_flow(name, route):
         return Flow(name, 0, 2, rate_bps=G729.wire_rate_bps,
-                    delay_budget_s=0.1).with_route(primary_route)
+                    delay_budget_s=0.1).with_route(route)
 
-    schedule_v1 = schedule_for(topology, FlowSet([phase_flow("voip")]),
-                               frame)
+    engine = RepairEngine(topology, frame, gateway=0)
+    engine.install([Flow("voip", 0, 2, rate_bps=G729.wire_rate_bps,
+                         delay_budget_s=0.1)])
+    primary_route = engine.carried_flows[0].route
+    assert bad_link in primary_route  # shortest path crosses the victim
+    schedule_v1 = engine.schedule
+
+    plan = FaultPlan.scripted([
+        FaultEvent(1.0, "link_loss", link=bad_link, value=0.5),
+        FaultEvent(2.0, "link_down", link=bad_link),
+    ], topology)
+    injector = FaultInjector(plan, topology, sim=sim, channel=channel,
+                             listeners=[engine])
+    injector.arm()
 
     clocks, daemons = {}, {}
     for node in topology.nodes:
@@ -94,37 +90,42 @@ def test_reroute_and_redistribute_recovers_from_link_degradation():
     overlay.start()
 
     # phase 1 (0..1 s): healthy
-    source_a = CbrSource.for_codec(sim, phase_flow("healthy"),
+    source_a = CbrSource.for_codec(sim, phase_flow("healthy", primary_route),
                                    forwarder.originate, G729, stop_s=1.0)
     sim.run(until=1.0)
     assert sinks.sink("healthy").received == source_a.sent
 
-    # phase 2 (1..2 s): the link degrades to 50 % loss
-    channel.set_error_model(rngs.stream("fading"),
-                            per_link={bad_link: 0.5})
-    source_b = CbrSource.for_codec(sim, phase_flow("degraded"),
+    # phase 2 (1..2 s): the injected loss step degrades the link to 50 %
+    source_b = CbrSource.for_codec(sim, phase_flow("degraded", primary_route),
                                    forwarder.originate, G729, stop_s=2.0)
     sim.run(until=2.0)
     degraded = sinks.sink("degraded")
     assert degraded.received < source_b.sent * 0.85  # visible degradation
 
-    # phase 3: operations reroute around the bad link and redistribute
-    new_route = detour_route(topology, 0, 2, bad_link)
+    # phase 3: the link dies; the repair engine reroutes and repairs the
+    # schedule locally (no ILP), and the gateway floods the new version.
+    sim.run(until=2.01)
+    assert channel.link_is_down(bad_link)
+    outcome = engine.history[-1]
+    assert outcome.changed and outcome.feasible
+    assert outcome.strategy == "local" and outcome.ilp_probes == 0
+    assert outcome.rerouted == ("voip",)
+    new_route = engine.carried_flows[0].route
     assert bad_link not in new_route
-    rerouted = Flow("recovered", 0, 2, rate_bps=G729.wire_rate_bps,
-                    delay_budget_s=0.1).with_route(new_route)
-    schedule_v2 = schedule_for(topology, FlowSet([rerouted]), frame)
+    assert not engine.schedule.restrict(
+        [bad_link, bad_link[::-1]]).links()  # dead link carries no slots
     current_frame = frame.frame_index_at_local(
         clocks[0].local_time(sim.now))
-    distributor.announce(schedule_v2, activation_frame=current_frame + 15)
+    distributor.announce(engine.schedule, activation_frame=current_frame + 15)
 
     activation_s = (current_frame + 15) * frame.frame_duration_s
     sim.run(until=activation_s + 0.05)
     assert distributor.coverage() == 1.0
 
     # phase 4: traffic on the detour is loss-free again
-    source_c = CbrSource.for_codec(sim, rerouted, forwarder.originate,
-                                   G729, stop_s=sim.now + 1.0)
+    source_c = CbrSource.for_codec(sim, phase_flow("recovered", new_route),
+                                   forwarder.originate, G729,
+                                   stop_s=sim.now + 1.0)
     sim.run(until=sim.now + 1.2)
     recovered = sinks.sink("recovered")
     assert recovered.received == source_c.sent

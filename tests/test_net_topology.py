@@ -13,6 +13,7 @@ from repro.net.topology import (
     grid_topology,
     random_disk_topology,
     star_topology,
+    surviving_topology,
 )
 
 
@@ -170,6 +171,75 @@ class TestRandomDisk:
             random_disk_topology(0, 100.0, 100.0, rng)
         with pytest.raises(ConfigurationError):
             random_disk_topology(5, -1.0, 100.0, rng)
+
+    def test_seed_kwarg_reproducible(self):
+        topo1 = random_disk_topology(8, 400.0, 700.0, seed=11)
+        topo2 = random_disk_topology(8, 400.0, 700.0, seed=11)
+        assert set(topo1.graph.edges) == set(topo2.graph.edges)
+        assert topo1.positions == topo2.positions
+
+    def test_rng_and_seed_agree(self):
+        """seed=N is exactly rng=default_rng(N): same derived placements."""
+        via_seed = random_disk_topology(8, 400.0, 700.0, seed=7)
+        via_rng = random_disk_topology(8, 400.0, 700.0,
+                                       rng=np.random.default_rng(7))
+        assert via_seed.positions == via_rng.positions
+
+    def test_needs_rng_or_seed(self):
+        with pytest.raises(ConfigurationError, match="rng or a seed"):
+            random_disk_topology(5, 100.0, 100.0)
+
+    def test_failure_message_includes_seed(self):
+        with pytest.raises(ConfigurationError, match="seed=99"):
+            random_disk_topology(20, radio_range=10.0, area=10_000.0,
+                                 seed=99, max_tries=5)
+
+
+class TestSurvivingTopology:
+    def test_identity_with_no_faults(self, chain5):
+        survivor, unreachable = surviving_topology(chain5)
+        assert survivor.nodes == chain5.nodes
+        assert survivor.links == chain5.links
+        assert unreachable == frozenset()
+
+    def test_dead_node_partitions_chain(self, chain5):
+        survivor, unreachable = surviving_topology(chain5, dead_nodes=[2],
+                                                   anchor=0)
+        assert survivor.nodes == [0, 1]
+        assert unreachable == frozenset({2, 3, 4})
+
+    def test_dead_edge_is_undirected(self, chain5):
+        for edge in [(1, 2), (2, 1)]:
+            survivor, unreachable = surviving_topology(
+                chain5, dead_edges=[edge], anchor=0)
+            assert survivor.nodes == [0, 1]
+            assert unreachable == frozenset({2, 3, 4})
+
+    def test_redundant_edge_keeps_everyone(self):
+        grid = grid_topology(2, 2)
+        survivor, unreachable = surviving_topology(grid, dead_edges=[(0, 1)])
+        assert survivor.nodes == grid.nodes
+        assert unreachable == frozenset()
+        assert not survivor.has_link((0, 1))
+
+    def test_positions_carried_over(self, chain5):
+        survivor, _ = surviving_topology(chain5, dead_nodes=[4])
+        assert survivor.positions[3] == chain5.positions[3]
+
+    def test_dead_anchor_raises(self, chain5):
+        with pytest.raises(ConfigurationError, match="anchor"):
+            surviving_topology(chain5, dead_nodes=[0], anchor=0)
+
+    def test_unknown_dead_entries_ignored(self, chain5):
+        survivor, unreachable = surviving_topology(
+            chain5, dead_nodes=[99], dead_edges=[(7, 8)])
+        assert survivor.nodes == chain5.nodes
+        assert unreachable == frozenset()
+
+    def test_base_topology_unmodified(self, chain5):
+        before = list(chain5.graph.edges)
+        surviving_topology(chain5, dead_nodes=[2], dead_edges=[(0, 1)])
+        assert list(chain5.graph.edges) == before
 
 
 def test_from_edges():

@@ -194,3 +194,91 @@ class TestCarrierSense:
         assert listeners[1].medium_changes >= 2
         # transmitter: start + end
         assert listeners[0].medium_changes >= 2
+
+
+class TestFaultHooks:
+    def test_down_node_radiates_nothing(self, chain5):
+        sim, channel, listeners = setup_channel(chain5)
+        channel.set_node_down(1)
+        airtime = channel.transmit(1, frame_from(1))
+        sim.run()
+        assert airtime > 0  # slot accounting unchanged
+        assert listeners[0].received == []
+        assert listeners[2].received == []
+
+    def test_down_node_hears_nothing(self, chain5):
+        sim, channel, listeners = setup_channel(chain5)
+        channel.set_node_down(2)
+        channel.transmit(1, frame_from(1))
+        sim.run()
+        assert listeners[2].received == []
+        assert len(listeners[0].received) == 1
+
+    def test_crash_mid_flight_drops_frame(self, chain5):
+        sim, channel, listeners = setup_channel(chain5)
+        channel.transmit(0, frame_from(0, bits=1000))
+        sim.schedule_at(0.5e-3, channel.set_node_down, 1)
+        sim.run()
+        assert listeners[1].received == []
+
+    def test_node_recovery(self, chain5):
+        sim, channel, listeners = setup_channel(chain5)
+        channel.set_node_down(1)
+        channel.set_node_down(1, down=False)
+        assert not channel.node_is_down(1)
+        channel.transmit(0, frame_from(0))
+        sim.run()
+        assert len(listeners[1].received) == 1
+
+    def test_link_down_blocks_both_directions(self, chain5):
+        sim, channel, listeners = setup_channel(chain5)
+        channel.set_link_down((1, 2))
+        channel.transmit(1, frame_from(1))
+        sim.run()
+        assert listeners[2].received == []
+        assert len(listeners[0].received) == 1  # other neighbour unaffected
+        channel.transmit(2, frame_from(2))
+        sim.run()
+        assert len(listeners[1].received) == 0
+        assert len(listeners[3].received) == 1
+
+    def test_link_restore(self, chain5):
+        sim, channel, listeners = setup_channel(chain5)
+        channel.set_link_down((1, 2))
+        channel.set_link_down((2, 1), down=False)  # undirected alias
+        assert not channel.link_is_down((1, 2))
+        channel.transmit(1, frame_from(1))
+        sim.run()
+        assert len(listeners[2].received) == 1
+
+    def test_unknown_ids_rejected(self, chain5):
+        ____, channel, ____ = setup_channel(chain5)
+        with pytest.raises(ConfigurationError):
+            channel.set_node_down(99)
+        with pytest.raises(ConfigurationError):
+            channel.set_link_down((0, 4))  # not adjacent in a chain
+
+    def test_update_link_error_rates(self, chain5):
+        import numpy as np
+        sim, channel, listeners = setup_channel(chain5)
+        channel.set_error_model(np.random.default_rng(0))
+        channel.update_link_error_rates({(0, 1): 1.0 - 1e-12})
+        channel.transmit(0, frame_from(0))
+        sim.run()
+        assert listeners[1].received[0][1] is False  # corrupted
+        channel.update_link_error_rates({(0, 1): 0.0})
+        channel.transmit(0, frame_from(0))
+        sim.run()
+        assert listeners[1].received[1][1] is True
+
+    def test_update_rates_requires_error_model(self, chain5):
+        ____, channel, ____ = setup_channel(chain5)
+        with pytest.raises(ConfigurationError, match="set_error_model"):
+            channel.update_link_error_rates({(0, 1): 0.5})
+
+    def test_update_rates_validates(self, chain5):
+        import numpy as np
+        ____, channel, ____ = setup_channel(chain5)
+        channel.set_error_model(np.random.default_rng(0))
+        with pytest.raises(ConfigurationError):
+            channel.update_link_error_rates({(0, 1): 1.5})

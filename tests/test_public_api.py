@@ -19,6 +19,7 @@ def test_root_exports_resolve(name):
 @pytest.mark.parametrize("module_name", [
     "repro.core", "repro.sim", "repro.phy", "repro.dot11", "repro.mesh16",
     "repro.net", "repro.overlay", "repro.traffic", "repro.analysis",
+    "repro.faults",
 ])
 def test_subpackage_all_exports_resolve(module_name):
     module = importlib.import_module(module_name)

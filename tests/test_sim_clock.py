@@ -97,3 +97,22 @@ def test_two_clocks_diverge_at_relative_rate():
     t = 5.0
     mutual = abs(a.local_time(t) - b.local_time(t))
     assert mutual == pytest.approx(2 * ppm(10) * t)
+
+
+def test_glitch_jumps_phase_and_counts():
+    clock = DriftingClock(skew=ppm(10))
+    before = clock.offset_at(5.0)
+    clock.glitch(5.0, 2e-3)
+    assert clock.offset_at(5.0) == pytest.approx(before + 2e-3)
+    assert clock.glitches == 1
+    clock.glitch(6.0, -1e-3)
+    assert clock.glitches == 2
+
+
+def test_glitch_preserves_past_continuity():
+    clock = DriftingClock(skew=ppm(50))
+    at_ten = clock.local_time(10.0)
+    clock.glitch(10.0, 5e-3)
+    # The glitch re-anchors at t=10: the jump applies from there on.
+    assert clock.local_time(10.0) == pytest.approx(at_ten + 5e-3)
+    assert clock.skew == pytest.approx(ppm(50))
