@@ -73,7 +73,8 @@ def main() -> None:
     rows = []
     for label, sync, duration in arms:
         run = run_tdma_scenario(topology, flows, frame, schedule,
-                                duration, RngRegistry(seed=16).spawn(label),
+                                duration,
+                                rngs=RngRegistry(seed=16).spawn(label),
                                 drift_ppm=DRIFT_PPM, sync_config=sync,
                                 codec=G729)
         samples = run.extras["sync_error_samples"]

@@ -1,59 +1,47 @@
 #!/usr/bin/env python3
-"""Quickstart: schedule guaranteed VoIP over a mesh chain in ~30 lines.
+"""Quickstart: schedule guaranteed VoIP over a mesh chain in ~20 lines.
 
 Builds a 6-node chain, asks for one G.711 call from one end to the other
 with a 50 ms delay budget, runs the NET-COOP minimum-slot search (ILP
-feasibility per candidate region), and prints the resulting conflict-free
-TDMA schedule together with its end-to-end delay.
+feasibility per candidate region) through the :class:`repro.Scenario`
+facade, and prints the resulting conflict-free TDMA schedule together
+with its end-to-end delay.
 
 Run:  python examples/quickstart.py
 """
 
 from repro import (
-    DelayConstraint,
     Flow,
-    FlowSet,
     G711,
+    Scenario,
     chain_topology,
-    conflict_graph,
-    default_frame_config,
-    minimum_slots,
     path_delay_slots,
     path_wraps,
-    route_all,
 )
 
 
 def main() -> None:
-    topology = chain_topology(6)
-    frame = default_frame_config()
-    print(f"topology: {topology.name}, frame: "
+    scenario = Scenario(
+        topology=chain_topology(6),
+        flows=[Flow("voip0", src=0, dst=5, rate_bps=G711.wire_rate_bps,
+                    delay_budget_s=0.05)])
+    frame = scenario.frame
+    print(f"topology: {scenario.topology.name}, frame: "
           f"{frame.frame_duration_s * 1e3:.0f} ms / {frame.data_slots} "
           f"data slots, slot capacity {frame.data_slot_capacity_bits} bits")
 
-    flows = route_all(topology, FlowSet([
-        Flow("voip0", src=0, dst=5, rate_bps=G711.wire_rate_bps,
-             delay_budget_s=0.05),
-    ]))
-    flow = flows.get("voip0")
+    scenario.route()
+    flow = scenario.flows.get("voip0")
     print(f"flow {flow.name}: {flow.src} -> {flow.dst} over {flow.hops} "
           f"hops at {flow.rate_bps / 1e3:.0f} kb/s")
 
-    demands = flows.link_demands(frame.frame_duration_s,
-                                 frame.data_slot_capacity_bits)
-    conflicts = conflict_graph(topology, hops=2, links=demands.keys())
-
-    slot_s = frame.frame_duration_s / frame.data_slots
-    budget_slots = int(flow.delay_budget_s / slot_s)
-    search = minimum_slots(
-        conflicts, demands, frame_slots=frame.data_slots,
-        delay_constraints=[DelayConstraint(flow.name, flow.route,
-                                           budget_slots)])
-
+    # route -> demands -> conflict graph -> minimum-slot search, with the
+    # flow's 50 ms budget enforced as a delay constraint inside the ILP
+    search = scenario.schedule()
     if not search.feasible:
         raise SystemExit("no feasible schedule -- should not happen here")
 
-    schedule = search.result.schedule
+    schedule = search.schedule
     print(f"\nminimum guaranteed region: {search.slots} slots "
           f"(lower bound {search.lower_bound}, "
           f"{search.iterations} ILP probes)")
@@ -61,6 +49,7 @@ def main() -> None:
     from repro.analysis.visualize import render_schedule
     print(render_schedule(schedule))
 
+    slot_s = frame.frame_duration_s / frame.data_slots
     delay = path_delay_slots(schedule, flow.route)
     print(f"\nend-to-end relaying delay: {delay} slots = "
           f"{delay * slot_s * 1e3:.2f} ms "

@@ -50,10 +50,10 @@ def main() -> None:
 
     print("\nrunning TDMA emulation (admitted calls only)...")
     tdma = run_tdma_scenario(topology, admitted, frame, schedule,
-                             DURATION_S, rngs.spawn("tdma"), codec=G729)
+                             DURATION_S, rngs=rngs.spawn("tdma"), codec=G729)
     print("running 802.11 DCF (all offered calls)...")
-    dcf = run_dcf_scenario(topology, flows, DURATION_S, rngs.spawn("dcf"),
-                           codec=G729)
+    dcf = run_dcf_scenario(topology, flows, DURATION_S,
+                           rngs=rngs.spawn("dcf"), codec=G729)
 
     rows = []
     for name in flows.names():

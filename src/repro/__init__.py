@@ -25,23 +25,26 @@ locally, falling back to a full re-solve only when it must.
 
 Quickstart::
 
-    from repro import (chain_topology, conflict_graph, Flow, FlowSet,
-                       route_all, minimum_slots, default_frame_config)
+    from repro import Scenario, Flow, chain_topology
 
-    topo = chain_topology(6)
-    flows = route_all(topo, FlowSet([
-        Flow("voip0", src=0, dst=5, rate_bps=80_000, delay_budget_s=0.1)]))
-    frame = default_frame_config()
-    demands = flows.link_demands(frame.frame_duration_s,
-                                 frame.data_slot_capacity_bits)
-    result = minimum_slots(conflict_graph(topo), demands,
-                           frame_slots=frame.data_slots)
-    print(result.slots, result.result.schedule)
+    scenario = Scenario(
+        topology=chain_topology(6),
+        flows=[Flow("voip0", src=0, dst=5, rate_bps=80_000,
+                    delay_budget_s=0.1)])
+    result = scenario.route().schedule()
+    print(result.slots, result.schedule)
 
-See ``examples/`` for full scenarios and ``benchmarks/`` for the
-experiment suite (EXPERIMENTS.md maps each to the paper).
+:class:`~repro.api.Scenario` wraps the canonical pipeline (route ->
+demands -> conflict graph -> minimum-slot search -> emulation); every
+intermediate stays reachable (``scenario.demands``,
+``scenario.conflicts``) and the underlying functions remain public for
+piecewise use.  See ``examples/`` for full scenarios, ``benchmarks/``
+for the experiment suite (EXPERIMENTS.md maps each to the paper), and
+``docs/observability.md`` for the :mod:`repro.obs` metrics/tracing
+layer.
 """
 
+from repro.api import Scenario
 from repro.core import (
     AdmissionController,
     AdmissionDecision,
@@ -114,6 +117,7 @@ __all__ = [
     "ReproError",
     "RngRegistry",
     "RoutingError",
+    "Scenario",
     "Schedule",
     "SchedulingError",
     "SchedulingProblem",

@@ -68,6 +68,15 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--ledger-summary", action="store_true",
                         help="print outcome counts and slowest tasks from "
                              "the run ledger, then exit")
+    parser.add_argument("--metrics", metavar="PATH",
+                        help="collect metrics while running and write the "
+                             "deterministic snapshot (JSON) to PATH")
+    parser.add_argument("--trace", metavar="PATH",
+                        help="write a JSONL span trace to PATH "
+                             "(requires --jobs 1)")
+    parser.add_argument("--profile", action="store_true",
+                        help="print a per-stage wall-time summary after "
+                             "the run (implies metrics collection)")
     return parser
 
 
@@ -185,9 +194,43 @@ def main(argv: list[str] | None = None) -> int:
             emit(outcomes[next_to_print])
             next_to_print += 1
 
-    run_experiments(requested, jobs=jobs, use_cache=not args.no_cache,
-                    cache_dir=args.cache_dir, ledger_path=str(ledger_path),
-                    resume=args.resume, on_experiment=on_experiment)
+    if args.trace and jobs != 1:
+        print("error: --trace requires --jobs 1 (worker processes cannot "
+              "share the trace file)", file=sys.stderr)
+        return 2
+    registry = None
+    if args.metrics or args.trace or args.profile:
+        from repro import obs
+
+        registry = obs.MetricsRegistry()
+    trace = None
+    if args.trace:
+        from repro import obs
+
+        trace = obs.TraceWriter(args.trace)
+
+    try:
+        run_experiments(requested, jobs=jobs, use_cache=not args.no_cache,
+                        cache_dir=args.cache_dir,
+                        ledger_path=str(ledger_path),
+                        resume=args.resume, on_experiment=on_experiment,
+                        metrics=registry, trace=trace)
+    finally:
+        if trace is not None:
+            trace.close()
+            print(f"trace ({trace.spans_written} spans) written to "
+                  f"{args.trace}")
+
+    if registry is not None and args.metrics:
+        from repro import obs
+
+        obs.write_metrics_json(args.metrics, registry)
+        print(f"metrics written to {args.metrics}")
+    if registry is not None and args.profile:
+        from repro import obs
+
+        print()
+        print(obs.format_profile(registry))
 
     if args.report:
         print(f"report written to {args.report}")

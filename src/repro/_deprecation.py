@@ -1,0 +1,27 @@
+"""Warn-once deprecation plumbing for API redesigns.
+
+Python's own warning registry deduplicates per call *site*, which makes
+"the shim warns exactly once" untestable under pytest's filter resets.
+This module keys deduplication on the deprecated name instead: the first
+access anywhere in the process warns, every later access is silent.  Tests
+reset the registry explicitly via :func:`reset_warned`.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+_warned: set[str] = set()
+
+
+def warn_once(key: str, message: str, stacklevel: int = 3) -> None:
+    """Emit ``DeprecationWarning(message)`` the first time ``key`` is seen."""
+    if key in _warned:
+        return
+    _warned.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+
+
+def reset_warned() -> None:
+    """Forget which deprecations already warned (test hook)."""
+    _warned.clear()

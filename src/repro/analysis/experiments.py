@@ -106,7 +106,7 @@ def e01_min_slots(call_counts: Sequence[int] = (1, 2, 3, 4, 5, 6),
                                delay_constraints=delay_constraints_for(
                                    flows, frame))
         if search.feasible:
-            ilp_schedule = search.result.schedule
+            ilp_schedule = search.schedule
             ilp_wraps = max(path_wraps(ilp_schedule, f.route) for f in flows)
         else:
             ilp_wraps = None

@@ -33,7 +33,7 @@ from repro.overlay.sync import SyncConfig, SyncDaemon
 from repro.phy.channel import BroadcastChannel
 from repro.sim.clock import DriftingClock
 from repro.sim.engine import Simulator
-from repro.sim.random import RngRegistry
+from repro.sim.random import RngRegistry, resolve_rngs
 from repro.sim.trace import Trace
 from repro.traffic.qos import FlowQoS
 from repro.traffic.sink import SinkRegistry
@@ -167,17 +167,23 @@ def admit_flows(topology: MeshTopology, flows: FlowSet,
 
 
 def make_voip_flows(topology: MeshTopology, num_calls: int,
-                    rngs: RngRegistry, codec: VoipCodec = G711,
+                    rngs: Optional[RngRegistry] = None,
+                    codec: VoipCodec = G711,
                     gateway: Optional[int] = None,
                     delay_budget_s: float = 0.1,
-                    min_hops: int = 1) -> FlowSet:
+                    min_hops: int = 1,
+                    seed: Optional[int] = None) -> FlowSet:
     """Random unidirectional VoIP calls, routed via shortest paths.
+
+    Randomness follows the standard ``rngs=``/``seed=`` pair (a registry
+    for stream sharing, or an integer seed for a self-contained call).
 
     With ``gateway`` set, every call runs between the gateway and a random
     node (half up, half down), modelling voice trunked through the mesh's
     internet gateway; otherwise endpoints are arbitrary distinct nodes at
     least ``min_hops`` apart.
     """
+    rngs = resolve_rngs(rngs, seed, what="make_voip_flows")
     rng = rngs.stream("workload/voip")
     nodes = topology.nodes
     flows = FlowSet()
@@ -206,7 +212,8 @@ def make_voip_flows(topology: MeshTopology, num_calls: int,
 
 def run_tdma_scenario(topology: MeshTopology, flows: FlowSet,
                       frame_config: MeshFrameConfig, schedule: Schedule,
-                      duration_s: float, rngs: RngRegistry,
+                      duration_s: float,
+                      rngs: Optional[RngRegistry] = None,
                       gateway: int = 0,
                       drift_ppm: float = 10.0,
                       sync_config: Optional[SyncConfig] = None,
@@ -215,8 +222,11 @@ def run_tdma_scenario(topology: MeshTopology, flows: FlowSet,
                       codec: VoipCodec = G711,
                       warmup_s: float = 0.5,
                       channel_error_rate: float = 0.0,
-                      arq: bool = False) -> ScenarioResult:
+                      arq: bool = False,
+                      seed: Optional[int] = None) -> ScenarioResult:
     """Run the routed ``flows`` over the TDMA emulation.
+
+    Randomness follows the standard ``rngs=``/``seed=`` pair.
 
     Parameters
     ----------
@@ -230,6 +240,7 @@ def run_tdma_scenario(topology: MeshTopology, flows: FlowSet,
         otherwise offsets start uniform in +-``initial_offset_bound_s`` and
         the sync protocol must acquire lock first.
     """
+    rngs = resolve_rngs(rngs, seed, what="run_tdma_scenario")
     sim = Simulator()
     trace = Trace(capacity=200_000)
     channel = BroadcastChannel(sim, topology, frame_config.phy, trace)
@@ -296,12 +307,18 @@ def run_tdma_scenario(topology: MeshTopology, flows: FlowSet,
 
 
 def run_dcf_scenario(topology: MeshTopology, flows: FlowSet,
-                     duration_s: float, rngs: RngRegistry,
+                     duration_s: float,
+                     rngs: Optional[RngRegistry] = None,
                      params: Dot11Params = DOT11B_PARAMS,
                      codec: VoipCodec = G711,
                      warmup_s: float = 0.5,
-                     channel_error_rate: float = 0.0) -> ScenarioResult:
-    """Run the routed ``flows`` over native 802.11 DCF."""
+                     channel_error_rate: float = 0.0,
+                     seed: Optional[int] = None) -> ScenarioResult:
+    """Run the routed ``flows`` over native 802.11 DCF.
+
+    Randomness follows the standard ``rngs=``/``seed=`` pair.
+    """
+    rngs = resolve_rngs(rngs, seed, what="run_dcf_scenario")
     sim = Simulator()
     trace = Trace(capacity=200_000)
     channel = BroadcastChannel(sim, topology, params.phy, trace)

@@ -1,0 +1,161 @@
+"""repro.api -- the one-stop :class:`Scenario` facade.
+
+The library's building blocks (topologies, flow sets, conflict graphs,
+the minimum-slot search, the packet-level emulation) compose through six
+imports and as many intermediate values.  :class:`Scenario` packages the
+canonical composition -- the one every example and experiment starts
+from -- behind a small fluent object::
+
+    from repro import Scenario, Flow, chain_topology
+
+    scenario = Scenario(
+        topology=chain_topology(6),
+        flows=[Flow("voip0", src=0, dst=5, rate_bps=80_000,
+                    delay_budget_s=0.05)])
+    result = scenario.route().schedule()
+    print(result.slots, result.schedule)
+
+Each step stays inspectable: ``scenario.demands``, ``scenario.conflicts``
+and ``scenario.delay_constraints`` expose the intermediates the chain
+used to make callers compute by hand, and :meth:`Scenario.simulate`
+drives the full TDMA-over-WiFi emulation against the schedule the facade
+just produced.  Nothing here adds behaviour -- every method delegates to
+the same public functions the long-hand chain calls, so facade and
+chain produce identical results.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Union
+
+from repro.core.conflict import conflict_graph
+from repro.core.minslots import MinSlotResult, minimum_slots
+from repro.errors import ConfigurationError
+from repro.mesh16.frame import MeshFrameConfig, default_frame_config
+from repro.net.flows import Flow, FlowSet
+from repro.net.routing import route_all
+from repro.net.topology import MeshTopology
+
+FlowsLike = Union[FlowSet, Iterable[Flow]]
+
+
+class Scenario:
+    """One mesh + one flow set, with the canonical pipeline as methods.
+
+    Parameters
+    ----------
+    topology:
+        The mesh to schedule on.
+    flows:
+        A :class:`~repro.net.flows.FlowSet` or any iterable of
+        :class:`~repro.net.flows.Flow`; routed or not (call
+        :meth:`route` for the latter).
+    frame:
+        Frame geometry; defaults to
+        :func:`~repro.mesh16.frame.default_frame_config`.
+    gateway:
+        Anchor node for tree orderings and the emulation's timebase.
+    hops:
+        Conflict distance of the protocol interference model
+        (2 = the 802.16 mesh default).
+    """
+
+    def __init__(self, topology: MeshTopology, flows: FlowsLike,
+                 frame: Optional[MeshFrameConfig] = None,
+                 gateway: int = 0, hops: int = 2) -> None:
+        self.topology = topology
+        self.flows = (flows if isinstance(flows, FlowSet)
+                      else FlowSet(list(flows)))
+        self.frame = frame if frame is not None else default_frame_config()
+        self.gateway = gateway
+        self.hops = hops
+        #: result of the last :meth:`schedule` call
+        self.minslots: Optional[MinSlotResult] = None
+
+    # -- pipeline steps -----------------------------------------------------
+
+    def route(self) -> "Scenario":
+        """Route every flow over shortest paths; returns ``self``."""
+        self.flows = route_all(self.topology, self.flows)
+        return self
+
+    def schedule(self, search: str = "linear",
+                 enforce_delay: bool = True,
+                 max_region: Optional[int] = None,
+                 time_limit_per_probe: Optional[float] = None
+                 ) -> MinSlotResult:
+        """Run the minimum-slot search for the routed flows.
+
+        Returns the :class:`~repro.core.minslots.MinSlotResult`; its
+        ``.schedule`` / ``.order`` / ``.slots`` are the solution.  The
+        result is also kept on ``self.minslots`` so :meth:`simulate`
+        can pick it up.
+        """
+        self._require_routed("schedule")
+        self.minslots = minimum_slots(
+            self.conflicts, self.demands, self.frame.data_slots,
+            delay_constraints=(self.delay_constraints
+                               if enforce_delay else ()),
+            search=search, max_region=max_region,
+            time_limit_per_probe=time_limit_per_probe)
+        return self.minslots
+
+    def simulate(self, duration_s: float = 5.0, *,
+                 rngs=None, seed: Optional[int] = None, **kwargs):
+        """Run the TDMA-over-WiFi emulation against the last schedule.
+
+        Requires a feasible :meth:`schedule` call first (or pass
+        ``schedule=`` explicitly in ``kwargs``).  Randomness follows the
+        standard ``rngs=``/``seed=`` pair; remaining keyword arguments
+        go to :func:`repro.analysis.scenarios.run_tdma_scenario`
+        (``drift_ppm``, ``sync_config``, ``arq``, ...).
+        """
+        from repro.analysis.scenarios import run_tdma_scenario
+
+        self._require_routed("simulate")
+        schedule = kwargs.pop("schedule", None)
+        if schedule is None:
+            if self.minslots is None or self.minslots.schedule is None:
+                raise ConfigurationError(
+                    "simulate() needs a schedule: call .schedule() first "
+                    "(and check it was feasible), or pass schedule=")
+            schedule = self.minslots.schedule
+        return run_tdma_scenario(
+            self.topology, self.flows, self.frame, schedule, duration_s,
+            rngs=rngs, seed=seed, gateway=self.gateway, **kwargs)
+
+    # -- inspectable intermediates ------------------------------------------
+
+    @property
+    def demands(self) -> dict:
+        """Per-link slot demands of the routed flows."""
+        self._require_routed("demands")
+        return self.flows.link_demands(self.frame.frame_duration_s,
+                                       self.frame.data_slot_capacity_bits)
+
+    @property
+    def conflicts(self):
+        """Conflict graph over the demanded links."""
+        return conflict_graph(self.topology, hops=self.hops,
+                              links=sorted(self.demands))
+
+    @property
+    def delay_constraints(self) -> list:
+        """Per-guaranteed-flow delay budgets, in data slots."""
+        from repro.analysis.scenarios import delay_constraints_for
+
+        self._require_routed("delay_constraints")
+        return delay_constraints_for(self.flows, self.frame)
+
+    # -- internals ----------------------------------------------------------
+
+    def _require_routed(self, what: str) -> None:
+        unrouted = [f.name for f in self.flows if not f.is_routed]
+        if unrouted:
+            raise ConfigurationError(
+                f"{what} needs routed flows; call .route() first "
+                f"(unrouted: {', '.join(unrouted)})")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Scenario({self.topology.name}, {len(self.flows)} flows, "
+                f"{self.frame.data_slots} data slots)")

@@ -127,7 +127,7 @@ class AdmissionController:
                 slots_used=self.slots_used, schedule=self.schedule)
 
         self.admitted = candidate
-        self.schedule = result.result.schedule
+        self.schedule = result.schedule
         self.slots_used = result.slots
         return AdmissionDecision(
             admitted=True, flow=flow, reason="admitted",
@@ -144,7 +144,7 @@ class AdmissionController:
         if not result.feasible:  # pragma: no cover - removing cannot hurt
             raise ConfigurationError(
                 "internal error: schedule infeasible after release")
-        self.schedule = result.result.schedule
+        self.schedule = result.schedule
         self.slots_used = result.slots
 
     def admitted_count(self) -> int:

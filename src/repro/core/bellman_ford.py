@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Hashable, Optional
 
+from repro import obs
 from repro.errors import InfeasibleScheduleError
 
 #: Constraint-graph vertex (a link, or the synthetic origin).
@@ -106,7 +107,9 @@ class DifferenceConstraints:
         # converges on the final regular pass prove convergence (no change)
         # instead of being misreported as a negative cycle.
         changed_vertex: Optional[Vertex] = None
+        passes = 0
         for ____ in range(len(vertices) + 1):
+            passes += 1
             changed_vertex = None
             for u, v, w in self.edges:
                 if dist[u] + w < dist[v] - 1e-12:
@@ -115,7 +118,11 @@ class DifferenceConstraints:
                     changed_vertex = v
             if changed_vertex is None:
                 break
+        obs.counter("core.bellman_ford.solves").inc()
+        obs.counter("core.bellman_ford.passes").inc(passes)
+        obs.histogram("core.bellman_ford.passes_per_solve").observe(passes)
         if changed_vertex is not None:
+            obs.counter("core.bellman_ford.infeasible").inc()
             raise InfeasibleScheduleError(
                 "difference constraints are infeasible",
                 certificate=self._extract_cycle(changed_vertex, predecessor))

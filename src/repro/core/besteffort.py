@@ -148,7 +148,7 @@ def schedule_two_classes(conflicts: nx.Graph,
         raise InfeasibleScheduleError(
             f"guaranteed class does not fit in {frame_slots} slots")
     region = result.slots
-    guaranteed = (result.result.schedule if result.result is not None
+    guaranteed = (result.schedule if result.schedule is not None
                   else Schedule(frame_slots))
     # re-home the guaranteed schedule in the full frame length
     guaranteed_full = Schedule(frame_slots)

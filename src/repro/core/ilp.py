@@ -40,6 +40,7 @@ import numpy as np
 from scipy import sparse
 from scipy.optimize import Bounds, LinearConstraint, milp
 
+from repro import obs
 from repro.core.ordering import TransmissionOrder
 from repro.core.schedule import Schedule, SlotBlock
 from repro.errors import ConfigurationError, SolverError
@@ -128,6 +129,18 @@ def solve_schedule_ilp(problem: SchedulingProblem,
     exceeding ``time_limit`` (default :data:`DEFAULT_TIME_LIMIT_S`) without
     an answer -- raise :class:`~repro.errors.SolverError`.
     """
+    obs.counter("core.ilp.solves").inc()
+    with obs.span("core.ilp.solve", frame_slots=problem.frame_slots):
+        result = _solve(problem, time_limit)
+    obs.histogram("core.ilp.variables").observe(result.num_variables)
+    obs.histogram("core.ilp.constraints").observe(result.num_constraints)
+    if not result.feasible:
+        obs.counter("core.ilp.infeasible").inc()
+    return result
+
+
+def _solve(problem: SchedulingProblem,
+           time_limit: Optional[float]) -> ILPResult:
     frame = problem.frame_slots
     if frame <= 0:
         raise ConfigurationError("frame_slots must be positive")

@@ -21,6 +21,8 @@ from typing import Mapping, Optional, Sequence
 
 import networkx as nx
 
+from repro import obs
+from repro._deprecation import warn_once
 from repro.core.conflict import max_conflict_clique_demand
 from repro.core.ilp import (
     DelayConstraint,
@@ -28,19 +30,28 @@ from repro.core.ilp import (
     SchedulingProblem,
     solve_schedule_ilp,
 )
+from repro.core.ordering import TransmissionOrder
+from repro.core.schedule import Schedule
 from repro.errors import ConfigurationError, SolverError
 from repro.net.topology import Link
 
 
 @dataclass
 class MinSlotResult:
-    """Outcome of :func:`minimum_slots`."""
+    """Outcome of :func:`minimum_slots`.
+
+    The schedule and transmission order of the winning probe are exposed
+    directly as :attr:`schedule` and :attr:`order`; the full
+    :class:`~repro.core.ilp.ILPResult` (solver status, delays, sizes) is
+    :attr:`ilp`.  The pre-redesign ``.result`` attribute still resolves to
+    :attr:`ilp` but emits a :class:`DeprecationWarning` on first use.
+    """
 
     #: Smallest feasible guaranteed region, or None if even the full frame
     #: cannot carry the demands.
     slots: Optional[int]
     #: The ILP result at the returned region (schedule, order, delays).
-    result: Optional[ILPResult]
+    ilp: Optional[ILPResult]
     #: Lower bound the search started from.
     lower_bound: int
     #: (candidate K, feasible?) pairs in the order they were probed.
@@ -53,6 +64,25 @@ class MinSlotResult:
     @property
     def iterations(self) -> int:
         return len(self.probes)
+
+    @property
+    def schedule(self) -> Optional[Schedule]:
+        """The winning probe's schedule (None when infeasible)."""
+        return None if self.ilp is None else self.ilp.schedule
+
+    @property
+    def order(self) -> Optional[TransmissionOrder]:
+        """The winning probe's transmission order (None when infeasible)."""
+        return None if self.ilp is None else self.ilp.order
+
+    @property
+    def result(self) -> Optional[ILPResult]:
+        """Deprecated alias of :attr:`ilp` (kept for pre-facade callers)."""
+        warn_once(
+            "MinSlotResult.result",
+            "MinSlotResult.result is deprecated; use .schedule / .order "
+            "for the solution or .ilp for the full ILPResult")
+        return self.ilp
 
 
 def demand_lower_bound(conflicts: nx.Graph, demands: Mapping[Link, int]) -> int:
@@ -90,11 +120,27 @@ def minimum_slots(conflicts: nx.Graph, demands: Mapping[Link, int],
     ceiling = frame_slots if max_region is None else max_region
     if ceiling > frame_slots:
         raise ConfigurationError("max_region cannot exceed frame_slots")
+    with obs.span("core.minslots.search", search=search,
+                  frame_slots=frame_slots):
+        obs.counter("core.minslots.searches").inc()
+        outcome = _search(conflicts, demands, frame_slots, delay_constraints,
+                          search, ceiling, time_limit_per_probe)
+    obs.histogram("core.minslots.probes_per_search").observe(
+        outcome.iterations)
+    if not outcome.feasible:
+        obs.counter("core.minslots.infeasible").inc()
+    return outcome
 
+
+def _search(conflicts: nx.Graph, demands: Mapping[Link, int],
+            frame_slots: int, delay_constraints: Sequence[DelayConstraint],
+            search: str, ceiling: int,
+            time_limit_per_probe: Optional[float]) -> MinSlotResult:
     lower = max(1, demand_lower_bound(conflicts, demands))
     probes: list[tuple[int, bool]] = []
 
     def probe(region: int) -> ILPResult:
+        obs.counter("core.minslots.probes").inc()
         problem = SchedulingProblem(
             conflicts=conflicts, demands=dict(demands),
             frame_slots=frame_slots, delay_constraints=tuple(delay_constraints),
@@ -106,28 +152,31 @@ def minimum_slots(conflicts: nx.Graph, demands: Mapping[Link, int],
             # Undecided within the probe's time limit: treat as infeasible.
             # Conservative for admission control (a call is rejected, never
             # wrongly admitted); the probe log records it like any miss.
+            obs.counter("core.minslots.probe_timeouts").inc()
             result = ILPResult(False, None, None, None,
                                time_limit_per_probe or 0.0,
                                "probe time limit", 0, 0)
+        if not result.feasible:
+            obs.counter("core.minslots.probes_infeasible").inc()
         probes.append((region, result.feasible))
         return result
 
     if not any(d > 0 for d in demands.values()):
         empty = probe(1)
-        return MinSlotResult(slots=0 if empty.feasible else None, result=empty,
+        return MinSlotResult(slots=0 if empty.feasible else None, ilp=empty,
                              lower_bound=0, probes=probes)
 
     if lower > ceiling:
-        return MinSlotResult(slots=None, result=None, lower_bound=lower,
+        return MinSlotResult(slots=None, ilp=None, lower_bound=lower,
                              probes=probes)
 
     if search == "linear":
         for region in range(lower, ceiling + 1):
             result = probe(region)
             if result.feasible:
-                return MinSlotResult(slots=region, result=result,
+                return MinSlotResult(slots=region, ilp=result,
                                      lower_bound=lower, probes=probes)
-        return MinSlotResult(slots=None, result=None, lower_bound=lower,
+        return MinSlotResult(slots=None, ilp=None, lower_bound=lower,
                              probes=probes)
 
     # Binary search: feasibility is monotone in the region size for a fixed
@@ -137,7 +186,7 @@ def minimum_slots(conflicts: nx.Graph, demands: Mapping[Link, int],
     low, high = lower, ceiling
     top = probe(high)
     if not top.feasible:
-        return MinSlotResult(slots=None, result=None, lower_bound=lower,
+        return MinSlotResult(slots=None, ilp=None, lower_bound=lower,
                              probes=probes)
     best, best_region = top, high
     high -= 1
@@ -149,5 +198,5 @@ def minimum_slots(conflicts: nx.Graph, demands: Mapping[Link, int],
             high = mid - 1
         else:
             low = mid + 1
-    return MinSlotResult(slots=best_region, result=best, lower_bound=lower,
+    return MinSlotResult(slots=best_region, ilp=best, lower_bound=lower,
                          probes=probes)

@@ -35,6 +35,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
+from repro import obs
 from repro.core.conflict import conflict_graph
 from repro.core.delay import path_delay_slots
 from repro.core.ilp import DelayConstraint
@@ -167,7 +168,7 @@ class RepairEngine:
                 f"initial flow set is infeasible in {self.frame.data_slots} "
                 "slots")
         self._carried = carried
-        self.schedule = result.result.schedule
+        self.schedule = result.schedule
         self.version = 1
         outcome = RepairOutcome(
             feasible=True, strategy="resolve", schedule=self.schedule,
@@ -212,6 +213,11 @@ class RepairEngine:
         if (dead_nodes == self._dead_nodes
                 and dead_edges == self._dead_edges):
             return self._noop()
+        with obs.span("core.repair.retarget"):
+            return self._retarget(dead_nodes, dead_edges)
+
+    def _retarget(self, dead_nodes: frozenset[int],
+                  dead_edges: frozenset[tuple[int, int]]) -> RepairOutcome:
         alive, unreachable = surviving_topology(
             self.base_topology, dead_nodes, dead_edges, anchor=self.gateway)
         carried, rerouted, parked, readmitted = self._partition(
@@ -239,8 +245,7 @@ class RepairEngine:
                 outcome = RepairOutcome(
                     feasible=True, strategy="local", schedule=self.schedule,
                     version=self.version)
-                self.history.append(outcome)
-                return outcome
+                return self._record(outcome)
 
         # 2. local repair: old ranks + spliced-in new links, one BF pass.
         local = self._local_repair(flows, demands, conflicts)
@@ -250,8 +255,7 @@ class RepairEngine:
                 feasible=True, strategy="local", schedule=self.schedule,
                 version=self.version, rerouted=tuple(rerouted),
                 parked=tuple(parked), readmitted=tuple(readmitted))
-            self.history.append(outcome)
-            return outcome
+            return self._record(outcome)
 
         # 3. full re-solve, shedding newest-first if even that fails.  The
         #    empty carried set is trivially feasible, so this terminates.
@@ -271,9 +275,8 @@ class RepairEngine:
             victim = candidates.pop()
             del carried[victim]
             shed.append(victim)
-        self._commit(carried, result.result.schedule
-                     if result.result is not None and
-                     result.result.schedule is not None
+        self._commit(carried, result.schedule
+                     if result.schedule is not None
                      else Schedule(self.frame.data_slots), bump=True)
         outcome = RepairOutcome(
             feasible=not shed, strategy="resolve", schedule=self.schedule,
@@ -281,8 +284,7 @@ class RepairEngine:
             parked=tuple(parked) + tuple(shed),
             readmitted=tuple(n for n in readmitted if n not in shed),
             ilp_probes=probes)
-        self.history.append(outcome)
-        return outcome
+        return self._record(outcome)
 
     def peek_resolve(self, dead_nodes: Optional[frozenset[int]] = None,
                      dead_edges: Optional[frozenset[tuple[int, int]]] = None
@@ -307,6 +309,14 @@ class RepairEngine:
     def _noop(self) -> RepairOutcome:
         outcome = RepairOutcome(feasible=True, strategy="noop",
                                 schedule=self.schedule, version=self.version)
+        return self._record(outcome)
+
+    def _record(self, outcome: RepairOutcome) -> RepairOutcome:
+        obs.counter(f"core.repair.{outcome.strategy}").inc()
+        if not outcome.feasible:
+            obs.counter("core.repair.shed_passes").inc()
+        if outcome.ilp_probes:
+            obs.counter("core.repair.ilp_probes").inc(outcome.ilp_probes)
         self.history.append(outcome)
         return outcome
 

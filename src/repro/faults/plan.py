@@ -67,8 +67,9 @@ class FaultPlan:
         return cls(events)
 
     @classmethod
-    def stochastic(cls, topology: MeshTopology, rng: np.random.Generator,
-                   horizon_s: float,
+    def stochastic(cls, topology: MeshTopology,
+                   rng: Optional[np.random.Generator] = None,
+                   horizon_s: Optional[float] = None,
                    node_crash_rate: float = 0.0,
                    link_down_rate: float = 0.0,
                    link_loss_rate: float = 0.0,
@@ -76,8 +77,13 @@ class FaultPlan:
                    mean_downtime_s: float = 5.0,
                    loss_range: tuple[float, float] = (0.2, 0.8),
                    glitch_range_s: tuple[float, float] = (-2e-3, 2e-3),
-                   protect_nodes: Iterable[int] = ()) -> "FaultPlan":
+                   protect_nodes: Iterable[int] = (),
+                   seed: Optional[int] = None) -> "FaultPlan":
         """Seeded Poisson churn over ``[0, horizon_s)``.
+
+        Randomness follows the standard ``rng=``/``seed=`` pair: pass a
+        generator to share a stream, or an integer seed for a
+        self-contained reproducible plan.
 
         Each fault class is an independent Poisson process with the given
         rate (events per second; 0 disables the class).  Every ``*_down``
@@ -92,6 +98,12 @@ class FaultPlan:
         candidate lists, so the plan depends only on the RNG state and the
         topology -- never on dict/set iteration order.
         """
+        from repro.sim.random import resolve_rng
+
+        rng = resolve_rng(rng, seed, what="FaultPlan.stochastic")
+        if horizon_s is None:
+            raise ConfigurationError(
+                "FaultPlan.stochastic needs a horizon_s")
         if horizon_s <= 0:
             raise ConfigurationError("horizon must be positive")
         if mean_downtime_s <= 0:

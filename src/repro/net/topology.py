@@ -198,11 +198,9 @@ def random_disk_topology(num_nodes: int, radio_range: float,
         raise ConfigurationError("need at least one node")
     if radio_range <= 0 or area <= 0:
         raise ConfigurationError("radio_range and area must be positive")
-    if rng is None:
-        if seed is None:
-            raise ConfigurationError(
-                "random_disk_topology needs an rng or a seed")
-        rng = np.random.default_rng(seed)
+    from repro.sim.random import resolve_rng
+
+    rng = resolve_rng(rng, seed, what="random_disk_topology")
     try_seeds = []
     for _ in range(max_tries):
         try_seed = int(rng.integers(0, 2 ** 32))

@@ -1,0 +1,64 @@
+"""repro.obs -- unified metrics and tracing for the whole stack (S33).
+
+One seam through every hot path: the solvers (:mod:`repro.core`), the event
+kernel (:mod:`repro.sim`), the emulation MAC (:mod:`repro.overlay`) and the
+execution runtime (:mod:`repro.runtime`) all report into the *current*
+:class:`MetricsRegistry`.  Collection is off by default and costs one
+``enabled`` check per call site; nothing here touches any RNG, so enabling
+it never changes experiment results.
+
+Typical use::
+
+    from repro import obs
+
+    with obs.use_registry(obs.MetricsRegistry()) as reg:
+        scenario.schedule()               # instrumented code runs normally
+    print(reg.snapshot()["counters"])     # deterministic logical counts
+    print(obs.format_profile(reg))        # wall-clock, for humans
+
+CLI: ``python -m repro E1 --metrics out.json --trace out.jsonl --profile``.
+See ``docs/observability.md`` for the metric name inventory.
+"""
+
+from repro.obs.metrics import (
+    COUNT_EDGES,
+    TIME_EDGES_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TimerStat,
+    counter,
+    format_profile,
+    gauge,
+    get_registry,
+    histogram,
+    set_registry,
+    span,
+    timer,
+    use_registry,
+    write_metrics_json,
+)
+from repro.obs.tracing import TraceWriter, read_trace
+
+__all__ = [
+    "COUNT_EDGES",
+    "TIME_EDGES_S",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TimerStat",
+    "TraceWriter",
+    "counter",
+    "format_profile",
+    "gauge",
+    "get_registry",
+    "histogram",
+    "read_trace",
+    "set_registry",
+    "span",
+    "timer",
+    "use_registry",
+    "write_metrics_json",
+]

@@ -1,0 +1,447 @@
+"""Zero-dependency metrics: counters, gauges, histograms, timed spans.
+
+The paper's claims are quantitative -- ILP probes per admission, Bellman-Ford
+relaxation passes per repair, events dispatched per emulated second -- but
+until now the solvers and the sim engine exposed none of it.  This module is
+the measurement substrate: a :class:`MetricsRegistry` holding named
+
+- **counters** (monotone event counts: probes, relaxation passes, corrupt
+  receptions),
+- **gauges** (last-written level samples: variables in the current ILP),
+- **histograms** with *fixed* bucket edges chosen at creation, so two
+  identical runs produce byte-identical snapshots, and
+- **timers** (wall-clock aggregates fed by :meth:`MetricsRegistry.span`).
+
+Determinism contract
+--------------------
+:meth:`MetricsRegistry.snapshot` (and :meth:`to_json`) exclude wall-clock
+timings by default: counters, gauges and histograms observe only *logical*
+quantities, so the default snapshot of a seeded run is reproducible
+byte-for-byte.  Timings live in a separate ``timings`` section included only
+on request (``snapshot(timings=True)``) -- that is what ``--profile`` reads.
+
+Instrumented code never imports this registry directly; it calls the
+module-level helpers (:func:`counter`, :func:`histogram`, :func:`span`, ...)
+which delegate to the *current* registry.  The default current registry is
+disabled: every helper then returns a shared no-op instrument, so the cost
+of instrumentation in production paths is one attribute lookup and one
+``enabled`` check.  Enable collection for a region of code with
+:func:`use_registry`::
+
+    with obs.use_registry(obs.MetricsRegistry()) as reg:
+        minimum_slots(...)
+    print(reg.snapshot()["counters"]["core.minslots.probes"])
+
+Everything here is standard library only (``repro.obs`` must be importable
+from the lowest layers -- ``core``, ``sim`` -- without cycles).
+"""
+
+from __future__ import annotations
+
+import bisect
+import contextlib
+import json
+import math
+import time
+from typing import Any, Iterator, Mapping, Optional, Sequence
+
+__all__ = [
+    "COUNT_EDGES",
+    "TIME_EDGES_S",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TimerStat",
+    "counter",
+    "format_profile",
+    "gauge",
+    "get_registry",
+    "histogram",
+    "set_registry",
+    "span",
+    "timer",
+    "use_registry",
+    "write_metrics_json",
+]
+
+#: Default bucket edges for dimensionless counts (probes, passes, sizes):
+#: a 1-2-5 decade ladder.  Fixed edges are what make snapshots stable.
+COUNT_EDGES: tuple[float, ...] = (
+    1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000)
+
+#: Default bucket edges for durations in seconds: 1 us .. 100 s decades.
+TIME_EDGES_S: tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0)
+
+
+class Counter:
+    """A monotonically increasing event count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A level sample; remembers the last value set and the extrema seen."""
+
+    __slots__ = ("name", "value", "min", "max", "samples")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.samples = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        self.samples += 1
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+
+class Histogram:
+    """A fixed-edge histogram: ``len(edges) + 1`` buckets.
+
+    ``counts[i]`` counts observations ``v <= edges[i]``; the final bucket
+    is the overflow (``v > edges[-1]``).  Edges are fixed at creation so a
+    snapshot's shape never depends on the data.
+    """
+
+    __slots__ = ("name", "edges", "counts", "count", "sum")
+
+    def __init__(self, name: str, edges: Sequence[float]) -> None:
+        if not edges or list(edges) != sorted(edges):
+            raise ValueError(f"histogram {name!r}: edges must be a "
+                             "non-empty ascending sequence")
+        self.name = name
+        self.edges = tuple(float(e) for e in edges)
+        self.counts = [0] * (len(self.edges) + 1)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        self.counts[bisect.bisect_left(self.edges, value)] += 1
+
+
+class TimerStat:
+    """Wall-clock aggregate of one span name (count/total/min/max)."""
+
+    __slots__ = ("name", "count", "total_s", "min_s", "max_s")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total_s = 0.0
+        self.min_s = math.inf
+        self.max_s = 0.0
+
+    def add(self, duration_s: float) -> None:
+        self.count += 1
+        self.total_s += duration_s
+        if duration_s < self.min_s:
+            self.min_s = duration_s
+        if duration_s > self.max_s:
+            self.max_s = duration_s
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+
+class _NullInstrument:
+    """Shared no-op stand-in for every instrument when collection is off."""
+
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def add(self, duration_s: float) -> None:
+        pass
+
+    def __enter__(self) -> "_NullInstrument":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        pass
+
+
+_NULL = _NullInstrument()
+
+
+class _Span:
+    """Context manager timing one block into a :class:`TimerStat`.
+
+    On exit the duration is folded into the registry's timer of the same
+    name and, when a trace sink is attached, appended to the JSONL trace.
+    """
+
+    __slots__ = ("_registry", "name", "attrs", "_t0")
+
+    def __init__(self, registry: "MetricsRegistry", name: str,
+                 attrs: Optional[dict]) -> None:
+        self._registry = registry
+        self.name = name
+        self.attrs = attrs
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        ended = time.perf_counter()
+        duration = ended - self._t0
+        registry = self._registry
+        registry.timer(self.name).add(duration)
+        sink = registry.trace_sink
+        if sink is not None:
+            sink.record(self.name, ended, duration, self.attrs)
+
+
+class MetricsRegistry:
+    """Named instruments plus an optional trace sink.
+
+    Instruments are created on first use and looked up by name after; a
+    histogram's edges are fixed by its first creation (a later lookup with
+    different edges is an error -- silent edge drift would corrupt merged
+    snapshots).
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._timers: dict[str, TimerStat] = {}
+        #: object with ``record(name, ended_at, duration_s, attrs)`` --
+        #: see :class:`repro.obs.tracing.TraceWriter`
+        self.trace_sink: Optional[Any] = None
+
+    # -- instruments --------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        if not self.enabled:
+            return _NULL  # type: ignore[return-value]
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        if not self.enabled:
+            return _NULL  # type: ignore[return-value]
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str,
+                  edges: Sequence[float] = COUNT_EDGES) -> Histogram:
+        if not self.enabled:
+            return _NULL  # type: ignore[return-value]
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name, edges)
+        elif instrument.edges != tuple(float(e) for e in edges):
+            raise ValueError(
+                f"histogram {name!r} already exists with different edges")
+        return instrument
+
+    def timer(self, name: str) -> TimerStat:
+        if not self.enabled:
+            return _NULL  # type: ignore[return-value]
+        instrument = self._timers.get(name)
+        if instrument is None:
+            instrument = self._timers[name] = TimerStat(name)
+        return instrument
+
+    def span(self, name: str, **attrs: Any) -> "_Span":
+        """Time a ``with`` block into ``timer(name)`` (and the trace)."""
+        if not self.enabled:
+            return _NULL  # type: ignore[return-value]
+        return _Span(self, name, attrs or None)
+
+    # -- export -------------------------------------------------------------
+
+    def snapshot(self, timings: bool = False) -> dict:
+        """A plain-dict view, deterministically ordered by name.
+
+        Without ``timings`` the snapshot contains only logical quantities
+        (counters, gauges, histograms) and is byte-stable across identical
+        runs; with ``timings`` a wall-clock section is appended.
+        """
+        snap: dict[str, Any] = {
+            "counters": {name: c.value
+                         for name, c in sorted(self._counters.items())},
+            "gauges": {name: {"value": g.value, "min": g.min, "max": g.max,
+                              "samples": g.samples}
+                       for name, g in sorted(self._gauges.items())
+                       if g.samples},
+            "histograms": {name: {"edges": list(h.edges),
+                                  "counts": list(h.counts),
+                                  "count": h.count, "sum": h.sum}
+                           for name, h in sorted(self._histograms.items())},
+        }
+        if timings:
+            snap["timings"] = {
+                name: {"count": t.count, "total_s": t.total_s,
+                       "min_s": t.min_s if t.count else 0.0,
+                       "max_s": t.max_s}
+                for name, t in sorted(self._timers.items())}
+        return snap
+
+    def to_json(self, timings: bool = False) -> str:
+        """Canonical JSON encoding of :meth:`snapshot` (sorted, compact)."""
+        return json.dumps(self.snapshot(timings=timings), sort_keys=True,
+                          separators=(",", ":"))
+
+    def merge_snapshot(self, snap: Optional[Mapping[str, Any]]) -> None:
+        """Fold another registry's snapshot into this one.
+
+        Counters and histogram buckets add; gauges keep the extrema and the
+        *maximum* last value (the only order-independent choice); timers
+        combine count/total/min/max.  Merging in a fixed order over inputs
+        keeps float sums deterministic.
+        """
+        if not snap or not self.enabled:
+            return
+        for name, value in snap.get("counters", {}).items():
+            self.counter(name).inc(int(value))
+        for name, g in snap.get("gauges", {}).items():
+            gauge = self.gauge(name)
+            had_samples = gauge.samples > 0
+            gauge.samples += int(g.get("samples", 1))
+            gauge.value = (max(gauge.value, float(g["value"]))
+                           if had_samples else float(g["value"]))
+            gauge.min = min(gauge.min, float(g.get("min", g["value"])))
+            gauge.max = max(gauge.max, float(g.get("max", g["value"])))
+        for name, h in snap.get("histograms", {}).items():
+            histogram = self.histogram(name, h["edges"])
+            histogram.count += int(h["count"])
+            histogram.sum += float(h["sum"])
+            for i, bucket in enumerate(h["counts"]):
+                histogram.counts[i] += int(bucket)
+        for name, t in snap.get("timings", {}).items():
+            stat = self.timer(name)
+            if int(t["count"]) == 0:
+                continue
+            stat.count += int(t["count"])
+            stat.total_s += float(t["total_s"])
+            stat.min_s = min(stat.min_s, float(t["min_s"]))
+            stat.max_s = max(stat.max_s, float(t["max_s"]))
+
+    def clear(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+        self._timers.clear()
+
+
+# -- current-registry plumbing ----------------------------------------------
+
+#: The disabled default: instrumentation costs one ``enabled`` check.
+_DISABLED = MetricsRegistry(enabled=False)
+_current = _DISABLED
+
+
+def get_registry() -> MetricsRegistry:
+    """The registry instrumented code is currently writing into."""
+    return _current
+
+
+def set_registry(registry: Optional[MetricsRegistry]) -> MetricsRegistry:
+    """Install ``registry`` (None restores the disabled default).
+
+    Returns the previously installed registry so callers can restore it;
+    prefer :func:`use_registry` which does that automatically.
+    """
+    global _current
+    previous = _current
+    _current = registry if registry is not None else _DISABLED
+    return previous
+
+
+@contextlib.contextmanager
+def use_registry(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Scope ``registry`` as current for a ``with`` block."""
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)
+
+
+def counter(name: str) -> Counter:
+    return _current.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    return _current.gauge(name)
+
+
+def histogram(name: str, edges: Sequence[float] = COUNT_EDGES) -> Histogram:
+    return _current.histogram(name, edges)
+
+
+def timer(name: str) -> TimerStat:
+    return _current.timer(name)
+
+
+def span(name: str, **attrs: Any) -> _Span:
+    return _current.span(name, **attrs)
+
+
+# -- rendering ---------------------------------------------------------------
+
+def write_metrics_json(path: str, registry: MetricsRegistry,
+                       timings: bool = False) -> None:
+    """Write a snapshot to ``path`` as canonical JSON plus a newline."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(registry.to_json(timings=timings))
+        handle.write("\n")
+
+
+def format_profile(registry: MetricsRegistry, top: int = 20) -> str:
+    """A per-stage timing table plus the busiest counters.
+
+    Stages (timer names) sort by total wall time, which is the "where did
+    the run go" question ``--profile`` answers.  Rendered with no imports
+    from :mod:`repro.analysis` to keep ``obs`` at the bottom of the layer
+    graph.
+    """
+    lines = [f"{'stage':<36} {'calls':>8} {'total_s':>10} "
+             f"{'mean_ms':>10} {'max_ms':>10}"]
+    stats = sorted(registry._timers.values(),
+                   key=lambda t: t.total_s, reverse=True)
+    if not stats:
+        lines.append("  (no spans recorded)")
+    for stat in stats[:top]:
+        lines.append(f"{stat.name:<36} {stat.count:>8} "
+                     f"{stat.total_s:>10.3f} {stat.mean_s * 1e3:>10.3f} "
+                     f"{stat.max_s * 1e3:>10.3f}")
+    counters = sorted(registry._counters.values(),
+                      key=lambda c: c.value, reverse=True)
+    if counters:
+        lines.append("")
+        lines.append(f"{'counter':<52} {'value':>12}")
+        lines.extend(f"{c.name:<52} {c.value:>12}" for c in counters[:top])
+    return "\n".join(lines)

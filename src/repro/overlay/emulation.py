@@ -22,6 +22,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Optional
 
+from repro import obs
 from repro.core.schedule import Schedule
 from repro.dot11.params import ACK_BITS, DATA_HEADER_BITS
 from repro.errors import ConfigurationError
@@ -83,6 +84,7 @@ class TdmaNode:
                 > self.overlay.queue_capacity_fragments):
             self.overlay.trace.emit(self.overlay.sim.now, "tdma.queue_drop",
                                     node=self.node, flow=packet.flow)
+            obs.counter("overlay.queue_drops").inc()
             return False
         if packet.priority == 0:
             # guaranteed-class fragments jump ahead of any queued elastic
@@ -156,6 +158,7 @@ class TdmaNode:
         self.plan_from_now(min_frame_index=frame_index)
 
     def _plan_frame(self, frame_index: int, now_local: float) -> None:
+        obs.counter("overlay.frames_planned").inc()
         config = self.overlay.frame_config
         frame_local = config.frame_start_local(frame_index)
         guard = config.guard_s
@@ -236,8 +239,31 @@ class TdmaNode:
         duration = config.phy.airtime(size_bits)
         overlay.trace.emit(overlay.sim.now, "tdma.tx",
                            node=self.node, link=link, slot=slot)
+        registry = obs.get_registry()
+        if registry.enabled:
+            registry.counter("overlay.tx_fragments").inc()
+            if self._violates_guard(slot, duration):
+                registry.counter("overlay.guard_violations").inc()
         self.mac.broadcast(fragment, size_bits, kind=FrameKind.DATA,
                            duration=duration)
+
+    def _violates_guard(self, slot: int, duration_s: float) -> bool:
+        """Does this transmission leave the slot, as the *gateway* sees it?
+
+        The slot boundaries that matter on air are the reference (gateway)
+        clock's: a node whose clock has drifted can start "one guard after
+        its own slot edge" and still spill into a neighbour's slot.  This
+        is the slot-adherence condition of E8, checked per transmission.
+        """
+        overlay = self.overlay
+        config = overlay.frame_config
+        root = overlay.nodes[overlay.control_plane.gateway]
+        tx_root = root.clock.local_time(overlay.sim.now)
+        frame_local = config.frame_start_local(
+            config.frame_index_at_local(tx_root))
+        slot_start = frame_local + config.data_slot_offset(slot)
+        slot_end = slot_start + config.data_slot_s
+        return tx_root < slot_start or tx_root + duration_s > slot_end
 
     # -- reception ----------------------------------------------------------------
 
@@ -246,6 +272,7 @@ class TdmaNode:
         if not success:
             overlay.trace.emit(overlay.sim.now, "tdma.rx_corrupt",
                                node=self.node, kind=frame.kind.value)
+            obs.counter("overlay.rx_corrupt").inc()
             return
         if frame.kind is FrameKind.BEACON and isinstance(frame.payload,
                                                          SyncBeacon):
@@ -292,6 +319,7 @@ class TdmaNode:
                 self._seen_set.add(key)
             packet = self.reassembler.accept(fragment)
             if packet is not None:
+                obs.counter("overlay.packets_reassembled").inc()
                 overlay.on_packet(self.node, packet)
 
     def _send_micro_ack(self, fragment: ShimFragment) -> None:

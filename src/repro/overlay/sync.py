@@ -26,6 +26,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ConfigurationError
 from repro.mesh16.messages import SyncBeacon
 from repro.sim.clock import DriftingClock
@@ -199,6 +200,9 @@ class SyncDaemon:
         state.last_adoption_local = root_now
         state.last_adoption_root = root_now
         state.adoptions += 1
+        obs.counter("overlay.sync.adoptions").inc()
+        obs.histogram("overlay.sync.step_abs_s",
+                      edges=obs.TIME_EDGES_S).observe(abs(step))
         self.trace.emit(true_now, "sync.adopt", node=self.node,
                         round=beacon.round_id, hops=state.hops,
                         step=root_now - local_before)

@@ -130,10 +130,54 @@ class ResultCache:
             raise
         return key
 
-    def invalidate(self, task: Task) -> bool:
-        """Drop one task's entry; returns whether one existed."""
+    # -- metrics sidecars ---------------------------------------------------
+
+    def _metrics_path(self, key: str) -> pathlib.Path:
+        return self.results_dir / f"{key}.metrics.json"
+
+    def put_metrics(self, task: Task, snapshot: dict) -> str:
+        """Store a task's metrics snapshot next to its result.
+
+        The sidecar holds only the deterministic sections (no wall-clock
+        timings), canonically serialized, so two identical runs write
+        byte-identical sidecars.
+        """
+        key = self.key_for(task)
+        deterministic = {k: v for k, v in snapshot.items() if k != "timings"}
+        self.results_dir.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=self.results_dir,
+                                        suffix=".tmp")
         try:
-            os.unlink(self._path(self.key_for(task)))
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(json.dumps(deterministic, sort_keys=True,
+                                        separators=(",", ":")))
+            os.replace(tmp_name, self._metrics_path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return key
+
+    def get_metrics(self, task: Task) -> Optional[dict]:
+        """The metrics sidecar stored for ``task``, or ``None``."""
+        try:
+            with open(self._metrics_path(self.key_for(task)),
+                      encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def invalidate(self, task: Task) -> bool:
+        """Drop one task's entry (and sidecar); returns whether one existed."""
+        key = self.key_for(task)
+        try:
+            os.unlink(self._metrics_path(key))
+        except OSError:
+            pass
+        try:
+            os.unlink(self._path(key))
             return True
         except OSError:
             return False
@@ -153,4 +197,5 @@ class ResultCache:
     def __len__(self) -> int:
         if not self.results_dir.is_dir():
             return 0
-        return sum(1 for _ in self.results_dir.glob("*.json"))
+        return sum(1 for p in self.results_dir.glob("*.json")
+                   if not p.name.endswith(".metrics.json"))

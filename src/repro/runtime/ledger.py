@@ -42,6 +42,7 @@ class RunLedger:
             "params": result.task.spec()["params"],
             "outcome": result.outcome,
             "wall_s": round(result.wall_s, 6),
+            "queue_s": round(result.queue_s, 6),
             "attempts": result.attempts,
             "worker": result.worker,
         }

@@ -32,6 +32,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
+from repro import obs
 from repro.errors import ConfigurationError
 from repro.runtime.cache import ResultCache
 from repro.runtime.ledger import RunLedger
@@ -45,15 +46,39 @@ def default_jobs() -> int:
     return os.cpu_count() or 1
 
 
-def _worker_execute(task: Task) -> dict:
+def _run_task_observed(task: Task, collect_metrics: bool,
+                       trace=None) -> tuple:
+    """Run one task, optionally inside a fresh metrics registry.
+
+    Every task gets its *own* registry so per-task snapshots are
+    independent of what ran before them in the same process -- the
+    parent merges them in input order, making the aggregate identical
+    for any ``jobs`` value.  Returns ``(value, snapshot-or-None)``.
+    """
+    if not collect_metrics:
+        return run_task(task), None
+    registry = obs.MetricsRegistry()
+    registry.trace_sink = trace
+    previous = obs.set_registry(registry)
+    try:
+        value = run_task(task)
+    finally:
+        obs.set_registry(previous)
+    # Timings ride along for the parent's profile view; everything written
+    # to disk (sidecar, --metrics) strips them back out for determinism.
+    return value, registry.snapshot(timings=True)
+
+
+def _worker_execute(task: Task, collect_metrics: bool = False) -> dict:
     """Run one task in a worker; always returns (never raises) so the
     parent gets wall time and worker identity even for failures."""
     import traceback
 
     started = time.perf_counter()
     try:
-        value = run_task(task)
-        return {"ok": True, "value": value, "pid": os.getpid(),
+        value, metrics = _run_task_observed(task, collect_metrics)
+        return {"ok": True, "value": value, "metrics": metrics,
+                "pid": os.getpid(),
                 "wall_s": time.perf_counter() - started}
     except Exception as exc:  # noqa: BLE001 -- reported, not swallowed
         return {"ok": False,
@@ -70,6 +95,7 @@ class _Attempt:
     key: str
     attempt: int  # 1-based
     eligible_at: float  # monotonic time before which it must not start
+    enqueued_at: float = 0.0  # monotonic time the task first queued
 
 
 def run_tasks(tasks: Sequence[Task], *,
@@ -79,8 +105,9 @@ def run_tasks(tasks: Sequence[Task], *,
               backoff_s: float = 0.25,
               cache: Optional[ResultCache] = None,
               ledger: Optional[RunLedger] = None,
-              on_result: Optional[ResultCallback] = None
-              ) -> list[TaskResult]:
+              on_result: Optional[ResultCallback] = None,
+              collect_metrics: bool = False,
+              trace=None) -> list[TaskResult]:
     """Execute ``tasks`` and return their results in input order.
 
     Parameters
@@ -100,6 +127,14 @@ def run_tasks(tasks: Sequence[Task], *,
         Every final outcome is appended (including cache hits).
     on_result:
         Called once per task as it finishes, out of input order.
+    collect_metrics:
+        Execute each fresh task inside its own
+        :class:`~repro.obs.metrics.MetricsRegistry`; the deterministic
+        snapshot comes back on ``TaskResult.metrics``.
+    trace:
+        A :class:`~repro.obs.tracing.TraceWriter` receiving every span
+        closed while tasks run.  Serial mode only (worker processes
+        cannot share the parent's file handle); ignored when ``jobs>1``.
     """
     jobs = default_jobs() if jobs is None else int(jobs)
     if jobs < 1:
@@ -116,6 +151,9 @@ def run_tasks(tasks: Sequence[Task], *,
                 cache.put(result.task, result.value, wall_s=result.wall_s)
             except ValueError:
                 pass  # value has no JSON form; skip caching it
+            else:
+                if result.metrics is not None:
+                    cache.put_metrics(result.task, result.metrics)
         if ledger is not None:
             ledger.record(result)
         if on_result is not None:
@@ -123,32 +161,41 @@ def run_tasks(tasks: Sequence[Task], *,
 
     # Cache pass: anything warm never reaches a worker.
     pending: deque[_Attempt] = deque()
+    enqueued_at = time.monotonic()
     for index, task in enumerate(tasks):
         key = cache.key_for(task) if cache is not None else task_key(task)
         hit = cache.get(task) if cache is not None else None
         if hit is not None:
             finish(index, TaskResult(task=task, key=key, outcome="cached",
                                      value=hit.value, wall_s=hit.wall_s,
-                                     attempts=0, worker="cache"))
+                                     attempts=0, worker="cache",
+                                     metrics=(cache.get_metrics(task)
+                                              if collect_metrics else None)))
         else:
-            pending.append(_Attempt(index, task, key, 1, 0.0))
+            pending.append(_Attempt(index, task, key, 1, 0.0,
+                                    enqueued_at=enqueued_at))
 
     if jobs == 1:
-        _run_serial(pending, retries, backoff_s, finish)
+        _run_serial(pending, retries, backoff_s, finish, collect_metrics,
+                    trace)
     elif pending:
-        _run_parallel(pending, jobs, timeout_s, retries, backoff_s, finish)
+        _run_parallel(pending, jobs, timeout_s, retries, backoff_s, finish,
+                      collect_metrics)
     return [results[i] for i in range(len(tasks))]
 
 
 def _run_serial(pending: deque[_Attempt], retries: int, backoff_s: float,
-                finish: Callable[[int, TaskResult], None]) -> None:
+                finish: Callable[[int, TaskResult], None],
+                collect_metrics: bool = False, trace=None) -> None:
     for item in pending:
         attempt, error = 0, ""
         while True:
             attempt += 1
             started = time.perf_counter()
+            queue_s = time.monotonic() - item.enqueued_at
             try:
-                value = run_task(item.task)
+                value, metrics = _run_task_observed(item.task,
+                                                    collect_metrics, trace)
             except Exception as exc:  # noqa: BLE001
                 error = f"{type(exc).__name__}: {exc}"
                 if attempt <= retries:
@@ -157,19 +204,20 @@ def _run_serial(pending: deque[_Attempt], retries: int, backoff_s: float,
                 finish(item.index, TaskResult(
                     task=item.task, key=item.key, outcome="failed",
                     error=error, wall_s=time.perf_counter() - started,
-                    attempts=attempt, worker="serial"))
+                    attempts=attempt, worker="serial", queue_s=queue_s))
                 break
             finish(item.index, TaskResult(
                 task=item.task, key=item.key, outcome="ok", value=value,
                 wall_s=time.perf_counter() - started, attempts=attempt,
-                worker="serial"))
+                worker="serial", queue_s=queue_s, metrics=metrics))
             break
 
 
 def _run_parallel(pending: deque[_Attempt], jobs: int,
                   timeout_s: Optional[float], retries: int,
                   backoff_s: float,
-                  finish: Callable[[int, TaskResult], None]) -> None:
+                  finish: Callable[[int, TaskResult], None],
+                  collect_metrics: bool = False) -> None:
     running: dict = {}  # future -> (_Attempt, submitted_at)
     abandoned: set = set()  # timed-out futures still occupying a worker
 
@@ -185,7 +233,8 @@ def _run_parallel(pending: deque[_Attempt], jobs: int,
                 while pending and capacity > 0 and \
                         pending[0].eligible_at <= now:
                     item = pending.popleft()
-                    future = executor.submit(_worker_execute, item.task)
+                    future = executor.submit(_worker_execute, item.task,
+                                             collect_metrics)
                     running[future] = (item, time.monotonic())
                     capacity -= 1
 
@@ -210,9 +259,10 @@ def _run_parallel(pending: deque[_Attempt], jobs: int,
                 done, _ = wait(list(running), timeout=0.05,
                                return_when=FIRST_COMPLETED)
                 for future in done:
-                    item, _submitted = running.pop(future)
+                    item, submitted_at = running.pop(future)
                     _handle_completion(future, item, retries, backoff_s,
-                                       pending, finish)
+                                       pending, finish,
+                                       submitted_at - item.enqueued_at)
 
                 if timeout_s is not None:
                     now = time.monotonic()
@@ -225,7 +275,8 @@ def _run_parallel(pending: deque[_Attempt], jobs: int,
                             # requeue rather than falsely time it out.
                             pending.appendleft(_Attempt(
                                 item.index, item.task, item.key,
-                                item.attempt, 0.0))
+                                item.attempt, 0.0,
+                                enqueued_at=item.enqueued_at))
                             continue
                         abandoned.add(future)
                         finish(item.index, TaskResult(
@@ -252,7 +303,8 @@ def _run_parallel(pending: deque[_Attempt], jobs: int,
 
 def _handle_completion(future, item: _Attempt, retries: int,
                        backoff_s: float, pending: deque,
-                       finish: Callable[[int, TaskResult], None]) -> None:
+                       finish: Callable[[int, TaskResult], None],
+                       queue_s: float = 0.0) -> None:
     no_retry = False
     try:
         payload = future.result()
@@ -270,14 +322,16 @@ def _handle_completion(future, item: _Attempt, retries: int,
         finish(item.index, TaskResult(
             task=item.task, key=item.key, outcome="ok",
             value=payload["value"], wall_s=payload["wall_s"],
-            attempts=item.attempt, worker=worker))
+            attempts=item.attempt, worker=worker, queue_s=queue_s,
+            metrics=payload.get("metrics")))
     elif item.attempt <= retries and not no_retry:
         pending.append(_Attempt(
             item.index, item.task, item.key, item.attempt + 1,
-            time.monotonic() + backoff_s * 2 ** (item.attempt - 1)))
+            time.monotonic() + backoff_s * 2 ** (item.attempt - 1),
+            enqueued_at=item.enqueued_at))
     else:
         finish(item.index, TaskResult(
             task=item.task, key=item.key, outcome="failed",
             error=payload.get("error", "unknown worker failure"),
             wall_s=payload.get("wall_s", 0.0), attempts=item.attempt,
-            worker=worker))
+            worker=worker, queue_s=queue_s))

@@ -25,6 +25,7 @@ import pathlib
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
+from repro import obs
 from repro.runtime.cache import DEFAULT_CACHE_DIR, ResultCache
 from repro.runtime.ledger import DEFAULT_LEDGER_NAME, RunLedger
 from repro.runtime.pool import run_tasks
@@ -69,6 +70,8 @@ def run_experiments(ids: Sequence[str], *,
                     shard: bool = True,
                     on_experiment: Optional[
                         Callable[[int, ExperimentOutcome], None]] = None,
+                    metrics: Optional[obs.MetricsRegistry] = None,
+                    trace=None,
                     ) -> list[ExperimentOutcome]:
     """Run experiments by id; one :class:`ExperimentOutcome` per id.
 
@@ -78,6 +81,16 @@ def run_experiments(ids: Sequence[str], *,
     Failures never raise: they come back as ``outcome="failed"`` with
     the (deduplicated) shard error strings, so one broken experiment
     cannot take down the rest of a long suite run.
+
+    ``metrics`` turns on collection: every fresh task runs inside its
+    own registry, the deterministic snapshots are merged into the given
+    registry *in flat task order* (so the aggregate is identical for
+    any ``jobs`` value), and each cached result's metrics sidecar is
+    merged the same way.  Runtime-level counters and timers
+    (``runtime.tasks.*``, ``runtime.task``, ``runtime.queue``) land in
+    the same registry.  ``trace`` (a
+    :class:`~repro.obs.tracing.TraceWriter`) streams spans, serial mode
+    only.
     """
     ids = dedupe_ids(ids)
     cache = ResultCache(cache_dir) if use_cache else None
@@ -118,6 +131,12 @@ def run_experiments(ids: Sequence[str], *,
         if remaining[exp_index] == 0:
             settle(exp_index)
 
+    task_results: list[Optional[TaskResult]] = [None] * len(flat_tasks)
+
+    def track(flat_index: int, result: TaskResult) -> None:
+        task_results[flat_index] = result
+        on_result(flat_index, result)
+
     # Resume pass: tasks the ledger says finished before, but whose
     # value is not in the cache, are skipped rather than recomputed.
     to_run, to_run_index = [], []
@@ -126,7 +145,7 @@ def run_experiments(ids: Sequence[str], *,
         in_cache = cache is not None and cache.get(task) is not None
         if resume and not in_cache and \
                 (key or _keyless(task)) in completed_keys:
-            on_result(flat_index, TaskResult(
+            track(flat_index, TaskResult(
                 task=task, key=key or _keyless(task), outcome="skipped",
                 error="previously completed; value not cached",
                 attempts=0, worker="resume"))
@@ -137,7 +156,20 @@ def run_experiments(ids: Sequence[str], *,
     if to_run:
         run_tasks(to_run, jobs=jobs, timeout_s=timeout_s, retries=retries,
                   backoff_s=backoff_s, cache=cache, ledger=ledger,
-                  on_result=lambda i, r: on_result(to_run_index[i], r))
+                  on_result=lambda i, r: track(to_run_index[i], r),
+                  collect_metrics=metrics is not None,
+                  trace=trace if (jobs == 1) else None)
+
+    if metrics is not None:
+        # Merge in flat-task order, not completion order: float sums are
+        # then reproducible for any jobs value.
+        for result in task_results:
+            if result is None:
+                continue
+            metrics.merge_snapshot(result.metrics)
+            metrics.counter(f"runtime.tasks.{result.outcome}").inc()
+            metrics.timer("runtime.task").add(result.wall_s)
+            metrics.timer("runtime.queue").add(result.queue_s)
     return [outcome for outcome in outcomes if outcome is not None]
 
 

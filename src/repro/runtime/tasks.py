@@ -224,6 +224,11 @@ class TaskResult:
     wall_s: float = 0.0
     attempts: int = 1
     worker: str = ""
+    #: seconds between first submission and execution start (0 for cache hits)
+    queue_s: float = 0.0
+    #: deterministic metrics snapshot collected while the task ran (None
+    #: when metrics collection was off for the run)
+    metrics: Optional[dict] = None
 
     @property
     def ok(self) -> bool:

@@ -16,7 +16,7 @@ protocol simulation in :mod:`repro` runs:
 from repro.sim.clock import DriftingClock, PerfectClock
 from repro.sim.engine import Event, Simulator
 from repro.sim.process import PeriodicTimer
-from repro.sim.random import RngRegistry
+from repro.sim.random import RngRegistry, resolve_rng, resolve_rngs
 from repro.sim.trace import Trace, TraceRecord
 
 __all__ = [
@@ -28,4 +28,6 @@ __all__ = [
     "Simulator",
     "Trace",
     "TraceRecord",
+    "resolve_rng",
+    "resolve_rngs",
 ]

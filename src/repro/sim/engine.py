@@ -19,6 +19,7 @@ import heapq
 import math
 from typing import Any, Callable, Optional
 
+from repro import obs
 from repro.errors import SimulationError
 
 
@@ -130,24 +131,34 @@ class Simulator:
             raise SimulationError("Simulator.run() is not reentrant")
         self._running = True
         executed_this_run = 0
+        # Per-event registry calls would dominate the dispatch loop, so the
+        # run is accounted for once, after the loop, from local counters.
+        started_at = self._now
         try:
-            while self._queue:
-                event = self._queue[0]
-                if until is not None and event.time > until:
-                    break
-                heapq.heappop(self._queue)
-                if event.cancelled:
-                    continue
-                if max_events is not None and executed_this_run >= max_events:
-                    raise SimulationError(
-                        f"exceeded max_events={max_events}; "
-                        "likely a runaway event loop")
-                self._now = event.time
-                event.callback(*event.args)
-                self._executed += 1
-                executed_this_run += 1
+            with obs.span("sim.engine.run"):
+                while self._queue:
+                    event = self._queue[0]
+                    if until is not None and event.time > until:
+                        break
+                    heapq.heappop(self._queue)
+                    if event.cancelled:
+                        continue
+                    if max_events is not None and executed_this_run >= max_events:
+                        raise SimulationError(
+                            f"exceeded max_events={max_events}; "
+                            "likely a runaway event loop")
+                    self._now = event.time
+                    event.callback(*event.args)
+                    self._executed += 1
+                    executed_this_run += 1
         finally:
             self._running = False
+            obs.counter("sim.engine.runs").inc()
+            obs.counter("sim.engine.events").inc(executed_this_run)
+            obs.histogram("sim.engine.events_per_run").observe(
+                executed_this_run)
+            ended_at = self._now if until is None else max(self._now, until)
+            obs.gauge("sim.engine.virtual_time_s").set(ended_at - started_at)
         if until is not None and until > self._now:
             self._now = until
 

@@ -63,3 +63,34 @@ class RngRegistry:
             entropy=self._seed, spawn_key=(name_entropy,)
         ).generate_state(1)[0]
         return RngRegistry(seed=int(child_seed))
+
+
+def resolve_rng(rng=None, seed=None, *,
+                what: str = "this function") -> np.random.Generator:
+    """Resolve the standard ``rng=``/``seed=`` kwarg pair to a generator.
+
+    Every randomness-taking entry point accepts the same pair: pass an
+    existing :class:`numpy.random.Generator` as ``rng`` for stream
+    sharing, or an integer ``seed`` for a self-contained reproducible
+    call.  Exactly one must be given; ``rng`` wins if both are (the
+    explicit generator is the more deliberate choice).
+    """
+    from repro.errors import ConfigurationError
+
+    if rng is not None:
+        return rng
+    if seed is None:
+        raise ConfigurationError(f"{what} needs an rng or a seed")
+    return np.random.default_rng(seed)
+
+
+def resolve_rngs(rngs=None, seed=None, *,
+                 what: str = "this function") -> "RngRegistry":
+    """Like :func:`resolve_rng` but for :class:`RngRegistry` consumers."""
+    from repro.errors import ConfigurationError
+
+    if rngs is not None:
+        return rngs
+    if seed is None:
+        raise ConfigurationError(f"{what} needs an rngs registry or a seed")
+    return RngRegistry(seed=seed)

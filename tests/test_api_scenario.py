@@ -1,0 +1,137 @@
+"""Tests for the repro.api.Scenario facade."""
+
+import pytest
+
+from repro import Scenario
+from repro.analysis.scenarios import delay_constraints_for
+from repro.core.conflict import conflict_graph
+from repro.core.minslots import minimum_slots
+from repro.errors import ConfigurationError
+from repro.mesh16.frame import default_frame_config
+from repro.net.flows import Flow, FlowSet
+from repro.net.routing import route_all
+from repro.net.topology import chain_topology, grid_topology
+
+
+def _flows():
+    return [Flow("voip0", src=0, dst=5, rate_bps=80_000,
+                 delay_budget_s=0.05)]
+
+
+def test_scenario_is_reexported_from_repro():
+    import repro
+
+    assert repro.Scenario is Scenario
+    assert "Scenario" in repro.__all__
+
+
+def test_constructor_accepts_flowset_or_iterable():
+    topo = chain_topology(3)
+    flows = [Flow("f", src=0, dst=2, rate_bps=1000)]
+    from_list = Scenario(topo, flows)
+    from_set = Scenario(topo, FlowSet(flows))
+    assert isinstance(from_list.flows, FlowSet)
+    assert from_list.flows.names() == from_set.flows.names() == ["f"]
+
+
+def test_default_frame_is_the_standard_one():
+    scenario = Scenario(chain_topology(3),
+                        [Flow("f", src=0, dst=2, rate_bps=1000)])
+    default = default_frame_config()
+    assert scenario.frame.data_slots == default.data_slots
+    assert scenario.frame.frame_duration_s == default.frame_duration_s
+
+
+def test_route_is_chainable_and_routes_flows():
+    scenario = Scenario(chain_topology(6), _flows())
+    assert scenario.route() is scenario
+    assert all(f.is_routed for f in scenario.flows)
+
+
+def test_schedule_requires_routed_flows():
+    scenario = Scenario(chain_topology(6), _flows())
+    with pytest.raises(ConfigurationError, match=r"call \.route\(\)"):
+        scenario.schedule()
+
+
+def test_facade_matches_the_longhand_chain():
+    """Scenario must produce exactly what the 6-import chain produces."""
+    topo = chain_topology(6)
+    frame = default_frame_config()
+
+    # long-hand
+    flows = route_all(topo, FlowSet(_flows()))
+    demands = flows.link_demands(frame.frame_duration_s,
+                                 frame.data_slot_capacity_bits)
+    conflicts = conflict_graph(topo, hops=2, links=demands.keys())
+    longhand = minimum_slots(
+        conflicts, demands, frame.data_slots,
+        delay_constraints=delay_constraints_for(flows, frame))
+
+    # facade
+    facade = Scenario(topo, _flows()).route().schedule()
+
+    assert facade.slots == longhand.slots
+    assert facade.feasible == longhand.feasible
+    assert facade.schedule.to_dict() == longhand.schedule.to_dict()
+
+
+def test_intermediates_are_inspectable():
+    scenario = Scenario(chain_topology(4), [
+        Flow("f", src=0, dst=3, rate_bps=64_000, delay_budget_s=0.1)])
+    scenario.route()
+    demands = scenario.demands
+    assert demands and all(isinstance(v, int) for v in demands.values())
+    assert set(scenario.conflicts.nodes) == set(demands)
+    constraints = scenario.delay_constraints
+    assert len(constraints) == 1 and constraints[0].name == "f"
+
+
+def test_schedule_result_is_kept_on_the_scenario():
+    scenario = Scenario(chain_topology(4),
+                        [Flow("f", src=0, dst=3, rate_bps=64_000)])
+    result = scenario.route().schedule()
+    assert scenario.minslots is result
+
+
+def test_enforce_delay_off_drops_constraints():
+    scenario = Scenario(chain_topology(6), _flows())
+    scenario.route()
+    relaxed = scenario.schedule(enforce_delay=False)
+    assert relaxed.feasible
+
+
+def test_simulate_requires_a_schedule_first():
+    scenario = Scenario(chain_topology(4),
+                        [Flow("f", src=0, dst=3, rate_bps=64_000)])
+    scenario.route()
+    with pytest.raises(ConfigurationError, match="schedule"):
+        scenario.simulate(duration_s=1.0, seed=1)
+
+
+def test_simulate_runs_the_emulation_end_to_end():
+    scenario = Scenario(grid_topology(2, 2), [
+        Flow("voip0", src=3, dst=0, rate_bps=80_000, delay_budget_s=0.1)])
+    scenario.route().schedule()
+    run = scenario.simulate(duration_s=1.5, seed=11)
+    assert "voip0" in run.qos
+    assert run.qos["voip0"].received > 0
+
+
+def test_simulate_is_seed_reproducible():
+    def qos():
+        scenario = Scenario(grid_topology(2, 2), [
+            Flow("voip0", src=3, dst=0, rate_bps=80_000,
+                 delay_budget_s=0.1)])
+        scenario.route().schedule()
+        run = scenario.simulate(duration_s=1.0, seed=5)
+        q = run.qos["voip0"]
+        return (q.sent, q.received, q.p95_delay_s)
+
+    assert qos() == qos()
+
+
+def test_repr_mentions_topology_and_flows():
+    scenario = Scenario(chain_topology(5), _flows())
+    text = repr(scenario)
+    assert "chain5" in text and "1 flows" in text

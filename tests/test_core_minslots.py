@@ -41,7 +41,7 @@ class TestLinearSearch:
         # conflicts with (1,2),(2,3) but can reuse (0,1)'s slot
         assert result.slots == 3
         assert result.feasible
-        result.result.schedule.validate(conflicts)
+        result.schedule.validate(conflicts)
 
     def test_star_needs_total_demand(self):
         topo = star_topology(4)

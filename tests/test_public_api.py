@@ -1,10 +1,14 @@
 """Public API surface checks."""
 
 import importlib
+import json
+import pathlib
 
 import pytest
 
 import repro
+
+SURFACE_SNAPSHOT = pathlib.Path(__file__).parent / "data" / "public_api_surface.json"
 
 
 def test_version():
@@ -29,20 +33,43 @@ def test_subpackage_all_exports_resolve(module_name):
 
 def test_quickstart_snippet_from_docstring():
     """The module docstring's quickstart must actually run."""
-    from repro import (Flow, FlowSet, chain_topology, conflict_graph,
-                       default_frame_config, minimum_slots, route_all)
+    from repro import Flow, Scenario, chain_topology
 
-    topo = chain_topology(6)
-    flows = route_all(topo, FlowSet([
-        Flow("voip0", src=0, dst=5, rate_bps=80_000,
-             delay_budget_s=0.1)]))
-    frame = default_frame_config()
-    demands = flows.link_demands(frame.frame_duration_s,
-                                 frame.data_slot_capacity_bits)
-    result = minimum_slots(conflict_graph(topo), demands,
-                           frame_slots=frame.data_slots)
+    scenario = Scenario(
+        topology=chain_topology(6),
+        flows=[Flow("voip0", src=0, dst=5, rate_bps=80_000,
+                    delay_budget_s=0.1)])
+    result = scenario.route().schedule()
     assert result.feasible
-    assert result.result.schedule is not None
+    assert result.slots >= 1
+    assert result.schedule is not None
+
+
+def test_public_api_surface_is_frozen():
+    """Every public name and signature matches the reviewed snapshot.
+
+    A failure here means the public surface changed.  If the change is
+    intentional, regenerate the snapshot (see tests/api_surface.py) and
+    commit it alongside the code; the diff is the API review.
+    """
+    from tests.api_surface import build_surface
+
+    frozen = json.loads(SURFACE_SNAPSHOT.read_text())
+    live = build_surface()
+
+    for module, names in sorted(frozen.items()):
+        live_names = live.get(module, {})
+        missing = sorted(set(names) - set(live_names))
+        assert not missing, f"{module}: public names removed: {missing}"
+        for name, entry in sorted(names.items()):
+            assert live_names[name] == entry, (
+                f"{module}.{name} changed: frozen {entry!r} "
+                f"!= live {live_names[name]!r}")
+    for module, names in sorted(live.items()):
+        added = sorted(set(names) - set(frozen.get(module, {})))
+        assert not added, (
+            f"{module}: new public names {added} not in the snapshot -- "
+            "regenerate tests/data/public_api_surface.json")
 
 
 def test_exceptions_form_a_hierarchy():
