@@ -1,0 +1,38 @@
+"""E18 (extension): control-plane loss tolerance of schedule dissemination.
+
+A 3x3 grid runs three conflicting schedule floods while the corner
+victim's control links black out (99.9% loss) across the middle
+announcement and ambient control loss sweeps 0..30%.  Expected shape:
+the resilient arm (epoch re-floods, coverage-acked activation with
+make-before-break transition versions, sync holdover with fail-safe
+muting) commits every version, ends with zero stale nodes, and the
+executed slot map stays conflict-free (zero S8 violations) with zero
+guard-time violations at every loss rate.  The legacy arm -- immediate
+activation, single flood, no holdover -- desyncs: the victim executes a
+stale map against its neighbours' new one and its drifted clock walks
+transmissions into guard time.
+"""
+
+from conftest import run_experiment
+
+from repro.analysis.experiments import e18_control_loss
+
+
+def test_bench_e18_control_loss(benchmark):
+    result = run_experiment(benchmark, e18_control_loss)
+    resilient = [row for row in result.rows if row[1]]
+    legacy = [row for row in result.rows if not row[1]]
+    assert resilient and legacy, "both arms present at every loss rate"
+    for (loss, ____, ____, s8, guard, mutes, commits, refloods,
+         ____, transitions, commit_s, stale, ____, ____) in resilient:
+        assert loss <= 0.3
+        assert s8 == 0, "resilient arm never executes conflicting maps"
+        assert guard == 0, "holdover keeps transmissions out of guard time"
+        assert mutes >= 1, "the blacked-out victim fail-safe mutes"
+        assert commits == 6, "all three floods (plus transitions) commit"
+        assert refloods > 0 and transitions > 0
+        assert 0.0 < commit_s < 1.0, "coverage-acked commit stays sub-second"
+        assert stale == 0, "re-floods catch the victim back up"
+    for row in legacy:
+        s8, guard = row[3], row[4]
+        assert s8 + guard > 0, "legacy arm desyncs under the same loss"

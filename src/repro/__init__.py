@@ -88,6 +88,7 @@ from repro.net import (
     star_topology,
 )
 from repro.overlay import required_guard_s
+from repro.resilience import HealthMonitor, ResilienceConfig
 from repro.sim import DriftingClock, RngRegistry, Simulator
 from repro.traffic import G711, G723, G729, FlowQoS, VoipCodec
 
@@ -109,12 +110,14 @@ __all__ = [
     "G711",
     "G723",
     "G729",
+    "HealthMonitor",
     "InfeasibleScheduleError",
     "MeshFrameConfig",
     "MeshTopology",
     "RepairEngine",
     "RepairOutcome",
     "ReproError",
+    "ResilienceConfig",
     "RngRegistry",
     "RoutingError",
     "Scenario",

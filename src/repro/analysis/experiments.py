@@ -961,6 +961,217 @@ def e17_churn(churn_rates: Sequence[float] = (0.5, 1.0, 2.0, 4.0),
     return result
 
 
+# ---------------------------------------------------------------------------
+# E18: control-frame loss -- resilient dissemination vs fire-and-forget
+# ---------------------------------------------------------------------------
+
+def e18_control_loss(loss_rates: Sequence[float] = (0.0, 0.1, 0.2, 0.3),
+                     duration_s: float = 6.0, drift_ppm: float = 50.0,
+                     seed: int = 53) -> ExperimentResult:
+    """Schedule safety under a lossy control subframe (S33).
+
+    A 3x3 gateway mesh runs the full emulation while control receptions
+    (beacons and MSH-DSCH announcements) are dropped at an ambient
+    ``loss_rate``, and a scripted ``control_loss`` fault additionally
+    blacks out the victim corner node's links (rate 0.999) for two
+    seconds mid-run.  The victim's oscillator is pinned at exactly
+    ``+drift_ppm`` so its clock walks away from the gateway at the worst
+    admissible rate while beacons cannot reach it.  Against this the
+    gateway floods three schedule versions whose pairwise unions
+    *conflict*, so any node stranded on a stale map transmits into the
+    new map's slots.
+
+    Each loss rate runs two arms.  The **resilient** arm enables the S33
+    machinery: implicit-ack coverage commit with epoch re-floods and
+    make-before-break transition versions in the distributor, plus the
+    :class:`~repro.resilience.health.HealthMonitor`'s guard widening and
+    fail-safe mute in the MAC.  The **legacy** arm is the pre-S33
+    fire-and-forget flood with no health gating.  Every 20 ms the union
+    of the slot maps actually being executed is checked with the S8
+    conflict validator, and every transmission is checked against the
+    gateway-clock slot boundaries (``overlay.guard_violations``).
+    Expected shape: the resilient arm holds **zero** S8 violations and
+    zero guard violations at every loss rate (the victim widens its
+    guard, then mutes, and the make-before-break construction keeps
+    every concurrently applied pair of maps conflict-free by
+    construction); the legacy arm desyncs -- stale maps collide and the
+    drifted victim transmits outside its slots.  The distributed-mode
+    handshake (E14) is re-run at the same loss rate as a side table:
+    retries grow with loss but the outcome stays conflict-free and
+    fully served.
+    """
+    from repro.core.schedule import Schedule, SlotBlock
+    from repro.faults.events import FaultEvent
+    from repro.mesh16.distributed import DistributedScheduler
+    from repro.mesh16.network import ControlPlane
+    from repro.net.forwarding import SourceRoutedForwarder
+    from repro.overlay.distribution import ScheduleDistributor
+    from repro.overlay.emulation import TdmaOverlay
+    from repro.overlay.sync import SyncConfig, SyncDaemon
+    from repro.phy.channel import BroadcastChannel
+    from repro.resilience import HealthMonitor, ResilienceConfig
+    from repro.sim.clock import DriftingClock
+    from repro.sim.engine import Simulator
+    from repro.sim.trace import Trace
+    from repro.traffic.sink import SinkRegistry
+    from repro.traffic.sources import CbrSource
+    from repro.units import ppm as ppm_ratio
+    from repro import obs as obs_api
+
+    gateway, victim = 0, 8
+    topology = grid_topology(3, 3)
+    frame = default_frame_config()
+    codec = G729
+    flows = route_all(topology, FlowSet([
+        Flow("up8", victim, gateway, rate_bps=codec.wire_rate_bps,
+             delay_budget_s=0.1),
+        Flow("dn4", gateway, 4, rate_bps=codec.wire_rate_bps,
+             delay_budget_s=0.1),
+    ]))
+    schedule_a = schedule_for_flows(topology, flows, frame, method="greedy")
+    # A deliberately conflicting sibling: same links, blocks shifted, so
+    # the union of the two maps violates the conflict graph and a node
+    # stranded on one while neighbours run the other transmits into them.
+    shift = 2
+    schedule_b = Schedule(frame.data_slots)
+    for link, block in schedule_a.items():
+        schedule_b.assign(link, SlotBlock(
+            (block.start + shift) % (frame.data_slots - block.length + 1),
+            block.length))
+    all_links = set(dict(schedule_a.items())) | set(dict(schedule_b.items()))
+    conflicts = conflict_graph(topology, hops=2, links=all_links)
+
+    blackout_links = [tuple(sorted((victim, n)))
+                      for n in topology.neighbors(victim)]
+    result = ExperimentResult(
+        "E18", "control-frame loss: resilient dissemination vs "
+        f"fire-and-forget ({drift_ppm:.0f} ppm victim, "
+        "2 s blackout, conflicting floods)",
+        ["loss_rate", "resilient", "mixed_samples", "s8_violations",
+         "guard_violations", "mute_events", "commits", "refloods",
+         "stale_rejected", "transitions", "mean_commit_s",
+         "stale_nodes_end", "dsch16_retries", "dsch16_unserved"])
+
+    for loss in loss_rates:
+        # the distributed handshake under the same per-leg loss (E14 redux)
+        demands = {link: 1 for link in sorted(topology.links)[::3]}
+        dsch16 = DistributedScheduler(
+            topology, frame.data_slots, max_cycles=64,
+            loss_rate=loss, seed=seed + 1).run(demands)
+
+        for resilient in (True, False):
+            label = "resilient" if resilient else "legacy"
+            rngs = RngRegistry(seed=seed).spawn(f"r{loss}/{label}")
+            sim = Simulator()
+            trace = Trace(capacity=200_000)
+            channel = BroadcastChannel(sim, topology, frame.phy, trace)
+            channel.set_control_error_model(rngs.stream("control_loss"),
+                                            default_error_rate=loss)
+            clocks, daemons = {}, {}
+            for node in topology.nodes:
+                skew = 0.0 if node == gateway else float(
+                    rngs.stream(f"k{node}").uniform(
+                        -ppm_ratio(drift_ppm), ppm_ratio(drift_ppm)))
+                if node == victim:
+                    skew = ppm_ratio(drift_ppm)  # worst admissible drift
+                clocks[node] = DriftingClock(skew=skew)
+                daemons[node] = SyncDaemon(node, gateway, clocks[node],
+                                           SyncConfig(),
+                                           rngs.stream(f"s{node}"), trace)
+            rcfg = ResilienceConfig(drift_bound_ppm=drift_ppm,
+                                    sync_residual_s=20 * US,
+                                    reflood_interval_frames=8,
+                                    mute_guard_multiple=2.0)
+            health = (HealthMonitor(frame, rcfg, root=gateway, trace=trace)
+                      if resilient else None)
+            sinks = SinkRegistry()
+            overlay = TdmaOverlay(
+                sim, topology, channel, frame,
+                ControlPlane(topology, gateway, frame), schedule_a,
+                clocks, daemons,
+                on_packet=lambda n, p: forwarder.packet_arrived(n, p,
+                                                                sim.now),
+                trace=trace, health=health)
+            forwarder = SourceRoutedForwarder(overlay, sinks.on_delivered,
+                                              trace)
+            distributor = ScheduleDistributor(
+                overlay, gateway, rebroadcasts=2,
+                resilience=rcfg if resilient else None,
+                conflicts=conflicts if resilient else None)
+            overlay.attach_distributor(distributor)
+            for flow in flows:
+                CbrSource.for_codec(sim, flow, forwarder.originate, codec,
+                                    stop_s=duration_s)
+            overlay.start()
+
+            def announce(sched, at_s):
+                target = int(at_s / frame.frame_duration_s) + 15
+                sim.schedule_at(at_s, lambda: distributor.announce(sched,
+                                                                   target))
+
+            announce(schedule_b, 1.0)
+            announce(schedule_a, 2.0)   # mid-blackout: must not strand
+            announce(schedule_b, 4.5)
+            plan = FaultPlan.scripted(
+                [FaultEvent(at_s=1.5, kind="control_loss", link=link,
+                            value=0.999) for link in blackout_links]
+                + [FaultEvent(at_s=3.5, kind="control_loss", link=link,
+                              value=loss) for link in blackout_links],
+                topology=topology)
+            FaultInjector(plan, topology, sim=sim, channel=channel).arm()
+
+            mixed_samples = 0
+            s8_violations = 0
+
+            def sample():
+                nonlocal mixed_samples, s8_violations
+                executed = Schedule(frame.data_slots)
+                versions = set()
+                for node in topology.nodes:
+                    if channel.node_is_down(node):
+                        continue
+                    versions.add(distributor.applied_version[node])
+                    for link, block in distributor.applied_assignments[node]:
+                        if link[0] == node:
+                            executed.assign(link, block)
+                if len(versions) > 1:
+                    mixed_samples += 1
+                s8_violations += len(executed.violations(conflicts))
+                if sim.now + 0.02 < duration_s:
+                    sim.schedule(0.02, sample)
+
+            sim.schedule(0.5, sample)
+            with obs_api.use_registry(obs_api.MetricsRegistry()) as registry:
+                sim.run(until=duration_s + 0.2)
+            counters = registry.snapshot()["counters"]
+            commit_lags = [distributor.commit_times[v]
+                           - distributor.announce_times[v]
+                           for v in distributor.commit_times
+                           if v in distributor.announce_times]
+            top_version = max(distributor.applied_version.values())
+            stale_end = sum(
+                1 for node in topology.nodes
+                if not channel.node_is_down(node)
+                and distributor.applied_version[node] < top_version)
+            result.rows.append([
+                loss, resilient, mixed_samples, s8_violations,
+                counters.get("overlay.guard_violations", 0),
+                counters.get("resilience.mute_events", 0),
+                counters.get("resilience.dsch.commits", 0),
+                counters.get("resilience.dsch.refloods", 0),
+                counters.get("resilience.dsch.stale_rejected", 0),
+                counters.get("resilience.dsch.transition_versions", 0),
+                round(sum(commit_lags) / len(commit_lags), 3)
+                if commit_lags else 0.0,
+                stale_end, dsch16.retries, len(dsch16.unserved)])
+    result.notes = ("mixed_samples counts 20 ms instants with >1 applied "
+                    "version on air (expected >0 in BOTH arms during "
+                    "floods; safe only when the union stays conflict-free); "
+                    "s8_violations sums conflict-validator hits over the "
+                    "executed union maps")
+    return result
+
+
 ALL_EXPERIMENTS = {
     "E1": e01_min_slots,
     "E2": e02_delay_vs_hops,
@@ -979,4 +1190,5 @@ ALL_EXPERIMENTS = {
     "E15": e15_control_plane,
     "E16": e16_two_class,
     "E17": e17_churn,
+    "E18": e18_control_loss,
 }

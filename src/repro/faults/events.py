@@ -18,7 +18,7 @@ from repro.errors import ConfigurationError
 #: node-scoped fault kinds (require ``node``)
 NODE_KINDS = frozenset({"node_down", "node_up", "clock_glitch"})
 #: link-scoped fault kinds (require ``link``)
-LINK_KINDS = frozenset({"link_down", "link_up", "link_loss"})
+LINK_KINDS = frozenset({"link_down", "link_up", "link_loss", "control_loss"})
 #: every recognised fault kind
 ALL_KINDS = NODE_KINDS | LINK_KINDS
 #: kinds that change the connectivity graph (and hence trigger repair)
@@ -42,8 +42,10 @@ class FaultEvent:
         and ``(v, u)`` denote the same fault and are normalised to the
         sorted pair.
     value:
-        ``link_loss``: the new per-direction loss probability in ``[0, 1)``
-        (0.0 restores a clean link).  ``clock_glitch``: the phase jump in
+        ``link_loss`` / ``control_loss``: the new per-direction loss
+        probability in ``[0, 1)`` (0.0 restores a clean link;
+        ``control_loss`` hits only control-plane frames -- beacons and
+        schedule announcements).  ``clock_glitch``: the phase jump in
         local seconds (either sign).  Unused otherwise.
     """
 
@@ -76,10 +78,11 @@ class FaultEvent:
             if u == v:
                 raise ConfigurationError(f"degenerate link ({u}, {v})")
             object.__setattr__(self, "link", (min(u, v), max(u, v)))
-        if self.kind == "link_loss":
+        if self.kind in ("link_loss", "control_loss"):
             if self.value is None or not 0.0 <= self.value < 1.0:
                 raise ConfigurationError(
-                    f"link_loss needs a loss rate in [0, 1), got {self.value}")
+                    f"{self.kind} needs a loss rate in [0, 1), "
+                    f"got {self.value}")
         elif self.kind == "clock_glitch":
             if self.value is None:
                 raise ConfigurationError(

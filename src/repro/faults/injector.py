@@ -4,7 +4,8 @@ The :class:`FaultInjector` is the single writer of fault state.  It owns
 the accumulated sets of dead nodes and dead edges, mutates the running
 system exclusively through the hooks the lower layers export for it --
 :meth:`repro.phy.channel.BroadcastChannel.set_node_down` /
-``set_link_down`` / ``update_link_error_rates`` and
+``set_link_down`` / ``update_link_error_rates`` /
+``update_control_error_rates`` and
 :meth:`repro.sim.clock.DriftingClock.glitch` -- and notifies registered
 listeners (anything with an ``on_fault(event)`` method, e.g. the
 :class:`repro.core.repair.RepairEngine`) after each event lands.
@@ -136,6 +137,11 @@ class FaultInjector:
             if self.channel is not None:
                 u, v = event.link
                 self.channel.update_link_error_rates(
+                    {(u, v): event.value, (v, u): event.value})
+        elif event.kind == "control_loss":
+            if self.channel is not None:
+                u, v = event.link
+                self.channel.update_control_error_rates(
                     {(u, v): event.value, (v, u): event.value})
         elif event.kind == "clock_glitch":
             clock = self.clocks.get(event.node)

@@ -74,6 +74,7 @@ class FaultPlan:
                    link_down_rate: float = 0.0,
                    link_loss_rate: float = 0.0,
                    clock_glitch_rate: float = 0.0,
+                   control_loss_rate: float = 0.0,
                    mean_downtime_s: float = 5.0,
                    loss_range: tuple[float, float] = (0.2, 0.8),
                    glitch_range_s: tuple[float, float] = (-2e-3, 2e-3),
@@ -89,7 +90,8 @@ class FaultPlan:
         rate (events per second; 0 disables the class).  Every ``*_down``
         fault is paired with a recovery after an exponential downtime with
         mean ``mean_downtime_s``, kept only if it lands inside the horizon
-        (so a late crash can outlive the run).  ``link_loss`` steps draw a
+        (so a late crash can outlive the run).  ``link_loss`` and
+        ``control_loss`` steps draw a
         loss rate uniformly from ``loss_range`` and ``clock_glitch`` a phase
         jump uniformly from ``glitch_range_s``.
 
@@ -148,5 +150,12 @@ class FaultPlan:
             node = topology.nodes[int(rng.integers(topology.num_nodes()))]
             lo, hi = glitch_range_s
             events.append(FaultEvent(t, "clock_glitch", node=node,
+                                     value=float(rng.uniform(lo, hi))))
+        if control_loss_rate > 0 and not edges:
+            raise ConfigurationError("topology has no links to fault")
+        for t in arrivals(control_loss_rate):
+            link = edges[int(rng.integers(len(edges)))]
+            lo, hi = loss_range
+            events.append(FaultEvent(t, "control_loss", link=link,
                                      value=float(rng.uniform(lo, hi))))
         return cls(events)

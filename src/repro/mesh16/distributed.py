@@ -20,12 +20,27 @@ a completed negotiation can never corrupt a previously committed one -- the
 test suite checks every outcome against
 :func:`repro.phy.interference.interference_graph`.
 
+**Lossy control plane.**  On WiFi hardware handshake legs get lost like any
+other frame.  With ``loss_rate > 0`` each leg's delivery *to its peer* is
+an independent seeded Bernoulli draw, and the protocol survives through
+timeout/retry with idempotent re-negotiation: a transmitter whose request
+or grant went unanswered re-requests after ``timeout_opportunities`` (up
+to ``retry_limit`` timeout-retries), a receiver re-granting an
+already-granted link always re-issues the *same* block, and duplicate
+grants are answered with duplicate confirms -- so repeats never move a
+reservation.  Slot marks still commit atomically at grant time: the grant
+broadcast is the binding step (802.16's no-backtracking rule), and what a
+lost leg delays is only the handshake bookkeeping, never slot safety.
+Neighbourhood *overhearing* of a delivered broadcast is kept reliable --
+the protocol-model abstraction this module is built on; packet-level
+control loss, including lost overhearing, is exercised end-to-end by the
+overlay dissemination path in experiment E18.
+
 Faithfulness note: negotiation is simulated at the *control-opportunity*
 level (one protocol action per node per opportunity, opportunities in the
-mesh-election roster order, control messages reliable as in
-:mod:`repro.mesh16.network`), not packet-by-packet.  What the abstraction
-keeps is exactly what experiment E14 measures: how efficient and how fast a
-local, no-backtracking negotiation is compared to the centralized ILP.
+mesh-election roster order), not packet-by-packet.  What the abstraction
+keeps is exactly what experiments E14 (efficiency/convergence vs the
+centralized ILP) and E18 (control-frame loss) measure.
 """
 
 from __future__ import annotations
@@ -33,6 +48,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping, Optional
 
+import numpy as np
+
+from repro import obs
 from repro.core.schedule import Schedule, SlotBlock
 from repro.errors import ConfigurationError
 from repro.net.topology import Link, MeshTopology
@@ -48,6 +66,18 @@ class _Negotiation:
     confirmed: bool = False
     #: how many times the receiver failed to find a common range
     rejections: int = 0
+    #: opportunity index before which the transmitter must not re-request
+    retry_at: Optional[int] = None
+    #: opportunity index of the receiver's last (re-)grant
+    grant_sent_at: Optional[int] = None
+    #: the receiver heard the confirm (handshake fully closed)
+    confirm_heard: bool = False
+    #: a duplicate grant arrived after confirming; re-confirm is owed
+    reconfirm_owed: bool = False
+    #: timeout-triggered retries spent (rejection re-requests are free)
+    timeout_retries: int = 0
+    #: gave up after ``retry_limit`` timeout-retries
+    abandoned: bool = False
 
 
 @dataclass
@@ -59,8 +89,13 @@ class DistributedOutcome:
     unserved: dict[Link, int] = field(default_factory=dict)
     #: control opportunities consumed until convergence
     opportunities_used: int = 0
-    #: handshake messages exchanged (requests + grants + confirms)
+    #: handshake messages exchanged (requests + grants + confirms,
+    #: including retries)
     messages: int = 0
+    #: messages whose peer delivery was lost to channel error
+    lost_messages: int = 0
+    #: timeout-triggered re-sends (re-requests, re-grants, re-confirms)
+    retries: int = 0
 
     @property
     def fully_served(self) -> bool:
@@ -78,6 +113,8 @@ class _NodeAgent:
         self.no_rx = [False] * frame_slots
         #: requests received, waiting for this node to grant
         self.pending_grants: list[_Negotiation] = []
+        #: blocks this node has granted, for idempotent re-grants
+        self.granted_blocks: dict[Link, SlotBlock] = {}
 
     def mark(self, block: SlotBlock, tx: bool = False,
              rx: bool = False) -> None:
@@ -100,17 +137,55 @@ class DistributedScheduler:
     max_cycles:
         Give up on still-unserved demands after this many full roster
         cycles (a no-backtracking protocol can deadlock on tight frames).
+    loss_rate:
+        Per-leg probability that a handshake message misses its peer
+        (seeded Bernoulli; 0.0 restores the reliable control plane).
+    rng, seed:
+        Loss randomness, standard ``rng=``/``seed=`` pair; required iff
+        ``loss_rate > 0``.  A shared generator is consumed across
+        :meth:`run` calls; pass ``seed`` for self-contained runs.
+    timeout_opportunities:
+        How many opportunities a sender waits for the counterpart action
+        before re-sending.  Defaults to one full roster cycle.
+    retry_limit:
+        Timeout-retries per negotiation before the transmitter abandons
+        it (rejection re-requests are not counted -- they carry fresh
+        information and were always unbounded in this protocol).
     """
 
     def __init__(self, topology: MeshTopology, frame_slots: int,
-                 max_cycles: int = 8) -> None:
+                 max_cycles: int = 8, loss_rate: float = 0.0,
+                 rng: Optional[np.random.Generator] = None,
+                 seed: Optional[int] = None,
+                 timeout_opportunities: Optional[int] = None,
+                 retry_limit: int = 6) -> None:
         if frame_slots <= 0:
             raise ConfigurationError("frame_slots must be positive")
         if max_cycles < 1:
             raise ConfigurationError("need at least one cycle")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ConfigurationError(
+                f"loss rate must be in [0, 1), got {loss_rate}")
+        if timeout_opportunities is not None and timeout_opportunities < 1:
+            raise ConfigurationError("timeout must be >= 1 opportunity")
+        if retry_limit < 0:
+            raise ConfigurationError("retry limit must be non-negative")
         self.topology = topology
         self.frame_slots = frame_slots
         self.max_cycles = max_cycles
+        self.loss_rate = loss_rate
+        self.timeout_opportunities = timeout_opportunities
+        self.retry_limit = retry_limit
+        if loss_rate > 0.0:
+            from repro.sim.random import resolve_rng
+            self._rng = resolve_rng(rng, seed, what="DistributedScheduler")
+        else:
+            self._rng = None
+
+    def _lost(self) -> bool:
+        """One Bernoulli delivery draw for the current leg's peer."""
+        return (self._rng is not None
+                and float(self._rng.random()) < self.loss_rate)
 
     def run(self, demands: Mapping[Link, int]) -> DistributedOutcome:
         """Negotiate all link demands; returns the committed schedule."""
@@ -127,11 +202,16 @@ class DistributedScheduler:
             for link, demand in sorted(demands.items()) if demand > 0}
         schedule = Schedule(self.frame_slots)
         messages = 0
+        lost_messages = 0
+        retries = 0
         opportunities = 0
 
         # Mesh-election outcome: deterministic node roster (see
         # mesh16.network); one protocol action per opportunity.
         roster = self.topology.nodes
+        timeout = (self.timeout_opportunities
+                   if self.timeout_opportunities is not None
+                   else len(roster))
         for ____ in range(self.max_cycles):
             progressed = False
             for node in roster:
@@ -142,55 +222,145 @@ class DistributedScheduler:
                 if agent.pending_grants:
                     negotiation = agent.pending_grants.pop(0)
                     messages += 1
-                    block = self._pick_range(agents, negotiation)
+                    block = agent.granted_blocks.get(negotiation.link)
+                    if block is not None:
+                        # Idempotent re-grant: a retried request for a link
+                        # this node already granted gets the same block --
+                        # no new marks, nothing moves.
+                        retries += 1
+                        obs.counter("mesh16.dsch.regrants").inc()
+                    else:
+                        block = self._pick_range(agents, negotiation)
                     if block is None:
                         negotiation.rejections += 1
+                        # A rejection is an answer: the transmitter may
+                        # re-request immediately, as it always could.
+                        negotiation.retry_at = None
                     else:
-                        negotiation.granted = block
-                        # Both neighbourhood effects commit atomically at
-                        # grant time.  Our roster serializes all control
-                        # actions network-wide (the mesh-election holdoff
-                        # in 802.16 plays the same role), so no competing
-                        # negotiation can slip between grant and confirm;
-                        # the confirm below is then pure acknowledgement.
-                        self._apply_grant(agents, negotiation.link, block)
-                        self._apply_confirm(agents, negotiation.link, block)
+                        negotiation.grant_sent_at = opportunities
+                        if negotiation.link not in agent.granted_blocks:
+                            agent.granted_blocks[negotiation.link] = block
+                            # Both neighbourhood effects commit atomically
+                            # at grant time.  Our roster serializes all
+                            # control actions network-wide (the
+                            # mesh-election holdoff in 802.16 plays the
+                            # same role), so no competing negotiation can
+                            # slip between grant and confirm; the confirm
+                            # below is then pure acknowledgement.
+                            self._apply_grant(agents, negotiation.link,
+                                              block)
+                            self._apply_confirm(agents, negotiation.link,
+                                                block)
+                        if self._lost():
+                            lost_messages += 1
+                            obs.counter("mesh16.dsch.lost_messages").inc()
+                        else:
+                            already = negotiation.granted is not None
+                            negotiation.granted = block
+                            if negotiation.confirmed and already:
+                                negotiation.reconfirm_owed = True
                     progressed = True
                     continue
 
-                # 2nd: confirm a grant this node received for its link.
+                # 2nd: re-grant a granted-but-unconfirmed link whose
+                # confirm never arrived (lost grant or lost confirm).  Only
+                # with loss enabled -- the receiver cannot distinguish a
+                # lost confirm from a merely busy transmitter, so on a
+                # reliable control plane this path must never fire.
+                stale = [] if self._rng is None else [
+                    n for n in negotiations.values()
+                    if n.link[1] == node and not n.confirm_heard
+                    and n.link in agent.granted_blocks
+                    and not n.abandoned
+                    and opportunities - n.grant_sent_at >= timeout]
+                if stale:
+                    negotiation = stale[0]
+                    messages += 1
+                    retries += 1
+                    obs.counter("mesh16.dsch.regrants").inc()
+                    negotiation.grant_sent_at = opportunities
+                    if self._lost():
+                        lost_messages += 1
+                        obs.counter("mesh16.dsch.lost_messages").inc()
+                    else:
+                        already = negotiation.granted is not None
+                        negotiation.granted = agent.granted_blocks[
+                            negotiation.link]
+                        if negotiation.confirmed and already:
+                            negotiation.reconfirm_owed = True
+                    progressed = True
+                    continue
+
+                # 3rd: confirm a grant this node received for its link
+                # (or re-confirm in answer to a duplicate grant).
                 mine = [n for n in negotiations.values()
                         if n.link[0] == node and n.granted is not None
-                        and not n.confirmed]
+                        and (not n.confirmed or n.reconfirm_owed)]
                 if mine:
                     negotiation = mine[0]
-                    negotiation.confirmed = True
                     messages += 1
-                    schedule.assign(negotiation.link, negotiation.granted)
+                    if negotiation.confirmed:
+                        retries += 1
+                        obs.counter("mesh16.dsch.reconfirms").inc()
+                    else:
+                        negotiation.confirmed = True
+                        schedule.assign(negotiation.link,
+                                        negotiation.granted)
+                    negotiation.reconfirm_owed = False
+                    if self._lost():
+                        lost_messages += 1
+                        obs.counter("mesh16.dsch.lost_messages").inc()
+                    else:
+                        negotiation.confirm_heard = True
                     progressed = True
                     continue
 
-                # 3rd: issue a new request for an unserved outgoing link.
+                # 4th: issue a new request for an unserved outgoing link.
                 waiting = [n for n in negotiations.values()
                            if n.link[0] == node and n.granted is None
+                           and not n.abandoned
+                           and (n.retry_at is None
+                                or opportunities >= n.retry_at)
                            and not self._request_in_flight(agents, n)]
                 if waiting:
                     negotiation = waiting[0]
+                    if negotiation.retry_at is not None:
+                        # Timeout expired with no answer: this is a retry.
+                        if negotiation.timeout_retries >= self.retry_limit:
+                            negotiation.abandoned = True
+                            obs.counter("mesh16.dsch.abandoned").inc()
+                            progressed = True
+                            continue
+                        negotiation.timeout_retries += 1
+                        retries += 1
+                        obs.counter("mesh16.dsch.rerequests").inc()
                     messages += 1
-                    agents[negotiation.link[1]].pending_grants.append(
-                        negotiation)
+                    if self._rng is not None:
+                        negotiation.retry_at = opportunities + timeout
+                    if self._lost():
+                        lost_messages += 1
+                        obs.counter("mesh16.dsch.lost_messages").inc()
+                    else:
+                        agents[negotiation.link[1]].pending_grants.append(
+                            negotiation)
                     progressed = True
 
-            if all(n.confirmed for n in negotiations.values()):
+            if all(n.confirmed and n.confirm_heard
+                   for n in negotiations.values()):
                 break
-            if not progressed:
+            if not progressed and (self._rng is None or not
+                                   self._timers_pending(negotiations,
+                                                        opportunities,
+                                                        timeout)):
                 break  # deadlock: every remaining ask was rejected
 
         unserved = {n.link: n.demand for n in negotiations.values()
                     if not n.confirmed}
         return DistributedOutcome(schedule=schedule, unserved=unserved,
                                   opportunities_used=opportunities,
-                                  messages=messages)
+                                  messages=messages,
+                                  lost_messages=lost_messages,
+                                  retries=retries)
 
     # -- protocol steps -------------------------------------------------------
 
@@ -198,6 +368,26 @@ class DistributedScheduler:
     def _request_in_flight(agents: dict[int, _NodeAgent],
                            negotiation: _Negotiation) -> bool:
         return negotiation in agents[negotiation.link[1]].pending_grants
+
+    @staticmethod
+    def _timers_pending(negotiations: dict[Link, _Negotiation],
+                        opportunities: int, timeout: int) -> bool:
+        """Is anyone silently waiting out a retry timeout?
+
+        A cycle with no protocol action is a deadlock only when nothing is
+        pending: a lost leg leaves its sender idle until the timeout
+        expires, which must not be mistaken for convergence failure.
+        """
+        for n in negotiations.values():
+            if n.abandoned or (n.confirmed and n.confirm_heard):
+                continue
+            if (n.granted is None and n.retry_at is not None
+                    and opportunities < n.retry_at):
+                return True
+            if (n.grant_sent_at is not None and not n.confirm_heard
+                    and opportunities - n.grant_sent_at < timeout):
+                return True
+        return False
 
     def _pick_range(self, agents: dict[int, _NodeAgent],
                     negotiation: _Negotiation) -> Optional[SlotBlock]:

@@ -67,6 +67,16 @@ class ScheduleAnnouncement:
     ``assignments`` is a tuple of (link, block) entries; a link may appear
     more than once (e.g. one block per traffic class), mirroring 802.16's
     per-reservation minislot ranges.
+
+    The two trailing fields exist for the loss-tolerant dissemination mode
+    (:class:`repro.overlay.distribution.ScheduleDistributor` with a
+    :class:`repro.resilience.ResilienceConfig`): ``epoch`` distinguishes
+    re-floods of the same version (receivers refresh their rebroadcast
+    budget only for a strictly newer epoch), and ``acked`` piggybacks the
+    sender's implicit-ack view -- the set of nodes it knows to hold this
+    version -- so coverage gossips back to the gateway on the rebroadcasts
+    themselves.  Legacy announcements leave both at their zero defaults
+    and pay no extra bytes.
     """
 
     #: monotonically increasing schedule version
@@ -75,18 +85,30 @@ class ScheduleAnnouncement:
     activation_frame: int
     #: (directed link, slot block) reservations
     assignments: tuple[tuple[Link, SlotBlock], ...]
+    #: re-flood generation within a version (resilient mode)
+    epoch: int = 0
+    #: node ids the sender knows to hold this version (resilient mode)
+    acked: tuple[int, ...] = ()
 
     @classmethod
     def build(cls, version: int, activation_frame: int,
-              assignments) -> "ScheduleAnnouncement":
+              assignments, epoch: int = 0,
+              acked: tuple[int, ...] = ()) -> "ScheduleAnnouncement":
         """Normalize a mapping or an iterable of pairs into a message."""
         if isinstance(assignments, Mapping):
             pairs = tuple(sorted(assignments.items()))
         else:
             pairs = tuple(assignments)
         return cls(version=version, activation_frame=activation_frame,
-                   assignments=pairs)
+                   assignments=pairs, epoch=epoch,
+                   acked=tuple(sorted(acked)))
 
     def size_bits(self) -> int:
-        """4 B header + 6 B per reservation (link id, start, length)."""
-        return bytes_to_bits(4 + 6 * len(self.assignments))
+        """4 B header + 6 B per reservation (link id, start, length).
+
+        Resilient-mode floods add 1 B for the epoch plus 1 B per
+        piggybacked ack; a legacy announcement (epoch 0, no acks) keeps
+        the original encoding.
+        """
+        extra = (1 + len(self.acked)) if (self.epoch or self.acked) else 0
+        return bytes_to_bits(4 + 6 * len(self.assignments) + extra)

@@ -34,6 +34,7 @@ from repro.net.topology import Link, MeshTopology
 from repro.overlay.shim import Reassembler, ShimFragment, fragment_packet
 from repro.overlay.sync import SyncConfig, SyncDaemon
 from repro.phy.channel import BroadcastChannel
+from repro.resilience.health import HealthMonitor
 from repro.phy.frames import FrameKind, PhyFrame
 from repro.dot11.broadcast import RawBroadcastMac
 from repro.sim.clock import DriftingClock
@@ -186,6 +187,16 @@ class TdmaNode:
     # -- slot actions -----------------------------------------------------------
 
     def _control_slot(self, slot: int) -> None:
+        overlay = self.overlay
+        if (overlay.health is not None
+                and overlay.health.check_mute(self.node, overlay.sim.now)):
+            # Fail-safe: a node whose worst-case clock error exceeds the
+            # hard threshold cannot place *any* transmission safely -- not
+            # even control frames, whose slots are just as guard-bounded.
+            overlay.trace.emit(overlay.sim.now, "tdma.mute_skip",
+                               node=self.node, kind="control", slot=slot)
+            obs.counter("resilience.control_slots_muted").inc()
+            return
         # Schedule announcements pre-empt sync beacons at this node's
         # opportunity: distribution is rarer and must converge before its
         # activation frame, while the beacon flood is continuous.
@@ -194,8 +205,12 @@ class TdmaNode:
             announcement = distributor.control_payload(self.node)
             if announcement is not None:
                 bits = announcement.size_bits()
-                duration = self.overlay.frame_config.phy.airtime(
-                    bits, basic_rate=True)
+                # Announcements ride the data burst profile: a
+                # multi-reservation DSCH at the 1 Mb/s basic rate would
+                # overflow the control slot and collide with the next
+                # opportunity.  Beacons (fixed, small, must be maximally
+                # robust) keep the basic rate and fit.
+                duration = self.overlay.frame_config.phy.airtime(bits)
                 self.mac.broadcast(announcement, bits,
                                    kind=FrameKind.CONTROL,
                                    duration=duration)
@@ -210,7 +225,15 @@ class TdmaNode:
 
     def _data_slot(self, slot: int, link: Link) -> None:
         overlay = self.overlay
+        health = overlay.health
+        now = overlay.sim.now
+        if health is not None and health.check_mute(self.node, now):
+            overlay.trace.emit(now, "tdma.mute_skip", node=self.node,
+                               link=link, slot=slot, kind="data")
+            obs.counter("resilience.slots_muted").inc()
+            return
         fragment = None
+        from_inflight = False
         if overlay.arq:
             inflight = self._inflight.get(link)
             if inflight is not None:
@@ -220,23 +243,49 @@ class TdmaNode:
                     del self._inflight[link]
                 else:
                     fragment = inflight[0]
+                    from_inflight = True
                     if inflight[1] > 0:
                         overlay.trace.emit(overlay.sim.now, "tdma.arq_retx",
                                            node=self.node, link=link,
                                            attempt=inflight[1])
+        queue = self.queues.get(link)
         if fragment is None:
-            queue = self.queues.get(link)
             if not queue:
                 return
-            fragment = queue.popleft()
-            if overlay.arq:
-                self._inflight[link] = [fragment, 0]
-        if overlay.arq:
-            self._inflight[link][1] += 1
+            fragment = queue[0]
         config = overlay.frame_config
         size_bits = (fragment.payload_bits + config.shim_overhead_bits
                      + DATA_HEADER_BITS)
         duration = config.phy.airtime(size_bits)
+        extra_guard = 0.0
+        if health is not None:
+            # Degraded mode: start later (widened effective guard) and only
+            # send what still provably ends inside the slot at every
+            # neighbour's clock, given the worst-case error envelope.
+            extra_guard, max_airtime = health.tx_allowance(self.node, now)
+            if duration > max_airtime:
+                overlay.trace.emit(now, "tdma.degraded_skip",
+                                   node=self.node, link=link, slot=slot)
+                obs.counter("resilience.slots_skipped").inc()
+                return
+            if extra_guard > 0.0:
+                obs.counter("resilience.guard_widenings").inc()
+        if not from_inflight:
+            queue.popleft()
+            if overlay.arq:
+                self._inflight[link] = [fragment, 0]
+        if overlay.arq:
+            self._inflight[link][1] += 1
+        if extra_guard > 0.0:
+            overlay.sim.schedule(extra_guard, self._transmit_fragment,
+                                 fragment, size_bits, duration, slot, link)
+        else:
+            self._transmit_fragment(fragment, size_bits, duration, slot,
+                                    link)
+
+    def _transmit_fragment(self, fragment: ShimFragment, size_bits: int,
+                           duration: float, slot: int, link: Link) -> None:
+        overlay = self.overlay
         overlay.trace.emit(overlay.sim.now, "tdma.tx",
                            node=self.node, link=link, slot=slot)
         registry = obs.get_registry()
@@ -282,6 +331,8 @@ class TdmaNode:
                 frame.payload, overlay.sim.now, airtime,
                 overlay.frame_config.phy.propagation_delay_s)
             if stepped:
+                if overlay.health is not None:
+                    overlay.health.note_adoption(self.node, overlay.sim.now)
                 self.plan_from_now()
             return
         if frame.kind is FrameKind.CONTROL:
@@ -330,6 +381,9 @@ class TdmaNode:
         the 1 Mb/s basic rate would leave no room for data on 802.11b.
         """
         overlay = self.overlay
+        if (overlay.health is not None
+                and overlay.health.check_mute(self.node, overlay.sim.now)):
+            return  # fail-safe mute covers micro-ACKs too
         ack_payload = (fragment.link, fragment.packet.packet_id,
                        fragment.index)
         duration = overlay.frame_config.phy.airtime(ACK_BITS)
@@ -360,6 +414,14 @@ class TdmaOverlay:
     on_packet:
         Callback ``(node, packet)`` when a data packet completes reassembly
         at a link receiver (the forwarder hooks in here).
+    health:
+        Optional :class:`~repro.resilience.health.HealthMonitor`.  When
+        present, every transmission opportunity is gated through its
+        degraded-mode state machine: stale nodes widen their effective
+        guard (transmitting later and skipping fragments that no longer
+        provably fit), and past the hard threshold they fail-safe-mute all
+        transmissions -- data, beacons, announcements and micro-ACKs --
+        until re-synced.
     """
 
     def __init__(self, sim: Simulator, topology: MeshTopology,
@@ -370,7 +432,8 @@ class TdmaOverlay:
                  on_packet: Callable[[int, Packet], None],
                  trace: Optional[Trace] = None,
                  queue_capacity_fragments: int = 256,
-                 arq: bool = False, arq_retry_limit: int = 3) -> None:
+                 arq: bool = False, arq_retry_limit: int = 3,
+                 health: Optional[HealthMonitor] = None) -> None:
         if schedule.frame_slots != frame_config.data_slots:
             raise ConfigurationError(
                 f"schedule has {schedule.frame_slots} slots but the frame "
@@ -386,6 +449,8 @@ class TdmaOverlay:
         self.queue_capacity_fragments = queue_capacity_fragments
         #: optional in-band schedule distributor (see attach_distributor)
         self.distributor = None
+        #: optional per-node sync-health monitor (degraded modes)
+        self.health = health
         #: slot-level ARQ (extension): receivers micro-ACK each fragment
         #: within its slot; unacked fragments are retransmitted in the
         #: link's next slot, up to ``arq_retry_limit`` extra attempts

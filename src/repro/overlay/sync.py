@@ -17,6 +17,15 @@ required_guard_s` takes a ``sync_residual_s`` term.
 An optional extension (``skew_compensation``) estimates the local
 oscillator's rate error from consecutive adoptions and disciplines the
 clock rate, shrinking the drift term between resyncs (ablated in E8).
+
+When beacons stop arriving (control-frame loss, a partitioned relay) the
+daemon itself simply holds its last estimate and drifts; bounding the
+damage is the :class:`repro.resilience.health.HealthMonitor`'s job, which
+the overlay MAC consults per transmission opportunity -- it tracks the
+worst-case error envelope from adoption timestamps, widens the effective
+guard as the envelope grows, and fail-safe-mutes the node (including its
+beacon relaying, so a stale timebase is not propagated) past the hard
+threshold.
 """
 
 from __future__ import annotations

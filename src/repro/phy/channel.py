@@ -94,6 +94,11 @@ class BroadcastChannel:
         self._error_rng = None
         self._error_rates: dict[tuple[int, int], float] = {}
         self._default_error_rate = 0.0
+        #: optional control-plane-only loss model; see
+        #: :meth:`set_control_error_model`
+        self._control_error_rng = None
+        self._control_error_rates: dict[tuple[int, int], float] = {}
+        self._default_control_error_rate = 0.0
         #: fault-injection state; see :meth:`set_node_down` / :meth:`set_link_down`
         self._down_nodes: set[int] = set()
         self._down_links: set[frozenset[int]] = set()
@@ -136,6 +141,50 @@ class BroadcastChannel:
             if not 0.0 <= rate < 1.0:
                 raise ConfigurationError(f"error rate {rate} for {pair}")
         self._error_rates.update(rates)
+
+    #: frame kinds the control-plane loss model applies to
+    CONTROL_KINDS = frozenset({"beacon", "control"})
+
+    def set_control_error_model(self, rng,
+                                default_error_rate: float = 0.0,
+                                per_link: Optional[dict[tuple[int, int],
+                                                        float]] = None
+                                ) -> None:
+        """Inject random losses on *control-plane* receptions only.
+
+        Applies to sync beacons and schedule announcements (frame kinds in
+        :data:`CONTROL_KINDS`) on top of -- and independently of -- the
+        all-traffic model of :meth:`set_error_model`: a control reception
+        survives only both draws.  A dedicated RNG keeps the data-plane
+        loss sequence untouched when control loss is swept (E18's axis).
+        """
+        if not 0.0 <= default_error_rate < 1.0:
+            raise ConfigurationError("error rate must be in [0, 1)")
+        for pair, rate in (per_link or {}).items():
+            if not 0.0 <= rate < 1.0:
+                raise ConfigurationError(f"error rate {rate} for {pair}")
+        self._control_error_rng = rng
+        self._default_control_error_rate = default_error_rate
+        self._control_error_rates = dict(per_link or {})
+
+    def update_control_error_rates(
+            self, rates: dict[tuple[int, int], float]) -> None:
+        """Step per-link *control* error rates mid-run (``control_loss``
+        fault hook).
+
+        Merges into the overrides installed by
+        :meth:`set_control_error_model`, which must have been called first.
+        Directed pairs; 0.0 pins a pair back to lossless control delivery.
+        """
+        if self._control_error_rng is None:
+            raise ConfigurationError(
+                "call set_control_error_model() before "
+                "update_control_error_rates() so the channel has a "
+                "control-loss RNG")
+        for pair, rate in rates.items():
+            if not 0.0 <= rate < 1.0:
+                raise ConfigurationError(f"error rate {rate} for {pair}")
+        self._control_error_rates.update(rates)
 
     # -- fault-injection hooks ---------------------------------------------
 
@@ -321,6 +370,15 @@ class BroadcastChannel:
             if rate > 0.0 and self._error_rng.random() < rate:
                 reception.corrupted = True
                 reception.corrupt_reason = "channel_error"
+        if (not reception.corrupted
+                and self._control_error_rng is not None
+                and reception.frame.kind.value in self.CONTROL_KINDS):
+            pair = (reception.frame.src, reception.receiver)
+            rate = self._control_error_rates.get(
+                pair, self._default_control_error_rate)
+            if rate > 0.0 and self._control_error_rng.random() < rate:
+                reception.corrupted = True
+                reception.corrupt_reason = "control_loss"
         success = not reception.corrupted
         category = ("phy.rx_ok" if success
                     else f"phy.rx_{reception.corrupt_reason}")

@@ -1,0 +1,35 @@
+"""repro.resilience -- control-plane loss tolerance (S33).
+
+The paper's premise is running the 802.16 mesh TDMA MAC over commodity
+WiFi, where nothing guarantees that control frames (sync beacons, schedule
+announcements, DSCH handshake legs) actually arrive.  This package holds
+the pieces that keep the *guarantees* intact when they do not:
+
+- :class:`ResilienceConfig` -- the knob set: dissemination coverage target
+  and re-flood cadence for the schedule distributor, and the degraded-mode
+  thresholds of the health monitor.
+- :class:`HealthMonitor` -- per-node beacon-staleness tracking.  From the
+  time since a node's last clock adoption and the oscillator drift bound it
+  maintains a *worst-case* sync-error envelope; as the envelope approaches
+  the slot guard budget the node first widens its effective guard
+  (sacrificing usable airtime inside its own slots), and past a hard
+  threshold it fail-safe-mutes every transmission until re-synced.  Slots
+  are wasted, but a stale clock can never corrupt a neighbour's slot.
+
+The companion mechanisms live where the traffic is: coverage-acked
+activation with epoch re-floods and last-known-good holdover in
+:class:`repro.overlay.distribution.ScheduleDistributor`, lossy handshakes
+with timeout/retry in :class:`repro.mesh16.distributed.
+DistributedScheduler`, and control-frame loss injection in
+:meth:`repro.phy.channel.BroadcastChannel.set_control_error_model` plus
+the ``control_loss`` fault kind.  Experiment E18 measures the whole stack.
+"""
+
+from repro.resilience.config import ResilienceConfig
+from repro.resilience.health import HealthMonitor, NodeHealth
+
+__all__ = [
+    "HealthMonitor",
+    "NodeHealth",
+    "ResilienceConfig",
+]

@@ -1,0 +1,86 @@
+"""Resilience knobs: dissemination coverage and degraded-mode thresholds.
+
+One frozen config object parameterizes both halves of the control-plane
+loss story:
+
+- **dissemination** (used by :class:`repro.overlay.distribution.
+  ScheduleDistributor`): what fraction of live nodes must implicitly ack a
+  schedule version before the gateway treats it as *committed* (and may
+  originate the next one), how often the gateway re-floods an uncommitted
+  version with a bumped epoch, and how many re-floods it is willing to pay;
+- **degradation** (used by :class:`repro.resilience.health.HealthMonitor`):
+  the oscillator drift bound that grows the worst-case sync-error envelope
+  while beacons are lost, the fraction of the guard at which a node counts
+  as *degraded*, and the guard multiple past which it fail-safe-mutes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Control-plane loss-tolerance parameters.
+
+    Parameters
+    ----------
+    coverage_target:
+        Fraction of live nodes whose implicit acks the gateway requires
+        before a schedule version counts as committed.  1.0 (the default)
+        is what makes mixed-version operation provably conflict-free: with
+        full coverage required between originations, any two concurrently
+        *applied* slot maps are adjacent versions, and adjacent versions
+        are checked (or made, via a transition version) mutually
+        conflict-free at origination time.
+    reflood_interval_frames:
+        How many frames the gateway waits between coverage checks; each
+        check on an uncommitted version bumps the announcement epoch and
+        re-arms the flood.
+    max_refloods:
+        Upper bound on epoch bumps per version (keeps control chatter
+        bounded when a partition makes coverage unreachable).
+    drift_bound_ppm:
+        Worst-case oscillator frequency error assumed by the health
+        monitor.  The mutual error envelope between two nodes grows at
+        twice this rate while beacons are lost.
+    sync_residual_s:
+        Error assumed to remain immediately after a successful sync
+        adoption (timestamp jitter over relay hops; E8 measures it).
+    degrade_error_fraction:
+        Worst-case error, as a fraction of the slot guard, past which a
+        node counts as degraded (reported/counted; guard widening itself
+        is continuous and starts as soon as the envelope exceeds the
+        guard).
+    mute_guard_multiple:
+        Hard fail-safe threshold: when the worst-case error exceeds this
+        multiple of the slot guard, the node mutes every transmission
+        until the next successful adoption.
+    """
+
+    coverage_target: float = 1.0
+    reflood_interval_frames: int = 8
+    max_refloods: int = 32
+    drift_bound_ppm: float = 50.0
+    sync_residual_s: float = 0.0
+    degrade_error_fraction: float = 0.5
+    mute_guard_multiple: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.coverage_target <= 1.0:
+            raise ConfigurationError(
+                f"coverage target must be in (0, 1], got {self.coverage_target}")
+        if self.reflood_interval_frames < 1:
+            raise ConfigurationError("re-flood interval must be >= 1 frame")
+        if self.max_refloods < 0:
+            raise ConfigurationError("max refloods must be non-negative")
+        if self.drift_bound_ppm < 0:
+            raise ConfigurationError("drift bound must be non-negative")
+        if self.sync_residual_s < 0:
+            raise ConfigurationError("sync residual must be non-negative")
+        if not 0.0 <= self.degrade_error_fraction:
+            raise ConfigurationError("degrade fraction must be non-negative")
+        if self.mute_guard_multiple <= 0:
+            raise ConfigurationError("mute threshold must be positive")

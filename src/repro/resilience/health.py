@@ -1,0 +1,185 @@
+"""Per-node sync-health tracking and fail-safe degraded modes.
+
+A node cannot see its own clock error -- what it *can* bound is the worst
+case: right after a successful beacon adoption the error is at most the
+sync residual, and from then on it grows at twice the oscillator drift
+bound (both sides of a link may drift apart).  The
+:class:`HealthMonitor` maintains that envelope per node from adoption
+timestamps alone and derives two graceful-degradation behaviours the
+overlay MAC consults at every transmission opportunity:
+
+**guard widening** -- while the envelope exceeds the dimensioned guard the
+node starts its transmissions later (effective guard = envelope) and only
+sends what still provably ends inside the slot at every neighbour's clock:
+a transmission launched ``G`` after the local slot edge with airtime ``D``
+stays inside the reference slot for any error up to ``wc`` iff ``G >= wc``
+and ``G + D + wc <= slot``.  Usable airtime shrinks; safety does not.
+
+**fail-safe mute** -- past a hard threshold (a configurable multiple of
+the guard) the node stops transmitting entirely -- data, beacons,
+announcements and ACKs -- until the next adoption.  Its slots are wasted,
+but a badly stale clock can no longer corrupt anyone else's slot, so
+conflict-freedom and the QoS of surviving flows hold unconditionally.
+
+The monitor never touches an RNG and reads only the simulator clock, so
+enabling it keeps runs deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro import obs
+from repro.errors import ConfigurationError
+from repro.mesh16.frame import MeshFrameConfig
+from repro.resilience.config import ResilienceConfig
+from repro.sim.trace import Trace
+from repro.units import ppm
+
+
+@dataclass
+class NodeHealth:
+    """One node's sync-health record."""
+
+    #: true (simulator) time of the last clock adoption; nodes are assumed
+    #: synchronized at start-up (time 0.0)
+    last_adoption_true: float = 0.0
+    adoptions: int = 0
+    muted: bool = False
+    degraded: bool = False
+    #: closed/open mute intervals in true time: [start, end] or [start, None]
+    mute_windows: list = field(default_factory=list)
+
+
+class HealthMonitor:
+    """Worst-case sync-error envelopes and the degraded-mode state machine.
+
+    Parameters
+    ----------
+    frame_config:
+        Frame geometry; supplies the guard budget and data-slot length the
+        thresholds are measured against.
+    config:
+        Thresholds and the drift bound (see :class:`ResilienceConfig`).
+    root:
+        The timebase root (gateway).  The root *is* the reference clock,
+        so its envelope is identically zero and it never degrades.
+    trace:
+        Optional shared trace; emits ``resilience.mute`` /
+        ``resilience.unmute`` records.
+    """
+
+    def __init__(self, frame_config: MeshFrameConfig,
+                 config: Optional[ResilienceConfig] = None, root: int = 0,
+                 trace: Optional[Trace] = None) -> None:
+        self.frame_config = frame_config
+        self.config = config if config is not None else ResilienceConfig()
+        self.root = root
+        self.trace = trace if trace is not None else Trace(enabled=False)
+        self._drift = ppm(self.config.drift_bound_ppm)
+        self._nodes: dict[int, NodeHealth] = {}
+
+    def _entry(self, node: int) -> NodeHealth:
+        entry = self._nodes.get(node)
+        if entry is None:
+            entry = self._nodes[node] = NodeHealth()
+        return entry
+
+    # -- inputs -------------------------------------------------------------
+
+    def note_adoption(self, node: int, true_now: float) -> None:
+        """Record a successful clock adoption; lifts any mute."""
+        entry = self._entry(node)
+        entry.last_adoption_true = true_now
+        entry.adoptions += 1
+        entry.degraded = False
+        if entry.muted:
+            entry.muted = False
+            entry.mute_windows[-1][1] = true_now
+            obs.counter("resilience.unmute_events").inc()
+            self.trace.emit(true_now, "resilience.unmute", node=node)
+
+    # -- the envelope -------------------------------------------------------
+
+    def worst_case_error_s(self, node: int, true_now: float) -> float:
+        """Upper bound on ``node``'s clock error vs the root, right now."""
+        if node == self.root:
+            return 0.0
+        elapsed = true_now - self._entry(node).last_adoption_true
+        if elapsed < 0:
+            raise ConfigurationError(
+                f"adoption for node {node} recorded in the future")
+        return self.config.sync_residual_s + 2 * self._drift * elapsed
+
+    def tx_allowance(self, node: int, true_now: float) -> tuple[float, float]:
+        """``(extra_guard_s, max_airtime_s)`` for a data slot right now.
+
+        ``extra_guard_s`` is how much later than the dimensioned guard the
+        transmission must start; ``max_airtime_s`` is the longest airtime
+        that still provably ends inside the slot at every neighbour.  The
+        pair degrades continuously: with a fresh envelope it is
+        ``(0.0, slot - guard)``, i.e. the undegraded MAC behaviour.
+        """
+        guard = self.frame_config.guard_s
+        slot = self.frame_config.data_slot_s
+        wc = self.worst_case_error_s(node, true_now)
+        self._note_degraded(node, wc, guard)
+        effective = max(guard, wc)
+        return effective - guard, slot - effective - wc
+
+    def _note_degraded(self, node: int, wc: float, guard: float) -> None:
+        entry = self._entry(node)
+        if wc > self.config.degrade_error_fraction * guard:
+            if not entry.degraded:
+                entry.degraded = True
+                obs.counter("resilience.degraded_events").inc()
+        else:
+            entry.degraded = False
+
+    # -- fail-safe mute -----------------------------------------------------
+
+    def check_mute(self, node: int, true_now: float) -> bool:
+        """Evaluate the hard threshold at a transmission opportunity.
+
+        Returns True iff the node must stay silent.  Entering the muted
+        state is recorded here; leaving it happens only in
+        :meth:`note_adoption` (a stale node cannot talk itself healthy).
+        """
+        if node == self.root:
+            return False
+        entry = self._entry(node)
+        if entry.muted:
+            return True
+        wc = self.worst_case_error_s(node, true_now)
+        threshold = self.config.mute_guard_multiple * self.frame_config.guard_s
+        if wc > threshold:
+            entry.muted = True
+            entry.mute_windows.append([true_now, None])
+            obs.counter("resilience.mute_events").inc()
+            self.trace.emit(true_now, "resilience.mute", node=node,
+                            worst_case_error_s=wc)
+            return True
+        return False
+
+    def is_muted(self, node: int) -> bool:
+        return self._entry(node).muted
+
+    def muted_nodes(self) -> frozenset[int]:
+        return frozenset(n for n, e in self._nodes.items() if e.muted)
+
+    def mute_windows(self, node: int) -> tuple[tuple[float, Optional[float]], ...]:
+        """True-time intervals during which ``node`` was muted."""
+        return tuple((s, e) for s, e in self._entry(node).mute_windows)
+
+    # -- instrumentation ----------------------------------------------------
+
+    def state(self, node: int, true_now: float) -> str:
+        """``"ok"``, ``"degraded"`` or ``"muted"`` -- for reports/tests."""
+        if self.is_muted(node):
+            return "muted"
+        wc = self.worst_case_error_s(node, true_now)
+        guard = self.frame_config.guard_s
+        if wc > self.config.degrade_error_fraction * guard:
+            return "degraded"
+        return "ok"

@@ -13,6 +13,14 @@ exactly (JSON preserves Python floats bit-for-bit via ``repr``); plain
 mappings/sequences of numbers pass through untouched.  Anything else is
 rejected at :meth:`ResultCache.put` time with :class:`ValueError` -- the
 pool then simply skips caching that task.
+
+Writes are atomic (write-temp-then-rename), but a cache directory can
+still accumulate damaged files -- a crashed interpreter mid-``os.replace``
+on some filesystems, a truncated copy, manual edits.  A file that exists
+but does not parse (or lacks the expected payload shape) is *quarantined*
+on read: moved aside into ``<root>/quarantine/`` and counted on the
+``runtime.cache.quarantined`` metric, and the lookup reports a plain
+miss so the pool transparently recomputes and rewrites the entry.
 """
 
 from __future__ import annotations
@@ -24,12 +32,16 @@ import tempfile
 from dataclasses import dataclass
 from typing import Any, Optional
 
+from repro import obs
 from repro.runtime.tasks import Task, source_fingerprint, task_key
 
 _EXPERIMENT_TAG = "experiment_result"
 
 #: Default cache directory, relative to the working directory.
 DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: Subdirectory (under the cache root) damaged entries are moved into.
+QUARANTINE_DIR_NAME = "quarantine"
 
 
 def encode_value(value: Any) -> Any:
@@ -82,6 +94,7 @@ class ResultCache:
 
         self.root = pathlib.Path(root)
         self.results_dir = self.root / "results"
+        self.quarantine_dir = self.root / QUARANTINE_DIR_NAME
         self.version = version if version is not None else repro.__version__
         self.fingerprint = (fingerprint if fingerprint is not None
                             else source_fingerprint())
@@ -93,16 +106,47 @@ class ResultCache:
     def _path(self, key: str) -> pathlib.Path:
         return self.results_dir / f"{key}.json"
 
+    def _quarantine(self, path: pathlib.Path) -> Optional[pathlib.Path]:
+        """Move a damaged cache file into the quarantine directory.
+
+        The original name is kept (suffixed ``.N`` on collision) so the
+        damaged bytes stay inspectable.  Returns the destination, or
+        ``None`` when the file vanished or could not be moved.
+        """
+        self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+        destination = self.quarantine_dir / path.name
+        counter = 0
+        while destination.exists():
+            counter += 1
+            destination = self.quarantine_dir / f"{path.name}.{counter}"
+        try:
+            os.replace(path, destination)
+        except OSError:
+            return None
+        obs.counter("runtime.cache.quarantined").inc()
+        return destination
+
     def get(self, task: Task) -> Optional[CachedEntry]:
-        """Return the cached entry for ``task``, or ``None`` on a miss."""
+        """Return the cached entry for ``task``, or ``None`` on a miss.
+
+        A file that exists but is damaged -- unparseable JSON, or JSON
+        without the expected payload shape -- is quarantined and reported
+        as a miss, so the caller recomputes and overwrites it.
+        """
         path = self._path(self.key_for(task))
         try:
             with open(path, encoding="utf-8") as handle:
                 payload = json.load(handle)
-        except (OSError, json.JSONDecodeError):
+        except OSError:
+            return None
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            self._quarantine(path)
             return None
         # Defense in depth: the key already encodes version+fingerprint,
         # but a hand-copied file must not smuggle stale results in.
+        if not isinstance(payload, dict) or "value" not in payload:
+            self._quarantine(path)
+            return None
         if payload.get("version") != self.version or \
                 payload.get("fingerprint") != self.fingerprint:
             return None
@@ -161,12 +205,18 @@ class ResultCache:
         return key
 
     def get_metrics(self, task: Task) -> Optional[dict]:
-        """The metrics sidecar stored for ``task``, or ``None``."""
+        """The metrics sidecar stored for ``task``, or ``None``.
+
+        A damaged sidecar is quarantined like a damaged result file.
+        """
+        path = self._metrics_path(self.key_for(task))
         try:
-            with open(self._metrics_path(self.key_for(task)),
-                      encoding="utf-8") as handle:
+            with open(path, encoding="utf-8") as handle:
                 return json.load(handle)
-        except (OSError, json.JSONDecodeError):
+        except OSError:
+            return None
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            self._quarantine(path)
             return None
 
     def invalidate(self, task: Task) -> bool:

@@ -5,6 +5,13 @@ one JSON line, giving a durable record of where suite time goes.  The
 file is append-only and tolerant of concurrent writers (each record is
 one ``write`` of one line) and of torn/corrupt lines on read.
 
+A process killed mid-write can leave the final line truncated (no
+trailing newline).  :meth:`RunLedger.record` detects that and starts the
+new record on a fresh line, so one torn write damages exactly one
+record instead of fusing with -- and corrupting -- the next.  Reads
+count every unparseable line on the ``runtime.ledger.corrupt_lines``
+metric and surface the tally in the ``--ledger-summary`` output.
+
 :func:`summarize_ledger` condenses a ledger into outcome counts, the
 slowest tasks, and per-target failure tallies;
 :func:`format_ledger_summary` renders that for the CLI's
@@ -20,6 +27,7 @@ import pathlib
 import time
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.runtime.tasks import TaskResult
 
 #: Ledger filename used by default inside the cache directory.
@@ -31,6 +39,20 @@ class RunLedger:
 
     def __init__(self, path: str | os.PathLike) -> None:
         self.path = pathlib.Path(path)
+        #: Unparseable lines seen by the most recent :meth:`entries` call.
+        self.corrupt_lines = 0
+
+    def _ends_mid_line(self) -> bool:
+        """Whether the file's last byte is not a newline (torn write)."""
+        try:
+            with open(self.path, "rb") as handle:
+                handle.seek(0, os.SEEK_END)
+                if handle.tell() == 0:
+                    return False
+                handle.seek(-1, os.SEEK_END)
+                return handle.read(1) != b"\n"
+        except OSError:
+            return False
 
     def record(self, result: TaskResult) -> None:
         entry = {
@@ -49,12 +71,16 @@ class RunLedger:
         if result.error:
             entry["error"] = result.error
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        # Recover from a torn final line: start this record on a fresh
+        # line so the torn write stays one corrupt record, not two.
+        prefix = "\n" if self._ends_mid_line() else ""
         with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(json.dumps(entry) + "\n")
+            handle.write(prefix + json.dumps(entry) + "\n")
 
     def entries(self) -> list[dict]:
-        """Parse every well-formed line; silently skip corrupt ones."""
+        """Parse every well-formed line; skip (but count) corrupt ones."""
         records: list[dict] = []
+        self.corrupt_lines = 0
         try:
             with open(self.path, encoding="utf-8") as handle:
                 for line in handle:
@@ -64,7 +90,8 @@ class RunLedger:
                     try:
                         records.append(json.loads(line))
                     except json.JSONDecodeError:
-                        continue
+                        self.corrupt_lines += 1
+                        obs.counter("runtime.ledger.corrupt_lines").inc()
         except OSError:
             return []
         return records
@@ -85,13 +112,18 @@ class LedgerSummary:
     total_wall_s: float = 0.0
     slowest: list[tuple[str, float]] = field(default_factory=list)
     failures: list[tuple[str, str]] = field(default_factory=list)
+    #: Lines the reader could not parse (torn writes, manual damage).
+    corrupt_lines: int = 0
 
 
 def summarize_ledger(path: str | os.PathLike,
                      top: int = 10) -> LedgerSummary:
     """Read ``path`` and aggregate outcomes, wall time, and failures."""
     summary = LedgerSummary()
-    for entry in RunLedger(path).entries():
+    ledger = RunLedger(path)
+    entries = ledger.entries()
+    summary.corrupt_lines = ledger.corrupt_lines
+    for entry in entries:
         summary.total += 1
         outcome = entry.get("outcome", "?")
         summary.by_outcome[outcome] += 1
@@ -111,6 +143,9 @@ def format_ledger_summary(summary: LedgerSummary) -> str:
              + "  ".join(f"{k}={v}"
                          for k, v in sorted(summary.by_outcome.items())),
              f"total wall time: {summary.total_wall_s:.1f}s"]
+    if summary.corrupt_lines:
+        lines.append(f"warning: {summary.corrupt_lines} corrupt ledger "
+                     "line(s) skipped")
     if summary.slowest:
         lines.append("slowest tasks:")
         lines.extend(f"  {wall:8.2f}s  {label}"

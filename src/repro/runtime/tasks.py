@@ -55,6 +55,7 @@ SHARD_AXES: dict[str, str] = {
     "E13": "error_rates",
     "E16": "call_counts",
     "E17": "churn_rates",
+    "E18": "loss_rates",
 }
 
 

@@ -30,6 +30,7 @@ PUBLIC_MODULES = [
     "repro.overlay",
     "repro.traffic",
     "repro.faults",
+    "repro.resilience",
     "repro.runtime",
 ]
 

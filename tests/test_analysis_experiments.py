@@ -190,4 +190,4 @@ def test_e17_shape():
 
 
 def test_registry_lists_all():
-    assert set(ex.ALL_EXPERIMENTS) == {f"E{i}" for i in range(1, 18)}
+    assert set(ex.ALL_EXPERIMENTS) == {f"E{i}" for i in range(1, 19)}

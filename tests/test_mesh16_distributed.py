@@ -137,3 +137,90 @@ class TestVsCentralized:
         b = run(grid33, demands, frame_slots=32, max_cycles=16)
         assert dict(a.schedule.items()) == dict(b.schedule.items())
         assert a.messages == b.messages
+
+
+class TestLossyControlPlane:
+    """Request/grant/confirm under Bernoulli message loss."""
+
+    def test_zero_loss_path_byte_identical(self, chain5):
+        demands = {(0, 1): 1, (1, 2): 1, (2, 3): 1}
+        reliable = run(chain5, demands)
+        lossless = run(chain5, demands, loss_rate=0.0, seed=11)
+        assert dict(reliable.schedule.items()) == \
+            dict(lossless.schedule.items())
+        assert reliable.messages == lossless.messages
+        assert lossless.retries == 0
+        assert lossless.lost_messages == 0
+
+    def test_invalid_lossy_inputs(self, chain5):
+        with pytest.raises(ConfigurationError):
+            DistributedScheduler(chain5, 16, loss_rate=1.5)
+        with pytest.raises(ConfigurationError):
+            DistributedScheduler(chain5, 16, loss_rate=0.5)  # no rng/seed
+        with pytest.raises(ConfigurationError):
+            DistributedScheduler(chain5, 16, loss_rate=0.5, seed=1,
+                                 retry_limit=-1)
+        with pytest.raises(ConfigurationError):
+            DistributedScheduler(chain5, 16, loss_rate=0.5, seed=1,
+                                 timeout_opportunities=0)
+
+    @pytest.mark.parametrize("loss", [0.1, 0.3, 0.5])
+    def test_lossy_runs_converge_and_stay_safe(self, loss):
+        topology = grid_topology(3, 3)
+        demands = {link: 1 for link in topology.links[:10]}
+        outcome = run(topology, demands, frame_slots=32, max_cycles=64,
+                      loss_rate=loss, seed=5, retry_limit=30)
+        assert outcome.fully_served
+        assert outcome.lost_messages > 0
+        outcome.schedule.validate(interference_graph(topology))
+
+    def test_lossy_deterministic_for_same_seed(self, grid33):
+        demands = {link: 1 for link in grid33.links[:10]}
+        a = run(grid33, demands, frame_slots=32, max_cycles=64,
+                loss_rate=0.3, seed=9)
+        b = run(grid33, demands, frame_slots=32, max_cycles=64,
+                loss_rate=0.3, seed=9)
+        assert dict(a.schedule.items()) == dict(b.schedule.items())
+        assert (a.messages, a.retries, a.lost_messages) == \
+            (b.messages, b.retries, b.lost_messages)
+
+    def test_retries_recover_lost_messages(self):
+        topology = chain_topology(5)
+        demands = {(0, 1): 1, (1, 2): 1, (2, 3): 1, (3, 4): 1}
+        outcome = run(topology, demands, max_cycles=64,
+                      loss_rate=0.5, seed=3)
+        assert outcome.fully_served
+        assert outcome.retries > 0
+        assert outcome.messages > 3 * len(demands)
+
+    def test_grants_are_idempotent_no_backtracking(self):
+        """A re-granted negotiation keeps the originally granted block.
+
+        The grant commits both agents' slot state atomically at grant
+        time, so a lost grant or confirm can only be *repeated*, never
+        renegotiated onto different slots.
+        """
+        topology = chain_topology(5)
+        demands = {(0, 1): 2, (1, 2): 2, (2, 3): 2}
+        lossless = run(topology, demands, max_cycles=64)
+        for seed in range(6):
+            lossy = run(topology, demands, max_cycles=64,
+                        loss_rate=0.4, seed=seed)
+            assert lossy.fully_served
+            # loss reorders negotiations, but granted blocks stay valid
+            lossy.schedule.validate(interference_graph(topology))
+            assert lossy.schedule.demands_met(demands)
+        assert lossless.fully_served
+
+    def test_abandonment_bounded_by_retry_limit(self):
+        topology = chain_topology(3)
+        demands = {(0, 1): 1, (1, 2): 1}
+        # near-certain loss: every request times out, retries exhaust
+        outcome = run(topology, demands, max_cycles=400,
+                      loss_rate=0.98, seed=2, retry_limit=2,
+                      timeout_opportunities=4)
+        assert outcome.opportunities_used < 400 * 3  # terminated early
+        # whatever was abandoned is reported as unserved, not dropped
+        for link in demands:
+            committed = dict(outcome.schedule.items())
+            assert link in committed or link in outcome.unserved

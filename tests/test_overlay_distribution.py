@@ -1,8 +1,13 @@
 """In-band schedule distribution (MSH-DSCH flooding)."""
 
+from dataclasses import replace
+
 import pytest
 
+from repro import obs
+from repro.core.conflict import conflict_graph
 from repro.core.schedule import Schedule, SlotBlock
+from repro.resilience import ResilienceConfig
 from repro.errors import ConfigurationError
 from repro.mesh16.frame import default_frame_config
 from repro.mesh16.network import ControlPlane
@@ -144,3 +149,177 @@ def test_rebroadcast_budget_respected():
                       if r["kind"] == "control")
     assert control_txs <= distributor.rebroadcasts * topology.num_nodes()
     assert control_txs >= 2  # gateway + at least one relay
+
+
+# -- resilient dissemination --------------------------------------------------
+
+
+def build_resilient(topology, gateway=0, loss=0.0, seed=7,
+                    conflicts=None, **config_kwargs):
+    sim = Simulator()
+    trace = Trace()
+    config = default_frame_config()
+    channel = BroadcastChannel(sim, topology, config.phy, trace)
+    rngs = RngRegistry(seed=seed)
+    if loss > 0.0:
+        channel.set_control_error_model(rngs.stream("control_loss"),
+                                        default_error_rate=loss)
+    clocks = {node: DriftingClock(skew=0.0) for node in topology.nodes}
+    daemons = {node: SyncDaemon(node, gateway, clocks[node], SyncConfig(),
+                                rngs.stream(f"sync/{node}"), trace)
+               for node in topology.nodes}
+    overlay = TdmaOverlay(
+        sim, topology, channel, config,
+        ControlPlane(topology, gateway, config),
+        Schedule(config.data_slots), clocks, daemons,
+        on_packet=lambda n, p: None, trace=trace)
+    resilience = ResilienceConfig(reflood_interval_frames=4,
+                                  **config_kwargs)
+    distributor = ScheduleDistributor(overlay, gateway,
+                                      resilience=resilience,
+                                      conflicts=conflicts)
+    overlay.attach_distributor(distributor)
+    return sim, overlay, distributor, trace, config
+
+
+def test_resilient_flood_commits_via_implicit_acks():
+    topology = chain_topology(4)
+    sim, overlay, distributor, trace, config = build_resilient(topology)
+    overlay.start()
+    distributor.announce(
+        Schedule(config.data_slots, {(0, 1): SlotBlock(0, 1)}),
+        activation_frame=40)
+    sim.run(until=1.0)
+    assert distributor.committed_version == 1
+    assert distributor.acked_coverage() == 1.0
+    assert 1 in distributor.commit_times
+    assert trace.count("dsch.commit") == 1
+
+
+def test_stale_version_rejected_but_mined_for_acks():
+    topology = chain_topology(3)
+    sim, overlay, distributor, ____, config = build_resilient(topology)
+    overlay.start()
+    first = distributor.announce(
+        Schedule(config.data_slots, {(0, 1): SlotBlock(0, 1)}),
+        activation_frame=30)
+    sim.run(until=0.5)
+    distributor.announce(
+        Schedule(config.data_slots, {(0, 1): SlotBlock(3, 1)}),
+        activation_frame=60)
+    sim.run(until=1.0)
+    assert distributor.seen_version[2] == 2
+    with obs.use_registry(obs.MetricsRegistry()) as registry:
+        # a straggler's rebroadcast of v1 arrives after v2 took over
+        accepted = distributor.on_announcement(2, first)
+        counters = registry.snapshot()["counters"]
+    assert accepted is False
+    assert counters["resilience.dsch.stale_rejected"] == 1
+    assert distributor.seen_version[2] == 2
+
+
+def test_epoch_refresh_rearms_rebroadcast_budget():
+    topology = chain_topology(3)
+    sim, overlay, distributor, ____, config = build_resilient(topology)
+    overlay.start()
+    announced = distributor.announce(
+        Schedule(config.data_slots, {(0, 1): SlotBlock(0, 1)}),
+        activation_frame=30)
+    sim.run(until=1.0)
+    assert distributor._pending.get(2) is None  # budget exhausted
+    refreshed = replace(announced, epoch=5, acked=())
+    assert distributor.on_announcement(2, refreshed) is False
+    assert distributor._pending[2][1] == distributor.rebroadcasts
+    # same version, non-newer epoch: no refresh
+    del distributor._pending[2]
+    assert distributor.on_announcement(2, refreshed) is False
+    assert 2 not in distributor._pending
+
+
+def test_lossy_flood_commits_through_refloods():
+    topology = grid_topology(3, 3)
+    sim, overlay, distributor, trace, config = build_resilient(
+        topology, loss=0.4)
+    overlay.start()
+    distributor.announce(
+        Schedule(config.data_slots, {(0, 1): SlotBlock(0, 1)}),
+        activation_frame=40)
+    with obs.use_registry(obs.MetricsRegistry()) as registry:
+        sim.run(until=4.0)
+        counters = registry.snapshot()["counters"]
+    assert distributor.committed_version == 1
+    assert distributor.coverage() == 1.0
+    assert counters.get("resilience.dsch.refloods", 0) > 0
+
+
+def test_commit_gates_successor_versions():
+    topology = chain_topology(4)
+    sim, overlay, distributor, trace, config = build_resilient(topology)
+    overlay.start()
+    distributor.announce(
+        Schedule(config.data_slots, {(0, 1): SlotBlock(0, 1)}),
+        activation_frame=30)
+    distributor.announce(
+        Schedule(config.data_slots, {(0, 1): SlotBlock(3, 1)}),
+        activation_frame=35)
+    # the second target is queued, not flooding: v1 is still uncommitted
+    assert distributor._inflight == 1
+    assert len(distributor._queue) == 1
+    sim.run(until=2.0)
+    assert distributor.committed_version == 2
+    assert distributor.commit_times[1] <= distributor.announce_times[2]
+
+
+def test_conflicting_target_goes_through_transition_version():
+    topology = chain_topology(4)
+    conflicts = conflict_graph(topology, hops=2)
+    sim, overlay, distributor, trace, config = build_resilient(
+        topology, conflicts=conflicts)
+    overlay.start()
+    distributor.announce(
+        Schedule(config.data_slots, {(0, 1): SlotBlock(0, 2),
+                                     (2, 3): SlotBlock(4, 2)}),
+        activation_frame=20)
+    # same slots, conflicting transmitters (1,2) overlaps both old blocks
+    with obs.use_registry(obs.MetricsRegistry()) as registry:
+        distributor.announce(
+            Schedule(config.data_slots, {(1, 2): SlotBlock(0, 2),
+                                         (2, 3): SlotBlock(4, 2)}),
+            activation_frame=40)
+        sim.run(until=3.0)
+        counters = registry.snapshot()["counters"]
+    assert counters["resilience.dsch.transition_versions"] == 1
+    # v1 = first target, v2 = transition (compatible subset), v3 = target
+    assert distributor.committed_version == 3
+    assert distributor._announcements[2].assignments == \
+        (((2, 3), SlotBlock(4, 2)),)
+    assert distributor._announcements[3].assignments == \
+        (((1, 2), SlotBlock(0, 2)), ((2, 3), SlotBlock(4, 2)))
+
+
+def test_blacked_out_node_holds_last_known_good():
+    topology = chain_topology(4)
+    sim, overlay, distributor, ____, config = build_resilient(topology)
+    overlay.start()
+    distributor.announce(
+        Schedule(config.data_slots, {(2, 3): SlotBlock(1, 1)}),
+        activation_frame=20)
+    sim.run(until=1.0)
+    assert distributor.applied_version[3] == 1
+    # now node 3 stops hearing control traffic entirely
+    overlay.channel.set_control_error_model(
+        RngRegistry(seed=1).stream("control_loss"), default_error_rate=0.0)
+    overlay.channel.update_control_error_rates({(2, 3): 0.999})
+    distributor.announce(
+        Schedule(config.data_slots, {(2, 3): SlotBlock(6, 1)}),
+        activation_frame=120)
+    sim.run(until=2.5)
+    # the mesh moved on; the victim keeps executing its last-known-good map
+    assert distributor.applied_version[0] == 2
+    assert distributor.applied_version[3] == 1
+    assert distributor.applied_assignments[3] == \
+        (((2, 3), SlotBlock(1, 1)),)
+    assert distributor.committed_version == 1  # coverage gate holds v2 open
+    # the victim still holds the committed version, so it is not *behind*
+    # the commit point -- exactly the make-before-break invariant
+    assert distributor.holdover_nodes() == frozenset()

@@ -1,0 +1,125 @@
+"""Property-based chaos tests for the lossy control plane.
+
+Each example runs a short end-to-end overlay simulation on a chain with a
+drawn ambient control-loss rate, a drifting tail node, and two schedule
+floods, then checks the resilience invariants that must hold at *any*
+loss rate:
+
+- applied schedule versions are monotone per node (holdover never goes
+  backwards);
+- at every sampled instant the union of concurrently executed slot maps
+  is conflict-free (the make-before-break guarantee);
+- a muted node never transmits anything -- data, beacons, announcements.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.conflict import conflict_graph
+from repro.core.schedule import Schedule, SlotBlock
+from repro.mesh16.frame import default_frame_config
+from repro.mesh16.network import ControlPlane
+from repro.net.topology import chain_topology
+from repro.overlay.distribution import ScheduleDistributor
+from repro.overlay.emulation import TdmaOverlay
+from repro.overlay.sync import SyncConfig, SyncDaemon
+from repro.phy.channel import BroadcastChannel
+from repro.resilience import HealthMonitor, ResilienceConfig
+from repro.sim.clock import DriftingClock
+from repro.sim.engine import Simulator
+from repro.sim.random import RngRegistry
+from repro.sim.trace import Trace
+from repro.units import ppm
+
+
+def run_chaos_scenario(loss, seed, drift_ppm):
+    topology = chain_topology(4)
+    gateway, victim = 0, 3
+    sim = Simulator()
+    trace = Trace()
+    config = default_frame_config()
+    channel = BroadcastChannel(sim, topology, config.phy, trace)
+    rngs = RngRegistry(seed=seed)
+    channel.set_control_error_model(rngs.stream("control_loss"),
+                                    default_error_rate=loss)
+    clocks = {node: DriftingClock(
+        skew=ppm(drift_ppm) if node == victim else 0.0)
+        for node in topology.nodes}
+    daemons = {node: SyncDaemon(node, gateway, clocks[node], SyncConfig(),
+                                rngs.stream(f"sync/{node}"), trace)
+               for node in topology.nodes}
+    resilience = ResilienceConfig(drift_bound_ppm=max(drift_ppm, 1.0),
+                                  reflood_interval_frames=4,
+                                  mute_guard_multiple=2.0)
+    health = HealthMonitor(config, resilience, root=gateway, trace=trace)
+    overlay = TdmaOverlay(
+        sim, topology, channel, config,
+        ControlPlane(topology, gateway, config),
+        Schedule(config.data_slots), clocks, daemons,
+        on_packet=lambda n, p: None, trace=trace, health=health)
+    conflicts = conflict_graph(topology, hops=2)
+    distributor = ScheduleDistributor(overlay, gateway,
+                                      resilience=resilience,
+                                      conflicts=conflicts)
+    overlay.attach_distributor(distributor)
+    overlay.start()
+
+    distributor.announce(
+        Schedule(config.data_slots, {(0, 1): SlotBlock(0, 2),
+                                     (2, 3): SlotBlock(4, 2)}),
+        activation_frame=15)
+    sim.schedule(0.4, lambda: distributor.announce(
+        Schedule(config.data_slots, {(1, 2): SlotBlock(0, 2),
+                                     (2, 3): SlotBlock(8, 2)}),
+        activation_frame=60))
+
+    applied_history = {node: [0] for node in topology.nodes}
+    union_violations = []
+
+    def sample():
+        for node in topology.nodes:
+            applied_history[node].append(distributor.applied_version[node])
+        executed = {}
+        for node in topology.nodes:
+            for link, block in distributor.applied_assignments[node]:
+                if link[0] == node:
+                    executed[link] = block
+        union = Schedule(config.data_slots, executed)
+        union_violations.extend(union.violations(conflicts))
+
+    for i in range(1, 60):
+        sim.schedule_at(0.03 * i, sample)
+    sim.run(until=1.9)
+    return topology, trace, health, applied_history, union_violations
+
+
+@pytest.mark.chaos
+@given(loss=st.floats(min_value=0.0, max_value=0.6),
+       seed=st.integers(0, 10_000),
+       drift_ppm=st.sampled_from([0.0, 20.0, 80.0, 200.0]))
+@settings(max_examples=15, deadline=None)
+def test_resilience_invariants_hold_at_any_loss(loss, seed, drift_ppm):
+    topology, trace, health, applied_history, union_violations = \
+        run_chaos_scenario(loss, seed, drift_ppm)
+
+    # 1. applied versions are monotone per node
+    for node, history in applied_history.items():
+        assert history == sorted(history), \
+            f"node {node} applied versions went backwards: {history}"
+
+    # 2. concurrently executed slot maps never conflict
+    assert union_violations == []
+
+    # 3. a muted node never transmits while muted
+    for node in topology.nodes:
+        windows = [(start, end if end is not None else float("inf"))
+                   for start, end in health.mute_windows(node)]
+        if not windows:
+            continue
+        for record in trace.records("phy.tx"):
+            if record["node"] != node:
+                continue
+            assert not any(start <= record.time < end
+                           for start, end in windows), \
+                f"muted node {node} transmitted at {record.time}"

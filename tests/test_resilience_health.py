@@ -1,0 +1,120 @@
+"""HealthMonitor: sync-error envelopes, guard widening, fail-safe mute."""
+
+import pytest
+
+from repro import obs
+from repro.errors import ConfigurationError
+from repro.mesh16.frame import default_frame_config
+from repro.resilience import HealthMonitor, ResilienceConfig
+from repro.sim.trace import Trace
+from repro.units import US
+
+FRAME = default_frame_config()
+GUARD = FRAME.guard_s
+SLOT = FRAME.data_slot_s
+
+# drift_bound_ppm=50 -> envelope grows at 2 * 50e-6 = 1e-4 s per second
+CONFIG = ResilienceConfig(drift_bound_ppm=50.0, sync_residual_s=0.0,
+                          mute_guard_multiple=2.0)
+
+
+@pytest.fixture
+def monitor():
+    return HealthMonitor(FRAME, CONFIG)
+
+
+def test_root_is_the_reference_clock(monitor):
+    assert monitor.worst_case_error_s(0, 100.0) == 0.0
+    assert monitor.check_mute(0, 100.0) is False
+    assert monitor.tx_allowance(0, 100.0) == (0.0, SLOT - GUARD)
+
+
+def test_envelope_is_residual_plus_mutual_drift():
+    config = ResilienceConfig(drift_bound_ppm=50.0, sync_residual_s=20 * US)
+    monitor = HealthMonitor(FRAME, config)
+    monitor.note_adoption(3, 10.0)
+    # residual + 2 * drift * elapsed
+    assert monitor.worst_case_error_s(3, 10.0) == pytest.approx(20 * US)
+    assert monitor.worst_case_error_s(3, 12.0) == pytest.approx(
+        20 * US + 2 * 50e-6 * 2.0)
+
+
+def test_adoption_recorded_in_the_future_rejected(monitor):
+    monitor.note_adoption(3, 10.0)
+    with pytest.raises(ConfigurationError):
+        monitor.worst_case_error_s(3, 9.0)
+
+
+def test_fresh_node_gets_undegraded_allowance(monitor):
+    monitor.note_adoption(5, 0.0)
+    extra, airtime = monitor.tx_allowance(5, 0.1)
+    assert extra == 0.0
+    assert airtime == pytest.approx(SLOT - GUARD - monitor.
+                                    worst_case_error_s(5, 0.1))
+
+
+def test_guard_widens_continuously_past_the_guard():
+    monitor = HealthMonitor(FRAME, CONFIG)
+    # envelope exceeds the 60 us guard after 0.6 s without adoption
+    elapsed = 1.0
+    wc = monitor.worst_case_error_s(7, elapsed)
+    assert wc > GUARD
+    extra, airtime = monitor.tx_allowance(7, elapsed)
+    assert extra == pytest.approx(wc - GUARD)
+    assert airtime == pytest.approx(SLOT - 2 * wc)
+    # the widened window still fits the slot at every neighbour's clock:
+    # start = guard + extra = wc >= wc, end = start + airtime + wc = slot
+    assert (GUARD + extra) + airtime + wc == pytest.approx(SLOT)
+
+
+def test_mute_past_hard_threshold_and_unmute_on_adoption():
+    monitor = HealthMonitor(FRAME, CONFIG, trace=Trace())
+    with obs.use_registry(obs.MetricsRegistry()) as registry:
+        # threshold: wc > 2 * guard = 120 us -> elapsed > 1.2 s
+        assert monitor.check_mute(7, 1.0) is False
+        assert monitor.check_mute(7, 1.5) is True
+        assert monitor.is_muted(7)
+        assert monitor.state(7, 1.5) == "muted"
+        assert monitor.muted_nodes() == frozenset({7})
+        # silence persists at later opportunities until an adoption
+        assert monitor.check_mute(7, 2.0) is True
+        monitor.note_adoption(7, 2.5)
+        assert not monitor.is_muted(7)
+        assert monitor.check_mute(7, 2.6) is False
+        counters = registry.snapshot()["counters"]
+    assert counters["resilience.mute_events"] == 1
+    assert counters["resilience.unmute_events"] == 1
+    assert monitor.mute_windows(7) == ((1.5, 2.5),)
+    assert monitor.trace.count("resilience.mute") == 1
+    assert monitor.trace.count("resilience.unmute") == 1
+
+
+def test_state_progression_ok_degraded_muted(monitor):
+    monitor.note_adoption(4, 0.0)
+    # degrade fraction 0.5 -> wc > 30 us -> elapsed > 0.3 s
+    assert monitor.state(4, 0.1) == "ok"
+    assert monitor.state(4, 0.5) == "degraded"
+    monitor.check_mute(4, 2.0)
+    assert monitor.state(4, 2.0) == "muted"
+
+
+def test_degraded_events_counted_once_per_excursion(monitor):
+    with obs.use_registry(obs.MetricsRegistry()) as registry:
+        monitor.note_adoption(4, 0.0)
+        monitor.tx_allowance(4, 0.5)   # enters degraded
+        monitor.tx_allowance(4, 0.6)   # still degraded, no double count
+        monitor.note_adoption(4, 0.7)  # recovers
+        monitor.tx_allowance(4, 1.2)   # second excursion
+        counters = registry.snapshot()["counters"]
+    assert counters["resilience.degraded_events"] == 2
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        ResilienceConfig(coverage_target=0.0)
+    with pytest.raises(ConfigurationError):
+        ResilienceConfig(reflood_interval_frames=0)
+    with pytest.raises(ConfigurationError):
+        ResilienceConfig(drift_bound_ppm=-1.0)
+    with pytest.raises(ConfigurationError):
+        ResilienceConfig(mute_guard_multiple=0.0)

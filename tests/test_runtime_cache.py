@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro import obs
 from repro.analysis.experiments import ALL_EXPERIMENTS, ExperimentResult
 from repro.runtime.cache import ResultCache
 from repro.runtime.tasks import make_task
@@ -84,3 +85,62 @@ def test_corrupt_entry_reads_as_miss(cache, tmp_path):
     path = cache.results_dir / f"{key}.json"
     path.write_text("{ not json")
     assert cache.get(task) is None
+
+
+def test_corrupt_entry_quarantined_and_recomputable(cache):
+    task = make_task("E9")
+    key = cache.put(task, {"x": 1})
+    path = cache.results_dir / f"{key}.json"
+    path.write_text("{ not json")
+    with obs.use_registry(obs.MetricsRegistry()) as registry:
+        assert cache.get(task) is None
+    # The damaged file moved aside -- the slot is free for a re-run...
+    assert not path.exists()
+    assert (cache.quarantine_dir / f"{key}.json").read_text() == "{ not json"
+    counters = registry.snapshot()["counters"]
+    assert counters["runtime.cache.quarantined"] == 1
+    # ...and a recompute stores and serves a fresh entry.
+    cache.put(task, {"x": 2})
+    assert cache.get(task).value == {"x": 2}
+
+
+def test_quarantine_keeps_every_damaged_copy(cache):
+    task = make_task("E9")
+    key = cache.put(task, {"x": 1})
+    path = cache.results_dir / f"{key}.json"
+    for generation in ("first", "second"):
+        path.write_text(f"{{ damaged {generation}")
+        assert cache.get(task) is None
+        cache.put(task, {"x": 1})
+    names = sorted(p.name for p in cache.quarantine_dir.iterdir())
+    assert names == [f"{key}.json", f"{key}.json.1"]
+
+
+def test_wrong_shape_payload_quarantined(cache):
+    task = make_task("E9")
+    key = cache.put(task, {"x": 1})
+    path = cache.results_dir / f"{key}.json"
+    path.write_text('[1, 2, 3]')  # valid JSON, wrong structure
+    assert cache.get(task) is None
+    assert not path.exists()
+    assert (cache.quarantine_dir / f"{key}.json").exists()
+
+
+def test_stale_version_is_miss_but_not_quarantined(tmp_path):
+    old = ResultCache(tmp_path, version="1", fingerprint="fp")
+    task = make_task("E9")
+    old.put(task, {"x": 1})
+    bumped = ResultCache(tmp_path, version="2", fingerprint="fp")
+    assert bumped.get(task) is None
+    # A stale-but-well-formed entry is not damage: nothing moves.
+    assert not bumped.quarantine_dir.exists()
+
+
+def test_corrupt_metrics_sidecar_quarantined(cache):
+    task = make_task("E9")
+    key = cache.put_metrics(task, {"counters": {"a": 1}})
+    path = cache.results_dir / f"{key}.metrics.json"
+    path.write_text("garbage")
+    assert cache.get_metrics(task) is None
+    assert not path.exists()
+    assert (cache.quarantine_dir / f"{key}.metrics.json").exists()

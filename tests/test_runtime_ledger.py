@@ -1,5 +1,6 @@
 """Run ledger: append, read back, summarize."""
 
+from repro import obs
 from repro.runtime.ledger import (
     RunLedger,
     format_ledger_summary,
@@ -42,6 +43,36 @@ def test_corrupt_lines_skipped(tmp_path):
         handle.write("{torn line\n")
     ledger.record(_result("E4"))
     assert [e["target"] for e in ledger.entries()] == ["E9", "E4"]
+    assert ledger.corrupt_lines == 1
+
+
+def test_torn_final_line_does_not_fuse_with_next_record(tmp_path):
+    path = tmp_path / "ledger.jsonl"
+    ledger = RunLedger(path)
+    ledger.record(_result("E9"))
+    # A process killed mid-write leaves a partial line, no newline.
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"target": "E4", "outcome": "ok"')
+    ledger.record(_result("E2"))
+    # Exactly one record is lost -- the torn one -- and it is counted.
+    assert [e["target"] for e in ledger.entries()] == ["E9", "E2"]
+    assert ledger.corrupt_lines == 1
+
+
+def test_corrupt_lines_surface_in_summary_and_metrics(tmp_path):
+    path = tmp_path / "ledger.jsonl"
+    ledger = RunLedger(path)
+    ledger.record(_result("E9"))
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write("oops\n{still not json\n")
+    with obs.use_registry(obs.MetricsRegistry()) as registry:
+        summary = summarize_ledger(path)
+    assert summary.total == 1
+    assert summary.corrupt_lines == 2
+    assert "warning: 2 corrupt ledger line(s) skipped" in \
+        format_ledger_summary(summary)
+    counters = registry.snapshot()["counters"]
+    assert counters["runtime.ledger.corrupt_lines"] == 2
 
 
 def test_completed_keys_only_successes(tmp_path):
