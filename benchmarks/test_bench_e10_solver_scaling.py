@@ -18,3 +18,9 @@ def test_bench_e10_solver_scaling(benchmark):
     for row in result.rows:
         assert row[4] < 0.05, "BF recovery must stay ~instant"
         assert row[5] is not None, "all instances schedulable"
+        # warm-vs-cold arm: the warm engine must reproduce the cold
+        # searches bitwise while paying strictly fewer ILP solves
+        cold_ilp, warm_ilp, shortcuts, identical = row[8:12]
+        assert identical, "warm results must be bitwise-identical to cold"
+        assert shortcuts > 0, "warm arm must certify probes via BF"
+        assert warm_ilp < cold_ilp, "warm arm must save ILP solves"

@@ -48,11 +48,13 @@ from repro.api import Scenario
 from repro.core import (
     AdmissionController,
     AdmissionDecision,
+    ConflictIndex,
     RepairEngine,
     RepairOutcome,
     Schedule,
     SchedulingProblem,
     SlotBlock,
+    SolverEngine,
     TransmissionOrder,
     conflict_graph,
     greedy_schedule,
@@ -99,6 +101,7 @@ __all__ = [
     "AdmissionDecision",
     "AdmissionError",
     "ConfigurationError",
+    "ConflictIndex",
     "DelayConstraint",
     "DriftingClock",
     "FaultEvent",
@@ -127,6 +130,7 @@ __all__ = [
     "SimulationError",
     "Simulator",
     "SlotBlock",
+    "SolverEngine",
     "SolverError",
     "TransmissionOrder",
     "VoipCodec",

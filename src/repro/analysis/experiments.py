@@ -24,13 +24,13 @@ from repro.analysis.scenarios import (
     run_tdma_scenario,
     schedule_for_flows,
 )
-from repro.core.conflict import conflict_graph
 from repro.core.delay import path_delay_slots, path_wraps
+from repro.core.engine import SolverEngine
 from repro.core.greedy import greedy_schedule
 from repro.core.guarantees import check_guarantees
 from repro.core.repair import RepairEngine
 from repro.faults import FaultInjector, FaultPlan
-from repro.core.ilp import DelayConstraint, SchedulingProblem, solve_schedule_ilp
+from repro.core.ilp import DelayConstraint, SchedulingProblem
 from repro.core.minslots import demand_lower_bound, minimum_slots
 from repro.core.ordering import schedule_from_order
 from repro.core.tree_order import (
@@ -90,6 +90,7 @@ def e01_min_slots(call_counts: Sequence[int] = (1, 2, 3, 4, 5, 6),
     """
     frame = frame or default_frame_config()
     topology = grid_topology(3, 3)
+    solver = SolverEngine()  # one cached conflict index per link set
     result = ExperimentResult(
         "E1", "minimum guaranteed slots vs offered VoIP calls (3x3 grid)",
         ["calls", "lower_bound", "ilp_slots", "ilp_max_wraps",
@@ -100,11 +101,13 @@ def e01_min_slots(call_counts: Sequence[int] = (1, 2, 3, 4, 5, 6),
                                 gateway=0, delay_budget_s=0.1)
         demands = flows.link_demands(frame.frame_duration_s,
                                      frame.data_slot_capacity_bits)
-        conflicts = conflict_graph(topology, hops=2, links=demands.keys())
+        conflicts = solver.conflict_index(topology, hops=2,
+                                          links=demands.keys()).graph
         lower = demand_lower_bound(conflicts, demands)
         search = minimum_slots(conflicts, demands, frame.data_slots,
                                delay_constraints=delay_constraints_for(
-                                   flows, frame))
+                                   flows, frame),
+                               engine=solver)
         if search.feasible:
             ilp_schedule = search.schedule
             ilp_wraps = max(path_wraps(ilp_schedule, f.route) for f in flows)
@@ -132,6 +135,7 @@ def e02_delay_vs_hops(hop_counts: Sequence[int] = (2, 3, 4, 5, 6, 7, 8),
     roughly a frame every other hop; the adversarial order loses a frame
     per hop.
     """
+    solver = SolverEngine()
     result = ExperimentResult(
         "E2", "end-to-end delay vs hops (chain, one flow, 10 ms frame)",
         ["hops", "ilp_ms", "tree_ms", "naive_ms", "adversarial_ms",
@@ -140,10 +144,11 @@ def e02_delay_vs_hops(hop_counts: Sequence[int] = (2, 3, 4, 5, 6, 7, 8),
         topology = chain_topology(hops + 1)
         route = tuple((i, i + 1) for i in range(hops))
         demands = {link: 1 for link in route}
-        conflicts = conflict_graph(topology, hops=2, links=demands.keys())
+        conflicts = solver.conflict_index(topology, hops=2,
+                                          links=demands.keys()).graph
         slot_ms = frame_duration_s * 1000 / frame_slots
 
-        ilp = solve_schedule_ilp(SchedulingProblem(
+        ilp = solver.solve(SchedulingProblem(
             conflicts, demands, frame_slots,
             delay_constraints=[DelayConstraint("f", route, frame_slots)],
             minimize_max_delay=True))
@@ -182,7 +187,8 @@ def e03_delay_vs_frame(frame_durations_ms: Sequence[float] = (4, 8, 10, 16,
     topology = chain_topology(hops + 1)
     route = tuple((i, i + 1) for i in range(hops))
     demands = {link: 1 for link in route}
-    conflicts = conflict_graph(topology, hops=2, links=demands.keys())
+    conflicts = SolverEngine().conflict_index(
+        topology, hops=2, links=demands.keys()).graph
     tree = gateway_tree(topology, 0)
     good = schedule_from_order(conflicts, demands, frame_slots,
                                min_delay_tree_order(tree, 0))
@@ -347,6 +353,7 @@ def e07_ordering_compare(seed: int = 17) -> ExperimentResult:
     ]
     frame_slots = 24
     rngs = RngRegistry(seed=seed)
+    solver = SolverEngine()
     result = ExperimentResult(
         "E7", "max wraps across gateway flows, per ordering policy",
         ["topology", "flows", "ilp", "tree", "greedy", "random"])
@@ -365,12 +372,13 @@ def e07_ordering_compare(seed: int = 17) -> ExperimentResult:
         for route in routes:
             for link in route:
                 demands[link] = demands.get(link, 0) + 1
-        conflicts = conflict_graph(topology, hops=2, links=demands.keys())
+        conflicts = solver.conflict_index(topology, hops=2,
+                                          links=demands.keys()).graph
 
         def max_wraps(schedule) -> int:
             return max(path_wraps(schedule, route) for route in routes)
 
-        ilp = solve_schedule_ilp(SchedulingProblem(
+        ilp = solver.solve(SchedulingProblem(
             conflicts, demands, frame_slots,
             delay_constraints=[DelayConstraint(f"r{i}", r, 10 * frame_slots)
                                for i, r in enumerate(routes)],
@@ -489,6 +497,13 @@ def e10_solver_scaling(grid_sizes: Sequence[tuple[int, int]] = ((2, 2),
     variables are quadratic in conflicting links); the Bellman-Ford
     recovery from a fixed order stays in the millisecond range -- the
     reason the paper advocates order-then-recover over re-solving.
+
+    The warm arm reruns both searches through one fresh
+    :class:`~repro.core.engine.SolverEngine`, seeding the binary search
+    with the linear winner's order: Bellman-Ford certifies every probe
+    the cold arm paid an ILP for, and the canonical re-solve of the
+    winner hits the problem cache.  ``warm_identical`` asserts the
+    engine contract -- identical slots, probe log and schedule table.
     """
     import time as time_mod
 
@@ -496,7 +511,9 @@ def e10_solver_scaling(grid_sizes: Sequence[tuple[int, int]] = ((2, 2),
     result = ExperimentResult(
         "E10", "scheduler cost vs mesh size (gateway VoIP workload)",
         ["grid", "links_demanded", "ilp_vars", "ilp_seconds",
-         "bf_seconds", "min_slots", "linear_probes", "binary_probes"])
+         "bf_seconds", "min_slots", "linear_probes", "binary_probes",
+         "cold_ilp_solves", "warm_ilp_solves", "bf_shortcuts",
+         "warm_identical"])
     for rows_, cols in grid_sizes:
         topology = grid_topology(rows_, cols)
         rngs = RngRegistry(seed=seed)
@@ -504,27 +521,49 @@ def e10_solver_scaling(grid_sizes: Sequence[tuple[int, int]] = ((2, 2),
                                 codec=G729, gateway=0, delay_budget_s=0.1)
         demands = flows.link_demands(frame.frame_duration_s,
                                      frame.data_slot_capacity_bits)
-        conflicts = conflict_graph(topology, hops=2, links=demands.keys())
+        cold = SolverEngine(warm_start=False, max_indexes=0, max_problems=0)
+        conflicts = cold.conflict_index(topology, hops=2,
+                                        links=demands.keys()).graph
         problem = SchedulingProblem(
             conflicts, demands, frame.data_slots,
             delay_constraints=delay_constraints_for(flows, frame),
             minimize_max_delay=True)
-        ilp = solve_schedule_ilp(problem)
+        ilp = cold.solve(problem)
         order = ilp.order
         started = time_mod.perf_counter()
         schedule_from_order(conflicts, demands, frame.data_slots, order)
         bf_seconds = time_mod.perf_counter() - started
         constraints = delay_constraints_for(flows, frame)
         linear = minimum_slots(conflicts, demands, frame.data_slots,
-                               delay_constraints=constraints)
+                               delay_constraints=constraints, engine=cold)
         binary = minimum_slots(conflicts, demands, frame.data_slots,
                                delay_constraints=constraints,
-                               search="binary")
+                               search="binary", engine=cold)
         assert binary.slots == linear.slots  # both searches are exact
+
+        warm = SolverEngine()
+        warm_linear = minimum_slots(conflicts, demands, frame.data_slots,
+                                    delay_constraints=constraints,
+                                    engine=warm)
+        warm_binary = minimum_slots(conflicts, demands, frame.data_slots,
+                                    delay_constraints=constraints,
+                                    search="binary", engine=warm,
+                                    warm_order=warm_linear.order)
+        warm_identical = (
+            warm_linear.slots == linear.slots
+            and warm_binary.slots == binary.slots
+            and warm_linear.probes == linear.probes
+            and warm_binary.probes == binary.probes
+            and warm_linear.schedule.to_dict() == linear.schedule.to_dict()
+            and warm_binary.schedule.to_dict()
+            == binary.schedule.to_dict())
         result.rows.append([
             f"{rows_}x{cols}", len(demands), ilp.num_variables,
             ilp.solve_seconds, bf_seconds, linear.slots,
-            linear.iterations, binary.iterations])
+            linear.iterations, binary.iterations,
+            linear.iterations + binary.iterations,
+            warm.stats["ilp_solves"], warm.stats["bf_shortcuts"],
+            warm_identical])
     return result
 
 
@@ -541,6 +580,7 @@ def e11_spatial_reuse(chain_lengths: Sequence[int] = (4, 6, 8, 10, 12, 16),
     demand keeps growing linearly: the schedule reuses slots spatially,
     and utilization (demand/slots) exceeds 1.
     """
+    solver = SolverEngine()
     result = ExperimentResult(
         "E11", "slots for all-links demand on chains: spatial reuse",
         ["chain_nodes", "directed_links", "slots_1hop", "slots_2hop",
@@ -550,9 +590,10 @@ def e11_spatial_reuse(chain_lengths: Sequence[int] = (4, 6, 8, 10, 12, 16),
         demands = {link: 1 for link in topology.links}
         slots = {}
         for hops in (1, 2):
-            conflicts = conflict_graph(topology, hops=hops)
+            conflicts = solver.conflict_index(topology, hops=hops).graph
             search = minimum_slots(conflicts, demands,
-                                   frame_slots=len(demands))
+                                   frame_slots=len(demands),
+                                   engine=solver)
             slots[hops] = search.slots
         result.rows.append([
             n, len(demands), slots[1], slots[2],
@@ -678,21 +719,22 @@ def e14_distributed_vs_centralized() -> ExperimentResult:
         ("grid3x3/all", grid_topology(3, 3), None),
         ("btree3/all", binary_tree_topology(3), None),
     ]
+    solver = SolverEngine()
     result = ExperimentResult(
         "E14", "distributed DSCH handshake vs centralized ILP",
         ["case", "links", "central_slots", "distributed_makespan",
          "served", "messages", "opportunities"])
     for name, topology, ____ in cases:
         demands = {link: 1 for link in topology.links}
-        conflicts = conflict_graph(topology, hops=2)
+        conflicts = solver.conflict_index(topology, hops=2).graph
         frame = 2 * len(demands)
         # binary search with a probe budget: all-links instances make the
         # infeasible probes near the optimum expensive, and a near-optimal
         # central answer is enough for the comparison
         central = minimum_slots(conflicts, demands, frame, search="binary",
-                                time_limit_per_probe=5.0)
-        outcome = DistributedScheduler(topology, frame,
-                                       max_cycles=32).run(demands)
+                                time_limit_per_probe=5.0, engine=solver)
+        outcome = DistributedScheduler(topology, frame, max_cycles=32,
+                                       engine=solver).run(demands)
         result.rows.append([
             name, len(demands), central.slots,
             outcome.schedule.makespan(),
@@ -825,6 +867,7 @@ def e16_two_class(call_counts: Sequence[int] = (0, 1, 2, 3, 4, 5, 6),
     ]))
     be_demands = bulk.link_demands(frame.frame_duration_s,
                                    frame.data_slot_capacity_bits)
+    solver = SolverEngine()
 
     result = ExperimentResult(
         "E16", "best-effort capacity vs guaranteed VoIP load (3x3 grid)",
@@ -837,7 +880,8 @@ def e16_two_class(call_counts: Sequence[int] = (0, 1, 2, 3, 4, 5, 6),
         g_demands = voip.link_demands(frame.frame_duration_s,
                                       frame.data_slot_capacity_bits)
         all_links = set(g_demands) | set(be_demands)
-        conflicts = conflict_graph(topology, hops=2, links=all_links)
+        conflicts = solver.conflict_index(topology, hops=2,
+                                          links=all_links).graph
         try:
             two = schedule_two_classes(
                 conflicts, g_demands, be_demands, frame.data_slots,
@@ -940,8 +984,10 @@ def e17_churn(churn_rates: Sequence[float] = (0.5, 1.0, 2.0, 4.0),
             lost_resolve += per_window(frames_resolve)
             # criterion (b): the live schedule stays conflict-free and
             # every carried call keeps its guarantee after every event
-            conflicts = conflict_graph(engine.alive, hops=engine.hops,
-                                       links=engine.schedule.links())
+            # (through the repair engine's own conflict-index cache)
+            conflicts = engine.engine.conflict_index(
+                engine.alive, hops=engine.hops,
+                links=engine.schedule.links()).graph
             conflict_ok &= not engine.schedule.violations(conflicts)
             for flow in engine.carried_flows:
                 if flow.delay_budget_s is None:
@@ -1039,7 +1085,8 @@ def e18_control_loss(loss_rates: Sequence[float] = (0.0, 0.1, 0.2, 0.3),
             (block.start + shift) % (frame.data_slots - block.length + 1),
             block.length))
     all_links = set(dict(schedule_a.items())) | set(dict(schedule_b.items()))
-    conflicts = conflict_graph(topology, hops=2, links=all_links)
+    conflicts = SolverEngine().conflict_index(topology, hops=2,
+                                              links=all_links).graph
 
     blackout_links = [tuple(sorted((victim, n)))
                       for n in topology.neighbors(victim)]

@@ -87,24 +87,29 @@ def schedule_for_flows(topology: MeshTopology, flows: FlowSet,
                        frame_config: MeshFrameConfig,
                        method: str = "ilp",
                        enforce_delay: bool = True,
-                       gateway: int = 0) -> Schedule:
+                       gateway: int = 0,
+                       engine=None) -> Schedule:
     """Build a conflict-free TDMA schedule carrying ``flows``.
 
     Methods: ``"ilp"`` (delay-aware joint ILP, min-max delay objective),
     ``"greedy"`` (first-fit decreasing; delay-oblivious baseline),
     ``"tree"`` (wrap-free ordering on the gateway tree + Bellman-Ford,
-    valid when all routes follow tree links).
+    valid when all routes follow tree links).  ``engine`` optionally
+    shares a :class:`~repro.core.engine.SolverEngine` (conflict index +
+    solved-problem cache) across calls.
     """
-    from repro.core.conflict import conflict_graph
+    from repro.core.engine import SolverEngine
     from repro.core.greedy import greedy_schedule
-    from repro.core.ilp import SchedulingProblem, solve_schedule_ilp
+    from repro.core.ilp import SchedulingProblem
     from repro.core.ordering import schedule_from_order
     from repro.core.tree_order import min_delay_tree_order
     from repro.net.routing import gateway_tree
 
+    eng = engine if engine is not None else SolverEngine()
     demands = flows.link_demands(frame_config.frame_duration_s,
                                  frame_config.data_slot_capacity_bits)
-    conflicts = conflict_graph(topology, hops=2, links=demands.keys())
+    conflicts = eng.conflict_index(topology, hops=2,
+                                   links=demands.keys()).graph
     slots = frame_config.data_slots
 
     if method == "greedy":
@@ -122,7 +127,7 @@ def schedule_for_flows(topology: MeshTopology, flows: FlowSet,
         conflicts=conflicts, demands=demands, frame_slots=slots,
         delay_constraints=constraints,
         minimize_max_delay=bool(constraints))
-    result = solve_schedule_ilp(problem)
+    result = eng.solve(problem)
     if not result.feasible:
         raise ConfigurationError(
             f"no feasible schedule for {len(flows)} flows in {slots} slots "
@@ -132,30 +137,36 @@ def schedule_for_flows(topology: MeshTopology, flows: FlowSet,
 
 def admit_flows(topology: MeshTopology, flows: FlowSet,
                 frame_config: MeshFrameConfig,
-                time_limit_s: float = 20.0) -> tuple[FlowSet, Schedule]:
+                time_limit_s: float = 20.0,
+                engine=None) -> tuple[FlowSet, Schedule]:
     """Greedy admission: keep each flow only if the set stays schedulable.
 
     This is how the emulated mesh handles offered load beyond capacity:
     excess calls are *rejected* so admitted calls keep their guarantees --
     the behavioural contrast with DCF, which degrades everyone.  Returns
-    the admitted subset and its schedule.
+    the admitted subset and its schedule.  One shared
+    :class:`~repro.core.engine.SolverEngine` (``engine``, or a private
+    one per call) serves every candidate check, so the conflict index is
+    built per distinct link set rather than per candidate.
     """
-    from repro.core.conflict import conflict_graph
-    from repro.core.ilp import SchedulingProblem, solve_schedule_ilp
+    from repro.core.engine import SolverEngine
+    from repro.core.ilp import SchedulingProblem
 
+    eng = engine if engine is not None else SolverEngine()
     admitted = FlowSet()
     schedule: Optional[Schedule] = None
     for flow in flows:
         candidate = FlowSet(list(admitted) + [flow])
         demands = candidate.link_demands(frame_config.frame_duration_s,
                                          frame_config.data_slot_capacity_bits)
-        conflicts = conflict_graph(topology, hops=2, links=demands.keys())
+        conflicts = eng.conflict_index(topology, hops=2,
+                                       links=demands.keys()).graph
         problem = SchedulingProblem(
             conflicts=conflicts, demands=demands,
             frame_slots=frame_config.data_slots,
             delay_constraints=delay_constraints_for(candidate, frame_config))
         try:
-            result = solve_schedule_ilp(problem, time_limit=time_limit_s)
+            result = eng.solve(problem, time_limit=time_limit_s)
         except SolverError:
             continue  # undecided within the time limit: reject the call
         if result.feasible:

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from typing import Iterable, Optional, Union
 
-from repro.core.conflict import conflict_graph
+from repro.core.engine import SolverEngine
 from repro.core.minslots import MinSlotResult, minimum_slots
 from repro.errors import ConfigurationError
 from repro.mesh16.frame import MeshFrameConfig, default_frame_config
@@ -58,17 +58,26 @@ class Scenario:
     hops:
         Conflict distance of the protocol interference model
         (2 = the 802.16 mesh default).
+    engine:
+        Optional shared :class:`~repro.core.engine.SolverEngine`.  Each
+        scenario gets its own engine by default, so repeated
+        :meth:`schedule` calls reuse the cached conflict index and
+        solved-problem table without leaking state between scenarios;
+        pass one explicitly to share caches across scenarios.
     """
 
     def __init__(self, topology: MeshTopology, flows: FlowsLike,
                  frame: Optional[MeshFrameConfig] = None,
-                 gateway: int = 0, hops: int = 2) -> None:
+                 gateway: int = 0, hops: int = 2,
+                 engine: Optional[SolverEngine] = None) -> None:
         self.topology = topology
         self.flows = (flows if isinstance(flows, FlowSet)
                       else FlowSet(list(flows)))
         self.frame = frame if frame is not None else default_frame_config()
         self.gateway = gateway
         self.hops = hops
+        #: solver engine owning this scenario's caches
+        self.engine = engine if engine is not None else SolverEngine()
         #: result of the last :meth:`schedule` call
         self.minslots: Optional[MinSlotResult] = None
 
@@ -97,7 +106,8 @@ class Scenario:
             delay_constraints=(self.delay_constraints
                                if enforce_delay else ()),
             search=search, max_region=max_region,
-            time_limit_per_probe=time_limit_per_probe)
+            time_limit_per_probe=time_limit_per_probe,
+            engine=self.engine)
         return self.minslots
 
     def simulate(self, duration_s: float = 5.0, *,
@@ -135,9 +145,10 @@ class Scenario:
 
     @property
     def conflicts(self):
-        """Conflict graph over the demanded links."""
-        return conflict_graph(self.topology, hops=self.hops,
-                              links=sorted(self.demands))
+        """Conflict graph over the demanded links (engine-cached)."""
+        return self.engine.conflict_index(
+            self.topology, hops=self.hops,
+            links=sorted(self.demands)).graph
 
     @property
     def delay_constraints(self) -> list:

@@ -16,7 +16,10 @@ This package implements the paper line's algorithmic contribution:
 - greedy baselines (:mod:`repro.core.greedy`);
 - end-to-end delay analysis (:mod:`repro.core.delay`);
 - incremental admission control (:mod:`repro.core.admission`);
-- online schedule repair under fault churn (:mod:`repro.core.repair`).
+- online schedule repair under fault churn (:mod:`repro.core.repair`);
+- the incremental solver engine front end -- shared conflict indexes,
+  warm-started probe searches, problem caching
+  (:mod:`repro.core.engine`).
 """
 
 from repro.core.admission import AdmissionController, AdmissionDecision
@@ -28,6 +31,7 @@ from repro.core.besteffort import (
 )
 from repro.core.conflict import conflict_graph, conflicting_pairs
 from repro.core.delay import path_delay_slots, path_wraps, worst_case_delay_slots
+from repro.core.engine import ConflictIndex, SolverEngine, default_engine
 from repro.core.greedy import greedy_schedule
 from repro.core.guarantees import GuaranteeReport, check_guarantees
 from repro.core.ilp import ILPResult, SchedulingProblem, solve_schedule_ilp
@@ -40,6 +44,7 @@ from repro.core.tree_order import min_delay_tree_order
 __all__ = [
     "AdmissionController",
     "AdmissionDecision",
+    "ConflictIndex",
     "DifferenceConstraints",
     "ILPResult",
     "MinSlotResult",
@@ -49,6 +54,7 @@ __all__ = [
     "Schedule",
     "SchedulingProblem",
     "SlotBlock",
+    "SolverEngine",
     "TransmissionOrder",
     "GuaranteeReport",
     "TwoClassSchedule",
@@ -57,6 +63,7 @@ __all__ = [
     "schedule_two_classes",
     "conflict_graph",
     "conflicting_pairs",
+    "default_engine",
     "greedy_schedule",
     "min_delay_tree_order",
     "minimum_slots",

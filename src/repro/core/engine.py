@@ -1,0 +1,553 @@
+"""The incremental solver engine: shared conflict indexes, warm-started
+probe searches, and cross-layer problem caching.
+
+The paper line's minimum-slots search (NET-COOP) probes a sequence of
+nearly-identical feasibility ILPs, and the ToN companion recovers schedules
+from a fixed order with one Bellman-Ford pass over the conflict graph.  A
+:class:`SolverEngine` exploits that structure instead of treating every
+probe, repair and sweep point as a cold solve:
+
+1. **Cached conflict-graph layer.**  :meth:`SolverEngine.conflict_index`
+   returns an immutable :class:`ConflictIndex` -- the conflict graph plus
+   CSR adjacency and the per-node incidence that backs the clique demand
+   bound -- keyed by a topology/links/hops fingerprint and kept in a small
+   LRU, so minslots, repair, distributed validation and analysis share one
+   build per scenario instead of each calling
+   :func:`~repro.core.conflict.conflict_graph` independently.
+   :meth:`SolverEngine.interference_index` does the same for the *exact*
+   interference relation (:func:`repro.phy.interference.interference_graph`)
+   that the distributed DSCH handshake packs against.
+
+2. **Warm-started probe search.**  Inside one
+   :func:`~repro.core.minslots.minimum_slots` search the engine carries the
+   last feasible probe's :class:`~repro.core.ordering.TransmissionOrder`
+   forward.  Before paying for the next ILP it runs a Bellman-Ford pass
+   over the carried order at the candidate region: if the recovered
+   earliest schedule fits and meets every delay budget, the probe's verdict
+   is certified *without the solver* (the monotone case).  ``scipy``'s
+   ``milp`` cannot accept an incumbent, so the carried solution becomes a
+   shortcut rather than a solver hint -- the counters
+   ``core.engine.ilp_probes`` vs ``core.engine.bf_shortcuts`` prove how
+   often the expensive solver is skipped.  When the *winning* probe was
+   BF-certified, the engine re-solves that one region through the canonical
+   ILP so the returned result is bitwise-identical to a cold search
+   (schedule table, order, probe log; only wall-clock ``solve_seconds``
+   differ, as they always do).
+
+3. **Canonical problem hashing.**  :meth:`SolverEngine.solve` keys solved
+   ``(problem, K)`` pairs in an in-process LRU under
+   :func:`canonical_problem_key` -- a content hash over the conflict edges,
+   demands, frame geometry and delay constraints, salted with the package
+   version and source fingerprint exactly like the runtime's task keys --
+   so sweeps that share subproblems hit the cache instead of HiGHS.
+
+Cache scoping and the observability contract
+--------------------------------------------
+:mod:`repro.obs` snapshots are *deterministic*: identical runs must produce
+byte-identical counter JSON, and merged per-task registries must be
+identical for any ``--jobs`` (S33).  A process-global cache would break
+that (the second identical run would count fewer solves), so caches are
+scoped to an **owning object**: :class:`~repro.api.Scenario`,
+:class:`~repro.core.repair.RepairEngine` and each experiment construct a
+fresh ``SolverEngine()`` whose caches live and die with them, while the
+module-level :func:`default_engine` -- which backs the bare public
+functions -- is *stateless* (warm-start only, no cross-call caches).
+Warm-start shortcuts are a pure function of one search's inputs, so they
+are deterministic everywhere.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import replace
+from typing import Mapping, Optional, Sequence
+
+import networkx as nx
+import numpy as np
+
+from repro import obs
+from repro.core.conflict import conflict_graph
+from repro.core.ilp import (
+    DelayConstraint,
+    ILPResult,
+    SchedulingProblem,
+    solve_schedule_ilp,
+)
+from repro.core.ordering import TransmissionOrder, schedule_from_order
+from repro.core.schedule import Schedule
+from repro.errors import (
+    ConfigurationError,
+    InfeasibleScheduleError,
+    SolverError,
+)
+from repro.net.topology import Link, MeshTopology
+
+#: Sentinel solver status marking a probe verdict certified by Bellman-Ford
+#: instead of an ILP solve.  Never escapes a search: the winning probe is
+#: always re-solved canonically before a result is returned.
+BF_CERTIFIED = "bf-certified"
+
+
+def topology_fingerprint(topology: MeshTopology) -> str:
+    """Content hash of a topology's connectivity (nodes + undirected edges).
+
+    Positions and the display name are irrelevant to scheduling, so two
+    topologies with the same connectivity share a fingerprint -- and hence
+    share cached conflict indexes.
+    """
+    cached = getattr(topology, "_repro_fingerprint", None)
+    if cached is not None:
+        return cached
+    digest = hashlib.sha256()
+    digest.update(repr(sorted(topology.graph.nodes)).encode())
+    digest.update(repr(sorted(tuple(sorted(e))
+                              for e in topology.graph.edges)).encode())
+    fingerprint = digest.hexdigest()[:16]
+    try:
+        topology._repro_fingerprint = fingerprint
+    except AttributeError:  # pragma: no cover - exotic topology subclass
+        pass
+    return fingerprint
+
+
+def _edges_fingerprint(graph: nx.Graph) -> str:
+    """Content hash of a conflict graph (vertices + edges)."""
+    digest = hashlib.sha256()
+    digest.update(repr(sorted(graph.nodes)).encode())
+    digest.update(repr(sorted(tuple(sorted(e)) for e in graph.edges)).encode())
+    return digest.hexdigest()[:16]
+
+
+_SALT_CACHE: list[str] = []
+
+
+def _cache_salt() -> str:
+    """Version + source fingerprint, matching the runtime content-hash keys.
+
+    Imported lazily: :mod:`repro.runtime` sits above :mod:`repro.core` in
+    the layer diagram, so the dependency must not exist at import time.
+    """
+    if not _SALT_CACHE:
+        import repro
+
+        try:
+            from repro.runtime.tasks import source_fingerprint
+
+            salt = f"{repro.__version__}:{source_fingerprint()}"
+        except ImportError:  # pragma: no cover - trimmed installs
+            salt = repro.__version__
+        _SALT_CACHE.append(salt)
+    return _SALT_CACHE[0]
+
+
+def canonical_problem_key(problem: SchedulingProblem,
+                          time_limit: Optional[float] = None) -> str:
+    """Content hash identifying a ``(problem, K)`` pair.
+
+    Two problems share a key iff they have the same conflict edges, the
+    same demands, the same frame geometry (frame length *and* region), the
+    same delay constraints and objective, and the same solver time limit.
+    The key is salted with the package version and source fingerprint, the
+    same invalidation discipline as :func:`repro.runtime.tasks.task_key`,
+    so it stays meaningful if persisted next to runtime artifacts.
+    """
+    digest = hashlib.sha256()
+    digest.update(_cache_salt().encode())
+    digest.update(_edges_fingerprint(problem.conflicts).encode())
+    digest.update(repr(sorted(problem.demands.items())).encode())
+    digest.update(repr((problem.frame_slots, problem.effective_region,
+                        problem.minimize_max_delay, time_limit)).encode())
+    digest.update(repr([(c.name, c.route, c.budget_slots)
+                        for c in problem.delay_constraints]).encode())
+    return digest.hexdigest()[:24]
+
+
+class ConflictIndex:
+    """An immutable, shareable view of one conflict (or interference) graph.
+
+    Wraps the :mod:`networkx` graph every existing consumer expects
+    (:attr:`graph`) and adds the precomputed structure repeated solves
+    want: CSR adjacency over the canonical link ordering
+    (:attr:`indptr`/:attr:`indices`) and the per-node link incidence
+    backing :meth:`clique_demand_bound`.
+
+    ``hops`` is the protocol-model distance, or ``None`` for the exact
+    interference relation.  Treat instances (and :attr:`graph`) as frozen:
+    they are shared across every consumer of the owning engine.
+    """
+
+    __slots__ = ("key", "hops", "links", "graph", "indptr", "indices",
+                 "_positions", "_node_links")
+
+    def __init__(self, key: str, hops: Optional[int],
+                 graph: nx.Graph) -> None:
+        self.key = key
+        self.hops = hops
+        self.graph = graph
+        self.links: tuple[Link, ...] = tuple(sorted(graph.nodes))
+        self._positions = {link: i for i, link in enumerate(self.links)}
+        indptr = np.zeros(len(self.links) + 1, dtype=np.int64)
+        flat: list[int] = []
+        for i, link in enumerate(self.links):
+            row = sorted(self._positions[other]
+                         for other in graph.neighbors(link))
+            flat.extend(row)
+            indptr[i + 1] = len(flat)
+        self.indptr = indptr
+        self.indices = np.asarray(flat, dtype=np.int64)
+        node_links: dict[int, list[Link]] = {}
+        for link in self.links:
+            for node in link:
+                node_links.setdefault(node, []).append(link)
+        self._node_links = {node: tuple(ls)
+                            for node, ls in node_links.items()}
+
+    @property
+    def num_links(self) -> int:
+        return len(self.links)
+
+    @property
+    def num_conflicts(self) -> int:
+        return int(self.indices.size // 2)
+
+    def position(self, link: Link) -> int:
+        """Stable index of ``link`` in the canonical :attr:`links` order."""
+        try:
+            return self._positions[link]
+        except KeyError:
+            raise ConfigurationError(
+                f"{link} is not a vertex of this conflict index") from None
+
+    def neighbors(self, link: Link) -> tuple[Link, ...]:
+        """Links conflicting with ``link``, in canonical order."""
+        i = self.position(link)
+        return tuple(self.links[j]
+                     for j in self.indices[self.indptr[i]:self.indptr[i + 1]])
+
+    def degree(self, link: Link) -> int:
+        i = self.position(link)
+        return int(self.indptr[i + 1] - self.indptr[i])
+
+    def clique_demand_bound(self, demands: Mapping[Link, int]) -> int:
+        """The node-induced clique lower bound on frame slots.
+
+        Identical to
+        :func:`~repro.core.conflict.max_conflict_clique_demand` (all links
+        incident to one node mutually conflict under any ``k >= 1`` model),
+        computed from the precomputed incidence.
+        """
+        per_node: dict[int, int] = {}
+        for link, demand in demands.items():
+            if demand < 0:
+                raise ConfigurationError(f"negative demand on {link}")
+            for node in link:
+                per_node[node] = per_node.get(node, 0) + demand
+        return max(per_node.values()) if per_node else 0
+
+
+class SolverEngine:
+    """Shared, incremental front end to the scheduling solver stack.
+
+    Parameters
+    ----------
+    warm_start:
+        Carry each feasible probe's transmission order into later probes
+        and certify their verdicts with a Bellman-Ford pass where possible
+        (see the module docstring).  ``False`` gives the cold reference
+        behaviour; results are bitwise-identical either way.
+    max_indexes, max_problems:
+        LRU capacities of the conflict-index and solved-problem caches.
+        ``0`` disables a cache entirely -- the configuration of the
+        module-level :func:`default_engine`, which must stay stateless so
+        the deterministic-observability contract holds for the bare public
+        functions.
+    """
+
+    def __init__(self, warm_start: bool = True, max_indexes: int = 32,
+                 max_problems: int = 128) -> None:
+        if max_indexes < 0 or max_problems < 0:
+            raise ConfigurationError("cache sizes must be non-negative")
+        self.warm_start = warm_start
+        self.max_indexes = max_indexes
+        self.max_problems = max_problems
+        self._indexes: OrderedDict[tuple, ConflictIndex] = OrderedDict()
+        self._problems: OrderedDict[str, ILPResult] = OrderedDict()
+        #: actual-work accounting (plain ints, independent of :mod:`repro.obs`):
+        #: cache effectiveness is a property of this engine's lifetime, not
+        #: of the workload, so it lives here rather than in the registry.
+        self.stats = {
+            "index_builds": 0, "index_hits": 0,
+            "ilp_solves": 0, "problem_hits": 0,
+            "ilp_probes": 0, "bf_shortcuts": 0,
+        }
+
+    # -- conflict-graph layer -------------------------------------------------
+
+    def conflict_index(self, topology: MeshTopology, hops: int = 2,
+                       links: Optional[Sequence[Link]] = None
+                       ) -> ConflictIndex:
+        """The (cached) :class:`ConflictIndex` for a topology/links/hops key."""
+        link_key = None if links is None else tuple(sorted(set(links)))
+        key = ("conflict", topology_fingerprint(topology), hops, link_key)
+        return self._index_for(
+            key, hops,
+            lambda: conflict_graph(topology, hops=hops, links=links))
+
+    def interference_index(self, topology: MeshTopology) -> ConflictIndex:
+        """The (cached) index of the exact interference relation.
+
+        This is the relation the distributed DSCH handshake enforces by
+        overhearing (:mod:`repro.mesh16.distributed`); it is *tighter*
+        than the 2-hop protocol model, so distributed outcomes must be
+        validated against it, not against :meth:`conflict_index`.
+        """
+        from repro.phy.interference import interference_graph
+
+        key = ("interference", topology_fingerprint(topology))
+        return self._index_for(
+            key, None, lambda: interference_graph(topology))
+
+    def _index_for(self, key: tuple, hops: Optional[int],
+                   build) -> ConflictIndex:
+        cached = self._indexes.get(key)
+        if cached is not None:
+            self._indexes.move_to_end(key)
+            self.stats["index_hits"] += 1
+            obs.counter("core.engine.index_hits").inc()
+            return cached
+        index = ConflictIndex("/".join(map(repr, key)), hops, build())
+        self.stats["index_builds"] += 1
+        obs.counter("core.engine.index_builds").inc()
+        if self.max_indexes > 0:
+            self._indexes[key] = index
+            while len(self._indexes) > self.max_indexes:
+                self._indexes.popitem(last=False)
+        return index
+
+    # -- cached ILP layer -----------------------------------------------------
+
+    def solve(self, problem: SchedulingProblem,
+              time_limit: Optional[float] = None) -> ILPResult:
+        """:func:`~repro.core.ilp.solve_schedule_ilp` through the problem cache.
+
+        Cache hits return a private copy (fresh :class:`Schedule` /
+        :class:`TransmissionOrder` objects), so callers may mutate results
+        freely; only deterministic fields are shared, and ``solve_seconds``
+        reports the original solve's wall clock.
+        """
+        key = canonical_problem_key(problem, time_limit)
+        cached = self._problems.get(key)
+        if cached is not None:
+            self._problems.move_to_end(key)
+            self.stats["problem_hits"] += 1
+            obs.counter("core.engine.problem_hits").inc()
+            return _copy_result(cached)
+        result = solve_schedule_ilp(problem, time_limit=time_limit)
+        self.stats["ilp_solves"] += 1
+        if self.max_problems > 0:
+            self._problems[key] = _copy_result(result)
+            while len(self._problems) > self.max_problems:
+                self._problems.popitem(last=False)
+        return result
+
+    # -- warm-started order certification ------------------------------------
+
+    def certify_order(self, conflicts: nx.Graph, demands: Mapping[Link, int],
+                      frame_slots: int, region: int,
+                      delay_constraints: Sequence[DelayConstraint],
+                      order: TransmissionOrder) -> Optional[Schedule]:
+        """Certify region-``K`` feasibility from a carried order, or ``None``.
+
+        One Bellman-Ford pass recovers the componentwise-earliest schedule
+        consistent with ``order`` inside the first ``region`` slots; if it
+        exists and every delay budget holds *at the full frame length*
+        (wrap cost stays ``frame_slots``), the problem is feasible at this
+        region -- the ILP would only rediscover that.  Failure certifies
+        nothing: a different order may still fit, so the caller falls back
+        to the solver.
+        """
+        from repro.core.delay import path_delay_slots
+
+        try:
+            packed = schedule_from_order(conflicts, demands, region, order)
+        except (InfeasibleScheduleError, ConfigurationError):
+            # Infeasible under *this* order, or the order does not cover
+            # the demanded links (e.g. a caller-supplied warm order from a
+            # pre-fault schedule): no certificate.
+            return None
+        schedule = Schedule(frame_slots,
+                            dict(packed.items()))
+        for constraint in delay_constraints:
+            if (path_delay_slots(schedule, constraint.route)
+                    > constraint.budget_slots):
+                return None
+        return schedule
+
+    # -- warm-started minimum-slots search -----------------------------------
+
+    def minimum_slots(self, conflicts: nx.Graph, demands: Mapping[Link, int],
+                      frame_slots: int,
+                      delay_constraints: Sequence[DelayConstraint] = (),
+                      search: str = "linear",
+                      max_region: Optional[int] = None,
+                      time_limit_per_probe: Optional[float] = None,
+                      warm_order: Optional[TransmissionOrder] = None):
+        """:func:`~repro.core.minslots.minimum_slots` through this engine."""
+        from repro.core.minslots import minimum_slots
+
+        return minimum_slots(
+            conflicts, demands, frame_slots,
+            delay_constraints=delay_constraints, search=search,
+            max_region=max_region,
+            time_limit_per_probe=time_limit_per_probe,
+            engine=self, warm_order=warm_order)
+
+    def run_search(self, conflicts: nx.Graph, demands: Mapping[Link, int],
+                   frame_slots: int,
+                   delay_constraints: Sequence[DelayConstraint],
+                   search: str, ceiling: int,
+                   time_limit_per_probe: Optional[float],
+                   warm_order: Optional[TransmissionOrder] = None):
+        """The probe loop behind :func:`~repro.core.minslots.minimum_slots`.
+
+        Identical search structure and probe log as the pre-engine code;
+        the only additions are the warm-start shortcut inside ``probe``
+        and the canonical re-solve of a BF-certified winner.  Callers go
+        through :func:`repro.core.minslots.minimum_slots`, which owns the
+        argument validation and search-level telemetry.
+        """
+        from repro.core.minslots import MinSlotResult, demand_lower_bound
+
+        lower = max(1, demand_lower_bound(conflicts, demands))
+        probes: list[tuple[int, bool]] = []
+        carried: Optional[TransmissionOrder] = (
+            warm_order if self.warm_start else None)
+
+        def probe(region: int) -> ILPResult:
+            nonlocal carried
+            obs.counter("core.minslots.probes").inc()
+            problem = SchedulingProblem(
+                conflicts=conflicts, demands=dict(demands),
+                frame_slots=frame_slots,
+                delay_constraints=tuple(delay_constraints),
+                region_slots=region)
+            if carried is not None:
+                certified = self.certify_order(
+                    conflicts, demands, frame_slots, region,
+                    delay_constraints, carried)
+                if certified is not None:
+                    self.stats["bf_shortcuts"] += 1
+                    obs.counter("core.engine.bf_shortcuts").inc()
+                    probes.append((region, True))
+                    return ILPResult(True, certified, carried, None, 0.0,
+                                     BF_CERTIFIED, 0, 0)
+            self.stats["ilp_probes"] += 1
+            obs.counter("core.engine.ilp_probes").inc()
+            try:
+                result = self.solve(problem, time_limit=time_limit_per_probe)
+            except SolverError:
+                # Undecided within the probe's time limit: treat as
+                # infeasible.  Conservative for admission control (a call
+                # is rejected, never wrongly admitted); the probe log
+                # records it like any miss.
+                obs.counter("core.minslots.probe_timeouts").inc()
+                result = ILPResult(False, None, None, None,
+                                   time_limit_per_probe or 0.0,
+                                   "probe time limit", 0, 0)
+            if not result.feasible:
+                obs.counter("core.minslots.probes_infeasible").inc()
+            elif self.warm_start and result.order is not None:
+                carried = result.order
+            probes.append((region, result.feasible))
+            return result
+
+        def finish(slots: Optional[int],
+                   ilp: Optional[ILPResult],
+                   bound: int,
+                   region: Optional[int] = None) -> "MinSlotResult":
+            """Resolve a BF-certified winner through the canonical ILP.
+
+            The shortcut decides probe *verdicts*; the returned schedule
+            and order must be the cold path's, so the winning region is
+            solved once for real.  Every earlier certified probe stays a
+            saved solve -- this trade keeps results bitwise-identical
+            while still doing strictly less ILP work whenever more than
+            one probe was certified.
+            """
+            if ilp is not None and ilp.solver_status == BF_CERTIFIED:
+                problem = SchedulingProblem(
+                    conflicts=conflicts, demands=dict(demands),
+                    frame_slots=frame_slots,
+                    delay_constraints=tuple(delay_constraints),
+                    region_slots=slots if region is None else region)
+                try:
+                    ilp = self.solve(problem,
+                                     time_limit=time_limit_per_probe)
+                except SolverError:
+                    # The certificate *is* a valid feasible solution; keep
+                    # it rather than fail the search on a solver timeout.
+                    pass
+            return MinSlotResult(slots=slots, ilp=ilp, lower_bound=bound,
+                                 probes=probes)
+
+        if not any(d > 0 for d in demands.values()):
+            empty = probe(1)
+            return finish(0 if empty.feasible else None, empty, 0, region=1)
+
+        if lower > ceiling:
+            return MinSlotResult(slots=None, ilp=None, lower_bound=lower,
+                                 probes=probes)
+
+        if search == "linear":
+            for region in range(lower, ceiling + 1):
+                result = probe(region)
+                if result.feasible:
+                    return finish(region, result, lower)
+            return MinSlotResult(slots=None, ilp=None, lower_bound=lower,
+                                 probes=probes)
+
+        # Binary search: feasibility is monotone in the region size for a
+        # fixed frame length.  Establish feasibility at the ceiling first.
+        best: Optional[ILPResult] = None
+        best_region: Optional[int] = None
+        low, high = lower, ceiling
+        top = probe(high)
+        if not top.feasible:
+            return MinSlotResult(slots=None, ilp=None, lower_bound=lower,
+                                 probes=probes)
+        best, best_region = top, high
+        high -= 1
+        while low <= high:
+            mid = (low + high) // 2
+            result = probe(mid)
+            if result.feasible:
+                best, best_region = result, mid
+                high = mid - 1
+            else:
+                low = mid + 1
+        return finish(best_region, best, lower)
+
+
+def _copy_result(result: ILPResult) -> ILPResult:
+    """A structurally-fresh copy of an ILP result (cache isolation)."""
+    schedule = result.schedule
+    if schedule is not None:
+        schedule = Schedule(schedule.frame_slots, dict(schedule.items()))
+    order = result.order
+    if order is not None:
+        order = order.copy()
+    return replace(result, schedule=schedule, order=order)
+
+
+#: Module-level default engine backing the bare public functions
+#: (:func:`~repro.core.minslots.minimum_slots` with no ``engine=``).
+#: Deliberately stateless (cache sizes 0): cross-call caches here would
+#: make the deterministic obs counters depend on process history.  The
+#: warm-start shortcut needs no cross-call state, so it stays on.
+_DEFAULT_ENGINE = SolverEngine(max_indexes=0, max_problems=0)
+
+
+def default_engine() -> SolverEngine:
+    """The stateless module-level engine (see the module docstring)."""
+    return _DEFAULT_ENGINE

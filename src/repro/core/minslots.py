@@ -17,23 +17,21 @@ and ablated in experiment E10.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Mapping, Optional, Sequence
 
 import networkx as nx
 
 from repro import obs
 from repro._deprecation import warn_once
 from repro.core.conflict import max_conflict_clique_demand
-from repro.core.ilp import (
-    DelayConstraint,
-    ILPResult,
-    SchedulingProblem,
-    solve_schedule_ilp,
-)
+from repro.core.ilp import DelayConstraint, ILPResult
 from repro.core.ordering import TransmissionOrder
 from repro.core.schedule import Schedule
-from repro.errors import ConfigurationError, SolverError
+from repro.errors import ConfigurationError
 from repro.net.topology import Link
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.engine import SolverEngine
 
 
 @dataclass
@@ -101,7 +99,10 @@ def minimum_slots(conflicts: nx.Graph, demands: Mapping[Link, int],
                   delay_constraints: Sequence[DelayConstraint] = (),
                   search: str = "linear",
                   max_region: Optional[int] = None,
-                  time_limit_per_probe: Optional[float] = None) -> MinSlotResult:
+                  time_limit_per_probe: Optional[float] = None,
+                  engine: Optional["SolverEngine"] = None,
+                  warm_order: Optional[TransmissionOrder] = None
+                  ) -> MinSlotResult:
     """Find the minimum guaranteed region ``K`` supporting the demands.
 
     Parameters
@@ -114,89 +115,36 @@ def minimum_slots(conflicts: nx.Graph, demands: Mapping[Link, int],
         ``"binary"`` (extension; exploits monotonicity in ``K``).
     max_region:
         Largest region to consider (default: the whole frame).
+    engine:
+        The :class:`~repro.core.engine.SolverEngine` running the probes
+        (default: the stateless module-level engine).  Probe verdicts,
+        the probe log and the returned schedule are identical for any
+        engine configuration; a warm engine merely skips ILP solves whose
+        verdict a Bellman-Ford pass over the carried order already
+        certifies.
+    warm_order:
+        Optional transmission order to seed the warm start with (e.g. a
+        pre-fault schedule's order during repair); ignored by cold
+        engines.
     """
     if search not in ("linear", "binary"):
         raise ConfigurationError(f"unknown search mode {search!r}")
     ceiling = frame_slots if max_region is None else max_region
     if ceiling > frame_slots:
         raise ConfigurationError("max_region cannot exceed frame_slots")
+    if engine is None:
+        from repro.core.engine import default_engine
+
+        engine = default_engine()
     with obs.span("core.minslots.search", search=search,
                   frame_slots=frame_slots):
         obs.counter("core.minslots.searches").inc()
-        outcome = _search(conflicts, demands, frame_slots, delay_constraints,
-                          search, ceiling, time_limit_per_probe)
+        outcome = engine.run_search(conflicts, demands, frame_slots,
+                                    delay_constraints, search, ceiling,
+                                    time_limit_per_probe,
+                                    warm_order=warm_order)
     obs.histogram("core.minslots.probes_per_search").observe(
         outcome.iterations)
     if not outcome.feasible:
         obs.counter("core.minslots.infeasible").inc()
     return outcome
-
-
-def _search(conflicts: nx.Graph, demands: Mapping[Link, int],
-            frame_slots: int, delay_constraints: Sequence[DelayConstraint],
-            search: str, ceiling: int,
-            time_limit_per_probe: Optional[float]) -> MinSlotResult:
-    lower = max(1, demand_lower_bound(conflicts, demands))
-    probes: list[tuple[int, bool]] = []
-
-    def probe(region: int) -> ILPResult:
-        obs.counter("core.minslots.probes").inc()
-        problem = SchedulingProblem(
-            conflicts=conflicts, demands=dict(demands),
-            frame_slots=frame_slots, delay_constraints=tuple(delay_constraints),
-            region_slots=region)
-        try:
-            result = solve_schedule_ilp(problem,
-                                        time_limit=time_limit_per_probe)
-        except SolverError:
-            # Undecided within the probe's time limit: treat as infeasible.
-            # Conservative for admission control (a call is rejected, never
-            # wrongly admitted); the probe log records it like any miss.
-            obs.counter("core.minslots.probe_timeouts").inc()
-            result = ILPResult(False, None, None, None,
-                               time_limit_per_probe or 0.0,
-                               "probe time limit", 0, 0)
-        if not result.feasible:
-            obs.counter("core.minslots.probes_infeasible").inc()
-        probes.append((region, result.feasible))
-        return result
-
-    if not any(d > 0 for d in demands.values()):
-        empty = probe(1)
-        return MinSlotResult(slots=0 if empty.feasible else None, ilp=empty,
-                             lower_bound=0, probes=probes)
-
-    if lower > ceiling:
-        return MinSlotResult(slots=None, ilp=None, lower_bound=lower,
-                             probes=probes)
-
-    if search == "linear":
-        for region in range(lower, ceiling + 1):
-            result = probe(region)
-            if result.feasible:
-                return MinSlotResult(slots=region, ilp=result,
-                                     lower_bound=lower, probes=probes)
-        return MinSlotResult(slots=None, ilp=None, lower_bound=lower,
-                             probes=probes)
-
-    # Binary search: feasibility is monotone in the region size for a fixed
-    # frame length.  Establish feasibility at the ceiling first.
-    best: Optional[ILPResult] = None
-    best_region: Optional[int] = None
-    low, high = lower, ceiling
-    top = probe(high)
-    if not top.feasible:
-        return MinSlotResult(slots=None, ilp=None, lower_bound=lower,
-                             probes=probes)
-    best, best_region = top, high
-    high -= 1
-    while low <= high:
-        mid = (low + high) // 2
-        result = probe(mid)
-        if result.feasible:
-            best, best_region = result, mid
-            high = mid - 1
-        else:
-            low = mid + 1
-    return MinSlotResult(slots=best_region, ilp=best, lower_bound=lower,
-                         probes=probes)

@@ -73,6 +73,10 @@ class TransmissionOrder:
         """The order induced by an existing schedule's start slots."""
         return cls({link: float(block.start) for link, block in schedule.items()})
 
+    def copy(self) -> "TransmissionOrder":
+        """An independent copy (solver caches hand these out)."""
+        return TransmissionOrder(self._ranks, self._pairs)
+
     def knows(self, a: Link, b: Link) -> bool:
         """True iff the order can compare ``a`` and ``b``."""
         if (a, b) in self._pairs:

@@ -36,8 +36,8 @@ from dataclasses import dataclass
 from typing import Iterable, Optional
 
 from repro import obs
-from repro.core.conflict import conflict_graph
 from repro.core.delay import path_delay_slots
+from repro.core.engine import SolverEngine
 from repro.core.ilp import DelayConstraint
 from repro.core.minslots import MinSlotResult, minimum_slots
 from repro.core.ordering import TransmissionOrder, schedule_from_order
@@ -102,13 +102,22 @@ class RepairEngine:
         Conflict distance of the protocol model (2 = 802.16 mesh default).
     search, time_limit_per_probe_s:
         Passed to :func:`minimum_slots` for full re-solves.
+    engine:
+        The :class:`~repro.core.engine.SolverEngine` sharing conflict
+        indexes and solved probes across this engine's repair passes
+        (default: a private instance whose caches live exactly as long as
+        this repair engine).  Full re-solves are warm-started from the
+        pre-fault schedule's transmission order, so probes the old order
+        still certifies skip the ILP.
     """
 
     def __init__(self, topology: MeshTopology, frame_config: MeshFrameConfig,
                  gateway: int = 0, hops: int = 2, search: str = "binary",
-                 time_limit_per_probe_s: Optional[float] = 15.0) -> None:
+                 time_limit_per_probe_s: Optional[float] = 15.0,
+                 engine: Optional[SolverEngine] = None) -> None:
         if gateway not in topology.graph:
             raise ConfigurationError(f"gateway {gateway} not in topology")
+        self.engine = engine if engine is not None else SolverEngine()
         self.base_topology = topology
         self.frame = frame_config
         self.gateway = gateway
@@ -230,8 +239,8 @@ class RepairEngine:
         routes_changed = bool(rerouted or parked or readmitted)
         flows = list(carried.values())
         demands = self._demands(flows)
-        conflicts = conflict_graph(alive, hops=self.hops,
-                                   links=sorted(demands))
+        conflicts = self.engine.conflict_index(
+            alive, hops=self.hops, links=sorted(demands)).graph
 
         # 1. unchanged routes: the old schedule restricted to the demanded
         #    links may simply still be valid (down events only ever shrink
@@ -371,17 +380,20 @@ class RepairEngine:
                topology: Optional[MeshTopology] = None) -> MinSlotResult:
         topo = topology if topology is not None else self.alive
         demands = self._demands(flows)
-        conflicts = conflict_graph(topo, hops=self.hops,
-                                   links=sorted(demands))
+        conflicts = self.engine.conflict_index(
+            topo, hops=self.hops, links=sorted(demands)).graph
+        warm_order = (self._spliced_order(flows, demands)
+                      if self.schedule is not None else None)
         return minimum_slots(
             conflicts, demands, self.frame.data_slots,
             delay_constraints=self._delay_constraints(flows),
             search=self.search,
-            time_limit_per_probe=self.time_limit_per_probe_s)
+            time_limit_per_probe=self.time_limit_per_probe_s,
+            engine=self.engine, warm_order=warm_order)
 
-    def _local_repair(self, flows: list[Flow], demands: dict[Link, int],
-                      conflicts) -> Optional[Schedule]:
-        """Order-preserving Bellman-Ford repair; None if infeasible.
+    def _spliced_order(self, flows: list[Flow],
+                       demands: dict[Link, int]) -> TransmissionOrder:
+        """The old schedule's order with new route links spliced in.
 
         Surviving links keep the rank their old block start implies; each
         link new to the schedule is spliced in half a rank after its
@@ -401,7 +413,12 @@ class RepairEngine:
                 else:
                     ranks[link] = prev + 0.5
                     prev = ranks[link]
-        order = TransmissionOrder(ranks)
+        return TransmissionOrder(ranks)
+
+    def _local_repair(self, flows: list[Flow], demands: dict[Link, int],
+                      conflicts) -> Optional[Schedule]:
+        """Order-preserving Bellman-Ford repair; None if infeasible."""
+        order = self._spliced_order(flows, demands)
         try:
             schedule = schedule_from_order(conflicts, demands,
                                            self.frame.data_slots, order)

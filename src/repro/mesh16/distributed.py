@@ -151,6 +151,16 @@ class DistributedScheduler:
         Timeout-retries per negotiation before the transmitter abandons
         it (rejection re-requests are not counted -- they carry fresh
         information and were always unbounded in this protocol).
+    engine:
+        Optional shared :class:`~repro.core.engine.SolverEngine`.  When
+        set, every committed schedule is validated against the engine's
+        cached *exact* interference index (the relation the overhearing
+        handshake enforces -- tighter than the 2-hop protocol model), so
+        repeated :meth:`run` calls on one topology reuse a single
+        interference-graph build.  A violation raises
+        :class:`~repro.errors.SchedulingError`: the negotiated views
+        disagreeing with the radio model is a protocol-invariant breach,
+        never a legitimate outcome.
     """
 
     def __init__(self, topology: MeshTopology, frame_slots: int,
@@ -158,7 +168,8 @@ class DistributedScheduler:
                  rng: Optional[np.random.Generator] = None,
                  seed: Optional[int] = None,
                  timeout_opportunities: Optional[int] = None,
-                 retry_limit: int = 6) -> None:
+                 retry_limit: int = 6,
+                 engine=None) -> None:
         if frame_slots <= 0:
             raise ConfigurationError("frame_slots must be positive")
         if max_cycles < 1:
@@ -176,6 +187,7 @@ class DistributedScheduler:
         self.loss_rate = loss_rate
         self.timeout_opportunities = timeout_opportunities
         self.retry_limit = retry_limit
+        self.engine = engine
         if loss_rate > 0.0:
             from repro.sim.random import resolve_rng
             self._rng = resolve_rng(rng, seed, what="DistributedScheduler")
@@ -356,6 +368,16 @@ class DistributedScheduler:
 
         unserved = {n.link: n.demand for n in negotiations.values()
                     if not n.confirmed}
+        if self.engine is not None:
+            interference = self.engine.interference_index(self.topology)
+            clashes = schedule.violations(interference.graph)
+            obs.counter("mesh16.dsch.validated").inc()
+            if clashes:  # pragma: no cover - protocol invariant breach
+                from repro.errors import SchedulingError
+
+                raise SchedulingError(
+                    f"distributed schedule violates the interference "
+                    f"relation on {clashes[:3]}")
         return DistributedOutcome(schedule=schedule, unserved=unserved,
                                   opportunities_used=opportunities,
                                   messages=messages,

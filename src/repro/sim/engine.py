@@ -31,18 +31,24 @@ class Event:
     but is skipped when popped, which keeps cancellation O(1).
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_owner",
+                 "_popped")
 
     def __init__(self, time: float, seq: int,
-                 callback: Callable[..., Any], args: tuple) -> None:
+                 callback: Callable[..., Any], args: tuple,
+                 owner: Optional["Simulator"] = None) -> None:
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._owner = owner
+        self._popped = False
 
     def cancel(self) -> None:
         """Prevent this event from firing; safe to call more than once."""
+        if not self.cancelled and not self._popped and self._owner is not None:
+            self._owner._note_cancelled()
         self.cancelled = True
 
     def __lt__(self, other: "Event") -> bool:
@@ -73,6 +79,7 @@ class Simulator:
         self._seq = 0
         self._running = False
         self._executed = 0
+        self._live = 0
 
     @property
     def now(self) -> float:
@@ -86,8 +93,17 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of events still queued (including lazily cancelled ones)."""
-        return len(self._queue)
+        """Number of events still queued and able to fire.
+
+        Cancellation is lazy (cancelled events stay in the heap until
+        popped), but the live count is maintained eagerly, so this never
+        over-reports by counting corpses.
+        """
+        return self._live
+
+    def _note_cancelled(self) -> None:
+        """First effective cancel of a still-queued event."""
+        self._live -= 1
 
     def schedule(self, delay: float, callback: Callable[..., Any],
                  *args: Any) -> Event:
@@ -108,9 +124,10 @@ class Simulator:
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule at t={time} before current time {self._now}")
-        event = Event(time, self._seq, callback, args)
+        event = Event(time, self._seq, callback, args, owner=self)
         self._seq += 1
         heapq.heappush(self._queue, event)
+        self._live += 1
         return event
 
     def run(self, until: Optional[float] = None,
@@ -141,8 +158,10 @@ class Simulator:
                     if until is not None and event.time > until:
                         break
                     heapq.heappop(self._queue)
+                    event._popped = True
                     if event.cancelled:
                         continue
+                    self._live -= 1
                     if max_events is not None and executed_this_run >= max_events:
                         raise SimulationError(
                             f"exceeded max_events={max_events}; "
@@ -166,19 +185,27 @@ class Simulator:
         """Execute exactly one (non-cancelled) event.
 
         Returns ``True`` if an event ran, ``False`` if the queue was empty.
+        Executed events feed the same ``sim.engine.events`` counter as
+        :meth:`run`, so event accounting does not depend on how the
+        simulation is driven; ``sim.engine.steps`` counts the step calls
+        themselves.
         """
+        obs.counter("sim.engine.steps").inc()
         while self._queue:
             event = heapq.heappop(self._queue)
+            event._popped = True
             if event.cancelled:
                 continue
+            self._live -= 1
             self._now = event.time
             event.callback(*event.args)
             self._executed += 1
+            obs.counter("sim.engine.events").inc()
             return True
         return False
 
     def peek_time(self) -> Optional[float]:
         """Timestamp of the next pending event, or ``None`` if idle."""
         while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
+            heapq.heappop(self._queue)._popped = True
         return self._queue[0].time if self._queue else None

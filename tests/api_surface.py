@@ -38,6 +38,9 @@ PUBLIC_MODULES = [
 PUBLIC_CLASS_METHODS = {
     "repro.api.Scenario": ["__init__", "route", "schedule", "simulate"],
     "repro.core.minslots.MinSlotResult": [],
+    "repro.core.engine.SolverEngine": [
+        "__init__", "conflict_index", "interference_index", "solve",
+        "certify_order", "minimum_slots"],
 }
 
 

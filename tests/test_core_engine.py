@@ -1,0 +1,248 @@
+"""Unit tests for repro.core.engine: indexes, caches, counters."""
+
+import networkx as nx
+import pytest
+
+from repro import obs
+from repro.core.conflict import conflict_graph, max_conflict_clique_demand
+from repro.core.engine import (
+    BF_CERTIFIED,
+    ConflictIndex,
+    SolverEngine,
+    canonical_problem_key,
+    default_engine,
+    topology_fingerprint,
+)
+from repro.core.ilp import SchedulingProblem
+from repro.core.repair import RepairEngine
+from repro.errors import ConfigurationError
+from repro.mesh16.distributed import DistributedScheduler
+from repro.mesh16.frame import default_frame_config
+from repro.net.flows import Flow, FlowSet
+from repro.net.routing import route_all
+from repro.net.topology import chain_topology, grid_topology
+from repro.phy.interference import interference_graph
+
+
+@pytest.fixture
+def registry():
+    reg = obs.MetricsRegistry()
+    previous = obs.set_registry(reg)
+    yield reg
+    obs.set_registry(previous)
+
+
+def _demands(topology, n=4):
+    return {link: 1 for link in sorted(topology.links)[:n]}
+
+
+# -- fingerprints and keys -------------------------------------------------
+
+
+def test_topology_fingerprint_ignores_name_and_positions():
+    a = chain_topology(5)
+    b = chain_topology(5)
+    b.name = "other"
+    assert topology_fingerprint(a) == topology_fingerprint(b)
+    assert topology_fingerprint(a) != topology_fingerprint(chain_topology(6))
+
+
+def test_problem_key_sensitive_to_every_field():
+    topo = chain_topology(4)
+    demands = _demands(topo)
+    conflicts = conflict_graph(topo, links=demands.keys())
+    base = SchedulingProblem(conflicts, demands, 16)
+    assert (canonical_problem_key(base)
+            == canonical_problem_key(SchedulingProblem(conflicts, demands,
+                                                       16)))
+    variants = [
+        SchedulingProblem(conflicts, demands, 18),
+        SchedulingProblem(conflicts, demands, 16, region_slots=8),
+        SchedulingProblem(conflicts, {k: v + 1 for k, v in demands.items()},
+                          16),
+        SchedulingProblem(conflicts, demands, 16, minimize_max_delay=True),
+    ]
+    keys = {canonical_problem_key(p) for p in variants}
+    assert canonical_problem_key(base) not in keys
+    assert len(keys) == len(variants)
+    assert canonical_problem_key(base, time_limit=5.0) \
+        != canonical_problem_key(base)
+
+
+# -- ConflictIndex ---------------------------------------------------------
+
+
+def test_conflict_index_matches_conflict_graph():
+    topo = grid_topology(3, 3)
+    demands = _demands(topo, n=6)
+    index = SolverEngine().conflict_index(topo, hops=2,
+                                          links=demands.keys())
+    reference = conflict_graph(topo, hops=2, links=demands.keys())
+    assert set(index.graph.nodes) == set(reference.nodes)
+    assert ({tuple(sorted(e)) for e in index.graph.edges}
+            == {tuple(sorted(e)) for e in reference.edges})
+    assert index.num_links == reference.number_of_nodes()
+    assert index.num_conflicts == reference.number_of_edges()
+
+
+def test_conflict_index_csr_adjacency():
+    topo = chain_topology(5)
+    index = SolverEngine().conflict_index(topo, hops=1)
+    for link in index.links:
+        assert index.links[index.position(link)] == link
+        assert set(index.neighbors(link)) == set(index.graph.neighbors(link))
+        assert index.degree(link) == index.graph.degree(link)
+    with pytest.raises(ConfigurationError):
+        index.position((99, 100))
+
+
+def test_clique_demand_bound_matches_reference():
+    topo = grid_topology(2, 3)
+    demands = {link: (i % 3) + 1
+               for i, link in enumerate(sorted(topo.links))}
+    index = SolverEngine().conflict_index(topo, hops=2,
+                                          links=demands.keys())
+    assert (index.clique_demand_bound(demands)
+            == max_conflict_clique_demand(index.graph, demands))
+    assert index.clique_demand_bound({}) == 0
+    with pytest.raises(ConfigurationError):
+        index.clique_demand_bound({next(iter(demands)): -1})
+
+
+def test_interference_index_is_exact_relation():
+    topo = grid_topology(2, 3)
+    index = SolverEngine().interference_index(topo)
+    reference = interference_graph(topo)
+    assert ({tuple(sorted(e)) for e in index.graph.edges}
+            == {tuple(sorted(e)) for e in reference.edges})
+
+
+# -- cache behaviour -------------------------------------------------------
+
+
+def test_index_cache_hits_and_lru_eviction(registry):
+    engine = SolverEngine(max_indexes=2)
+    topos = [chain_topology(n) for n in (3, 4, 5)]
+    first = engine.conflict_index(topos[0])
+    assert engine.conflict_index(topos[0]) is first
+    assert engine.stats == {**engine.stats, "index_builds": 1,
+                            "index_hits": 1}
+    engine.conflict_index(topos[1])
+    engine.conflict_index(topos[2])  # evicts topos[0]
+    assert engine.conflict_index(topos[0]) is not first
+    snap = registry.snapshot()
+    assert snap["counters"]["core.engine.index_builds"] == 4
+    assert snap["counters"]["core.engine.index_hits"] == 1
+
+
+def test_problem_cache_returns_equal_but_independent_results(registry):
+    topo = chain_topology(5)
+    demands = _demands(topo)
+    conflicts = conflict_graph(topo, links=demands.keys())
+    problem = SchedulingProblem(conflicts, demands, 16)
+    engine = SolverEngine()
+    first = engine.solve(problem)
+    second = engine.solve(problem)
+    assert engine.stats["ilp_solves"] == 1
+    assert engine.stats["problem_hits"] == 1
+    assert second.schedule.to_dict() == first.schedule.to_dict()
+    assert second.schedule is not first.schedule
+    assert second.order is not first.order
+    snap = registry.snapshot()
+    assert snap["counters"]["core.ilp.solves"] == 1
+    assert snap["counters"]["core.engine.problem_hits"] == 1
+
+
+def test_default_engine_is_stateless():
+    engine = default_engine()
+    assert engine.max_indexes == 0 and engine.max_problems == 0
+    topo = chain_topology(4)
+    demands = _demands(topo)
+    conflicts = conflict_graph(topo, links=demands.keys())
+    problem = SchedulingProblem(conflicts, demands, 16)
+    engine.solve(problem)
+    engine.solve(problem)
+    assert engine.stats["problem_hits"] == 0  # nothing retained
+
+
+# -- warm-start certification ----------------------------------------------
+
+
+def test_certify_order_accepts_winning_order_and_rejects_tight_region():
+    topo = chain_topology(6)
+    demands = {link: 1 for link in topo.links}
+    conflicts = conflict_graph(topo, hops=2, links=demands.keys())
+    engine = SolverEngine()
+    search = engine.minimum_slots(conflicts, demands, frame_slots=16)
+    assert search.feasible
+    certified = engine.certify_order(conflicts, demands, 16, search.slots,
+                                     (), search.ilp.order)
+    assert certified is not None
+    assert not certified.violations(conflicts)
+    assert engine.certify_order(conflicts, demands, 16, search.slots - 1,
+                                (), search.ilp.order) is None
+
+
+def test_bf_certified_sentinel_never_escapes():
+    topo = chain_topology(6)
+    demands = {link: 1 for link in topo.links}
+    conflicts = conflict_graph(topo, hops=2, links=demands.keys())
+    engine = SolverEngine()
+    seed = engine.minimum_slots(conflicts, demands, frame_slots=16)
+    warmed = engine.minimum_slots(conflicts, demands, frame_slots=16,
+                                  search="binary", warm_order=seed.order)
+    assert engine.stats["bf_shortcuts"] > 0
+    assert warmed.ilp.solver_status != BF_CERTIFIED
+    assert warmed.slots == seed.slots
+    assert warmed.schedule.to_dict() == seed.schedule.to_dict()
+
+
+# -- cross-layer consumers -------------------------------------------------
+
+
+def test_repair_engine_reuses_one_conflict_index(registry):
+    topo = grid_topology(3, 3)
+    frame = default_frame_config()
+    flows = route_all(topo, FlowSet([
+        Flow("f0", src=8, dst=0, rate_bps=64_000, delay_budget_s=0.1),
+        Flow("f1", src=6, dst=0, rate_bps=64_000, delay_budget_s=0.1)]))
+    repair = RepairEngine(topo, frame)
+    repair.install(list(flows))
+    repair.retarget(frozenset(), frozenset({(0, 1)}))
+    stats = repair.engine.stats
+    # every conflict graph the repair path consumed went through the
+    # engine; re-running an identical retarget only adds cache hits
+    builds_before = stats["index_builds"]
+    repair.peek_resolve()
+    assert repair.engine.stats["index_builds"] == builds_before
+    snap = registry.snapshot()
+    assert snap["counters"]["core.engine.index_builds"] == builds_before
+    assert snap["counters"].get("core.engine.index_hits", 0) >= 1
+
+
+def test_distributed_scheduler_validates_against_shared_index(registry):
+    topo = grid_topology(2, 3)
+    demands = {link: 1 for link in sorted(topo.links)[::2]}
+    engine = SolverEngine()
+    dsch = DistributedScheduler(topo, 2 * len(demands), engine=engine)
+    first = dsch.run(demands)
+    second = dsch.run(demands)
+    assert not first.unserved and not second.unserved
+    assert engine.stats["index_builds"] == 1  # one build, second run hits
+    assert engine.stats["index_hits"] == 1
+    snap = registry.snapshot()
+    assert snap["counters"]["mesh16.dsch.validated"] == 2
+
+
+def test_scenario_shares_engine_across_properties():
+    from repro.api import Scenario
+
+    topo = grid_topology(3, 3)
+    flows = [Flow("f", src=8, dst=0, rate_bps=64_000, delay_budget_s=0.1)]
+    scenario = Scenario(topo, flows).route()
+    scenario.conflicts
+    scenario.conflicts
+    search = scenario.schedule()
+    assert search.feasible
+    assert scenario.engine.stats["index_builds"] == 1
+    assert scenario.engine.stats["index_hits"] >= 2

@@ -65,3 +65,32 @@ def test_new_spellings_do_not_warn():
         assert search.feasible
     assert not [w for w in caught
                 if issubclass(w.category, DeprecationWarning)]
+
+
+def test_repro_itself_triggers_zero_deprecation_warnings():
+    """The package must not consume its own deprecated shims.
+
+    Drives a representative slice of the stack -- facade scheduling, the
+    solver engine, repair, simulation -- with DeprecationWarning promoted
+    to an error, so any internal caller still on a deprecated spelling
+    fails here rather than warning downstream users.
+    """
+    from repro import Scenario
+    from repro.core.repair import RepairEngine
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        topo = chain_topology(4)
+        frame = default_frame_config()
+        flows = route_all(topo, FlowSet([
+            Flow("f", src=0, dst=3, rate_bps=64_000,
+                 delay_budget_s=0.1)]))
+        scenario = Scenario(topo, flows, frame=frame)
+        search = scenario.schedule()
+        assert search.feasible
+        scenario.simulate(duration_s=0.3, seed=7)
+
+        repair = RepairEngine(topo, frame)
+        repair.install(list(flows))
+        repair.retarget(frozenset(), frozenset({(1, 2)}))
+        _search()

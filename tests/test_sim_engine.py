@@ -181,3 +181,90 @@ def test_determinism_across_instances():
         return log
 
     assert run_once() == run_once()
+
+
+# -- pending vs lazy cancellation ----------------------------------------
+
+
+def test_pending_excludes_cancelled_events(sim):
+    events = [sim.schedule(float(i + 1), lambda: None) for i in range(4)]
+    assert sim.pending == 4
+    events[1].cancel()
+    assert sim.pending == 3
+    # idempotent: a second cancel must not double-count
+    events[1].cancel()
+    assert sim.pending == 3
+    events[2].cancel()
+    assert sim.pending == 2
+
+
+def test_pending_drains_to_zero(sim):
+    sim.schedule(1.0, lambda: None)
+    doomed = sim.schedule(2.0, lambda: None)
+    doomed.cancel()
+    sim.schedule(3.0, lambda: None)
+    assert sim.pending == 2
+    sim.run()
+    assert sim.pending == 0
+
+
+def test_pending_tracks_step_and_peek(sim):
+    first = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    first.cancel()
+    assert sim.peek_time() == 2.0  # drops the cancelled corpse
+    assert sim.pending == 1
+    assert sim.step() is True
+    assert sim.pending == 0
+
+
+def test_cancel_after_fire_does_not_corrupt_pending(sim):
+    fired = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    sim.run(until=1.5)
+    assert sim.pending == 1
+    fired.cancel()  # already executed: must be a no-op for the count
+    assert sim.pending == 1
+
+
+def test_step_updates_obs_counters():
+    from repro import obs
+
+    reg = obs.MetricsRegistry()
+    previous = obs.set_registry(reg)
+    try:
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        cancelled = sim.schedule(2.0, lambda: None)
+        cancelled.cancel()
+        sim.schedule(3.0, lambda: None)
+        while sim.step():
+            pass
+        snap = reg.snapshot()
+        assert snap["counters"]["sim.engine.events"] == 2
+        # final call returned False but still counts as a step
+        assert snap["counters"]["sim.engine.steps"] == 3
+    finally:
+        obs.set_registry(previous)
+
+
+def test_run_and_step_count_events_identically():
+    from repro import obs
+
+    def drive(stepwise: bool) -> int:
+        reg = obs.MetricsRegistry()
+        previous = obs.set_registry(reg)
+        try:
+            sim = Simulator()
+            for i in range(5):
+                sim.schedule(float(i + 1), lambda: None)
+            if stepwise:
+                while sim.step():
+                    pass
+            else:
+                sim.run()
+            return reg.snapshot()["counters"]["sim.engine.events"]
+        finally:
+            obs.set_registry(previous)
+
+    assert drive(stepwise=True) == drive(stepwise=False) == 5
