@@ -1,0 +1,83 @@
+"""E19 (extension): intra-node service-flow scheduler bake-off.
+
+Expected dominance ordering over the mixed UGS+rtPS+nrtPS+BE saturating
+load: the deadline-aware disciplines (strict priority, EDF) meet the
+rtPS latency contract but starve the multi-hop best-effort flow; the
+round-robin disciplines (WRR, DRR) keep every flow alive and score a
+higher flow-level fairness index at the cost of rtPS latency
+violations.  UGS is untouchable under every discipline -- its grants
+are reserved, so its contract never depends on the arbitration policy.
+"""
+
+from conftest import run_experiment
+
+from repro.analysis.experiments import e19_scheduler_bakeoff
+from repro.mesh16.frame import default_frame_config
+from repro.net.topology import chain_topology
+from repro.qos import QosAdmissionController, ServiceClass, ServiceFlow, \
+    TrafficContract
+
+
+def test_bench_e19_bakeoff(benchmark):
+    result = run_experiment(benchmark, e19_scheduler_bakeoff)
+    rows = {row[0]: row for row in result.rows}
+    assert set(rows) == {"strict", "wrr", "drr", "edf"}
+    (DISC, UGS_VIOL, RTPS_VIOL, RTPS_P95, NRTPS_MET, BE_SHARE, BE_STARVED,
+     JAIN, MAX_BE_AGE, IDLE) = range(10)
+
+    # UGS: reserved grants carry it regardless of arbitration
+    for row in rows.values():
+        assert row[UGS_VIOL] == 0, f"{row[DISC]}: UGS contract broken"
+        assert row[NRTPS_MET] == 1, f"{row[DISC]}: nrtPS rate floor broken"
+
+    # deadline-aware disciplines meet the rtPS latency contract...
+    for name in ("strict", "edf"):
+        assert rows[name][RTPS_VIOL] == 0
+        # ...by starving the multi-hop BE flow outright
+        assert rows[name][BE_STARVED] == 1
+
+    # round-robin disciplines trade rtPS latency for BE survival
+    for name in ("wrr", "drr"):
+        assert rows[name][RTPS_VIOL] > 0
+        assert rows[name][RTPS_P95] > rows["strict"][RTPS_P95]
+        assert rows[name][BE_STARVED] == 0
+
+    # the fairness side of the trade: DRR beats strict on BE share and
+    # on the flow-level Jain index
+    assert rows["drr"][BE_SHARE] > rows["strict"][BE_SHARE]
+    assert rows["drr"][JAIN] > rows["strict"][JAIN]
+    assert rows["wrr"][JAIN] > rows["edf"][JAIN]
+
+    # EDF is the gentler deadline discipline: never more rtPS violations
+    # than strict priority
+    assert rows["edf"][RTPS_VIOL] <= rows["strict"][RTPS_VIOL]
+
+    # the load saturates: essentially every grant is used (the only idle
+    # ones are pipeline fill while the first packets cross hop one)
+    total = 400 * default_frame_config().data_slots
+    for row in rows.values():
+        assert row[IDLE] / total < 0.01, f"{row[DISC]}: not saturating"
+
+
+def test_bench_e19_admission_gate():
+    """Acceptance check riding the bake-off scenario: a UGS flow the
+    min-slots search cannot carry is rejected, and admitted once the
+    incumbent releases its reservation."""
+    frame = default_frame_config()
+    slot_rate = frame.data_slot_capacity_bits / frame.frame_duration_s
+
+    def ugs(name):
+        rate = 2 * slot_rate
+        return ServiceFlow(name, 2, 0, ServiceClass.UGS, TrafficContract(
+            min_reserved_rate_bps=rate, max_sustained_rate_bps=rate,
+            max_latency_s=0.05))
+
+    ctl = QosAdmissionController(chain_topology(3), frame,
+                                 guaranteed_region_slots=4)
+    assert ctl.request(ugs("voip0")).admitted
+    rejected = ctl.request(ugs("voip1"), park_on_reject=True)
+    assert not rejected.admitted
+    ctl.release("voip0")
+    outcomes = ctl.readmit_parked()
+    assert [d.flow.name for d in outcomes] == ["voip1"]
+    assert outcomes[0].admitted

@@ -90,6 +90,16 @@ from repro.net import (
     star_topology,
 )
 from repro.overlay import required_guard_s
+from repro.qos import (
+    QosAdmissionController,
+    QosRunResult,
+    ServiceClass,
+    ServiceFlow,
+    ServiceFlowSet,
+    TrafficContract,
+    make_scheduler,
+    simulate_service_flows,
+)
 from repro.resilience import HealthMonitor, ResilienceConfig
 from repro.sim import DriftingClock, RngRegistry, Simulator
 from repro.traffic import G711, G723, G729, FlowQoS, VoipCodec
@@ -117,6 +127,8 @@ __all__ = [
     "InfeasibleScheduleError",
     "MeshFrameConfig",
     "MeshTopology",
+    "QosAdmissionController",
+    "QosRunResult",
     "RepairEngine",
     "RepairOutcome",
     "ReproError",
@@ -127,11 +139,15 @@ __all__ = [
     "Schedule",
     "SchedulingError",
     "SchedulingProblem",
+    "ServiceClass",
+    "ServiceFlow",
+    "ServiceFlowSet",
     "SimulationError",
     "Simulator",
     "SlotBlock",
     "SolverEngine",
     "SolverError",
+    "TrafficContract",
     "TransmissionOrder",
     "VoipCodec",
     "chain_topology",
@@ -140,6 +156,7 @@ __all__ = [
     "gateway_tree",
     "greedy_schedule",
     "grid_topology",
+    "make_scheduler",
     "min_delay_tree_order",
     "minimum_slots",
     "path_delay_slots",
@@ -148,6 +165,7 @@ __all__ = [
     "required_guard_s",
     "route_all",
     "schedule_from_order",
+    "simulate_service_flows",
     "solve_schedule_ilp",
     "star_topology",
 ]

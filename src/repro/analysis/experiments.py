@@ -856,7 +856,8 @@ def e16_two_class(call_counts: Sequence[int] = (0, 1, 2, 3, 4, 5, 6),
     the region approaches the frame), while every guaranteed call keeps a
     feasible delay-bounded schedule.
     """
-    from repro.core.besteffort import schedule_two_classes
+    from repro.qos import ServiceClass, ServiceFlow, ServiceFlowSet
+    from repro.qos.planner import schedule_service_classes
 
     topology = grid_topology(3, 3)
     frame = default_frame_config()
@@ -877,15 +878,18 @@ def e16_two_class(call_counts: Sequence[int] = (0, 1, 2, 3, 4, 5, 6),
         rngs = RngRegistry(seed=seed)
         voip = make_voip_flows(topology, count, rngs, codec=codec,
                                gateway=0, delay_budget_s=0.1)
-        g_demands = voip.link_demands(frame.frame_duration_s,
-                                      frame.data_slot_capacity_bits)
+        # the two legacy classes expressed as 802.16 service flows:
+        # delay-bounded VoIP is rtPS, the elastic bulk transfers are BE
+        service = ServiceFlowSet(
+            [ServiceFlow.from_flow(f, ServiceClass.RTPS) for f in voip]
+            + [ServiceFlow.from_flow(f, ServiceClass.BE) for f in bulk])
+        g_demands = service.guaranteed_flow_set().link_demands(
+            frame.frame_duration_s, frame.data_slot_capacity_bits)
         all_links = set(g_demands) | set(be_demands)
         conflicts = solver.conflict_index(topology, hops=2,
                                           links=all_links).graph
         try:
-            two = schedule_two_classes(
-                conflicts, g_demands, be_demands, frame.data_slots,
-                delay_constraints=delay_constraints_for(voip, frame))
+            two = schedule_service_classes(conflicts, service, frame)
         except InfeasibleScheduleError:
             result.rows.append([count, None, None, None, None])
             continue
@@ -1219,6 +1223,96 @@ def e18_control_loss(loss_rates: Sequence[float] = (0.0, 0.1, 0.2, 0.3),
     return result
 
 
+def _e19_workload(frame: MeshFrameConfig):
+    """The mixed-class saturating workload E19 runs (3-node chain).
+
+    Rates are expressed in data-slot units (one slot-grant per frame
+    carries ``data_slot_capacity_bits``), so the load pattern is exact
+    regardless of the PHY behind the frame config.  The mix is the one
+    the WiMAX scheduling studies use: VoIP (UGS), bursty video above its
+    reservation (rtPS), a rate-floored stream (nrtPS), and saturating
+    bulk transfers (BE) -- total ask well beyond the 16-slot frame.
+    """
+    from repro.qos import ServiceClass, ServiceFlow, ServiceFlowSet, \
+        TrafficContract
+
+    cap = frame.data_slot_capacity_bits
+    slot_rate = cap / frame.frame_duration_s
+
+    def make(name, src, cls, min_slots, sustained_slots, latency=None,
+             jitter=None, pkt=None):
+        contract = TrafficContract(
+            min_reserved_rate_bps=min_slots * slot_rate,
+            max_sustained_rate_bps=(None if sustained_slots is None
+                                    else sustained_slots * slot_rate),
+            max_latency_s=latency, tolerated_jitter_s=jitter)
+        return ServiceFlow(name, src, 0, cls, contract,
+                           packet_bits=pkt if pkt else cap)
+
+    return ServiceFlowSet([
+        make("voip0", 1, ServiceClass.UGS, 2, 2, latency=0.05,
+             jitter=0.02, pkt=cap // 2),
+        make("video0", 2, ServiceClass.RTPS, 2, 4, latency=0.1),
+        make("stream0", 1, ServiceClass.NRTPS, 1, 2),
+        make("bulk0", 2, ServiceClass.BE, 0, 4, pkt=cap // 2),
+        make("bulk1", 1, ServiceClass.BE, 0, 4),
+    ])
+
+
+def e19_scheduler_bakeoff(disciplines: Sequence[str] = ("strict", "wrr",
+                                                        "drr", "edf"),
+                          num_frames: int = 400) -> ExperimentResult:
+    """Intra-node scheduler bake-off over a mixed-class saturating load.
+
+    A 3-node chain toward the gateway carries all four 802.16 classes;
+    the grant schedule reserves the guaranteed minimums and water-fills
+    the leftover toward the (over-)offered rates, so every discipline
+    sees the same saturated grant map and differs only in which flow
+    rides each grant.  Expected dominance ordering: strict-priority and
+    EDF meet the rtPS latency contract (zero violations) where WRR/DRR
+    trade latency for fairness (violations > 0, higher flow-level Jain
+    index, no starved BE flow); under strict-priority (and EDF) the
+    multi-hop BE flow starves outright.
+    """
+    from repro.qos import grant_schedule_for, simulate_service_flows
+
+    frame = default_frame_config()
+    topology = chain_topology(3)
+    flows = _e19_workload(frame)
+    schedule, routed = grant_schedule_for(topology, flows, frame)
+
+    result = ExperimentResult(
+        "E19", "service-flow scheduler bake-off at saturating load "
+        "(3-node chain, UGS+rtPS+nrtPS+BE)",
+        ["discipline", "ugs_viol", "rtps_viol", "rtps_p95_ms",
+         "nrtps_min_met", "be_share", "be_starved", "jain_flow",
+         "max_be_age_s", "idle_grants"])
+    for discipline in disciplines:
+        res = simulate_service_flows(routed, schedule, frame, discipline,
+                                     num_frames=num_frames)
+        from repro.qos import ServiceClass
+        ugs = res.stats_for(ServiceClass.UGS)
+        rtps = res.stats_for(ServiceClass.RTPS)
+        nrtps = res.stats_for(ServiceClass.NRTPS)
+        be = res.stats_for(ServiceClass.BE)
+        rtps_p95_ms = max(
+            res.per_flow[f.name].p95_delay_s
+            for f in routed.by_class(ServiceClass.RTPS)) * 1000.0
+        be_starved = sum(
+            1 for f in routed.by_class(ServiceClass.BE)
+            if res.per_flow[f.name].received == 0)
+        result.rows.append([
+            discipline, ugs.latency_violations, rtps.latency_violations,
+            round(rtps_p95_ms, 3), int(nrtps.min_rate_met),
+            round(be.share, 4), be_starved,
+            round(res.flow_jain_index, 4),
+            round(be.max_queue_age_s, 3), res.grants_idle])
+    result.notes = ("saturating ask ~2x the 16-slot frame; grants fixed "
+                    "across disciplines (reservations + water-filled "
+                    "leftover), only the per-grant arbitration differs")
+    return result
+
+
 ALL_EXPERIMENTS = {
     "E1": e01_min_slots,
     "E2": e02_delay_vs_hops,
@@ -1238,4 +1332,5 @@ ALL_EXPERIMENTS = {
     "E16": e16_two_class,
     "E17": e17_churn,
     "E18": e18_control_loss,
+    "E19": e19_scheduler_bakeoff,
 }

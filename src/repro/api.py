@@ -66,10 +66,26 @@ class Scenario:
         pass one explicitly to share caches across scenarios.
     """
 
-    def __init__(self, topology: MeshTopology, flows: FlowsLike,
+    def __init__(self, topology: MeshTopology,
+                 flows: Optional[FlowsLike] = None,
                  frame: Optional[MeshFrameConfig] = None,
                  gateway: int = 0, hops: int = 2,
-                 engine: Optional[SolverEngine] = None) -> None:
+                 engine: Optional[SolverEngine] = None,
+                 service_flows=None) -> None:
+        if (flows is None) == (service_flows is None):
+            raise ConfigurationError(
+                "pass exactly one of flows= or service_flows=")
+        if service_flows is not None:
+            from repro.qos.model import ServiceFlowSet
+
+            self.service_flows = (
+                service_flows if isinstance(service_flows, ServiceFlowSet)
+                else ServiceFlowSet(list(service_flows)))
+            #: the plain-flow projection the scheduling pipeline runs on
+            flows = self.service_flows.to_flow_set()
+        else:
+            #: class-aware flow set when constructed via ``service_flows=``
+            self.service_flows = None
         self.topology = topology
         self.flows = (flows if isinstance(flows, FlowSet)
                       else FlowSet(list(flows)))
@@ -85,6 +101,13 @@ class Scenario:
 
     def route(self) -> "Scenario":
         """Route every flow over shortest paths; returns ``self``."""
+        if self.service_flows is not None:
+            from repro.qos.model import route_service_flows
+
+            self.service_flows = route_service_flows(self.topology,
+                                                     self.service_flows)
+            self.flows = self.service_flows.to_flow_set()
+            return self
         self.flows = route_all(self.topology, self.flows)
         return self
 
@@ -133,6 +156,33 @@ class Scenario:
         return run_tdma_scenario(
             self.topology, self.flows, self.frame, schedule, duration_s,
             rngs=rngs, seed=seed, gateway=self.gateway, **kwargs)
+
+    def simulate_qos(self, discipline: str = "strict",
+                     num_frames: int = 200, **kwargs):
+        """Grant-level service-class simulation over this scenario.
+
+        Requires construction via ``service_flows=``.  Builds the
+        saturating grant schedule (guaranteed reservations plus
+        water-filled leftover, via
+        :func:`repro.qos.planner.grant_schedule_for`) and plays
+        ``num_frames`` frames under ``discipline``; returns the
+        :class:`repro.qos.simulate.QosRunResult`.
+        """
+        from repro.qos.planner import grant_schedule_for
+        from repro.qos.simulate import simulate_service_flows
+
+        if self.service_flows is None:
+            raise ConfigurationError(
+                "simulate_qos() needs a scenario built with "
+                "service_flows=")
+        schedule, routed = grant_schedule_for(
+            self.topology, self.service_flows, self.frame,
+            conflict_hops=self.hops, engine=self.engine)
+        self.service_flows = routed
+        self.flows = routed.to_flow_set()
+        return simulate_service_flows(routed, schedule, self.frame,
+                                      discipline, num_frames=num_frames,
+                                      **kwargs)
 
     # -- inspectable intermediates ------------------------------------------
 

@@ -20,6 +20,7 @@ from repro.errors import ConfigurationError
 from repro.net.flows import Flow, FlowSet
 from repro.net.routing import shortest_path_route
 from repro.net.topology import MeshTopology
+from repro.obs.metrics import counter as obs_counter
 
 
 @dataclass
@@ -134,7 +135,17 @@ class AdmissionController:
             slots_used=self.slots_used, schedule=self.schedule)
 
     def release(self, name: str) -> None:
-        """Remove an admitted flow and re-schedule the remainder."""
+        """Remove an admitted flow and re-schedule the remainder.
+
+        Releasing a name that was never admitted is a caller bug:
+        it raises :class:`~repro.errors.ConfigurationError` and bumps the
+        ``core.admission.release_unknown`` counter so fleets running with
+        error recovery still see the miscount in their metrics.
+        """
+        if name not in self.admitted:
+            obs_counter("core.admission.release_unknown").inc()
+            raise ConfigurationError(
+                f"cannot release {name!r}: no such admitted flow")
         self.admitted.remove(name)
         if len(self.admitted) == 0:
             self.schedule = None

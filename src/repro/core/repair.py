@@ -114,7 +114,8 @@ class RepairEngine:
     def __init__(self, topology: MeshTopology, frame_config: MeshFrameConfig,
                  gateway: int = 0, hops: int = 2, search: str = "binary",
                  time_limit_per_probe_s: Optional[float] = 15.0,
-                 engine: Optional[SolverEngine] = None) -> None:
+                 engine: Optional[SolverEngine] = None,
+                 shed_key=None) -> None:
         if gateway not in topology.graph:
             raise ConfigurationError(f"gateway {gateway} not in topology")
         self.engine = engine if engine is not None else SolverEngine()
@@ -132,6 +133,12 @@ class RepairEngine:
         self._flows: dict[str, Flow] = {}
         #: currently-carried routed flows (subset of _flows, same order)
         self._carried: dict[str, Flow] = {}
+        #: optional ``name -> sortable`` shed-priority hook: when capacity
+        #: sheds are unavoidable, candidates are stably sorted by this key
+        #: and the largest key sheds first (the QoS layer uses it to shed
+        #: best effort before nrtPS before the real-time classes).  With
+        #: no key the legacy newest-first order is untouched.
+        self.shed_key = shed_key
         self.schedule: Optional[Schedule] = None
         self.version = 0
         self.history: list[RepairOutcome] = []
@@ -275,6 +282,10 @@ class RepairEngine:
         candidates = [n for n in carried
                       if n not in readmitted and n not in rerouted]
         candidates += list(rerouted) + list(readmitted)
+        if self.shed_key is not None:
+            # stable: within one priority level the newest-first order above
+            # is preserved
+            candidates.sort(key=self.shed_key)
         probes = 0
         while True:
             result = self._solve(list(carried.values()))

@@ -39,12 +39,14 @@ from repro.obs.metrics import (
     use_registry,
     write_metrics_json,
 )
+from repro.obs.fairness import FairnessMeter, jains_index, throughput_shares
 from repro.obs.tracing import TraceWriter, read_trace
 
 __all__ = [
     "COUNT_EDGES",
     "TIME_EDGES_S",
     "Counter",
+    "FairnessMeter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -55,9 +57,11 @@ __all__ = [
     "gauge",
     "get_registry",
     "histogram",
+    "jains_index",
     "read_trace",
     "set_registry",
     "span",
+    "throughput_shares",
     "timer",
     "use_registry",
     "write_metrics_json",

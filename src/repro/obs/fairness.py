@@ -1,0 +1,78 @@
+"""Fairness and starvation instruments (S-QoS).
+
+The WiMAX scheduling literature (arXiv:1009.6091) treats fairness and
+starvation as first-class outputs next to throughput and delay: a
+discipline that meets every latency contract by starving best effort is
+not "better", it sits elsewhere on the trade-off curve.  This module
+provides the two pure computations -- Jain's fairness index and
+normalized throughput shares -- plus a :class:`FairnessMeter` that
+publishes them into the current metrics registry under the same
+deterministic-snapshot contract as every other instrument (no wall
+clock, no RNG; identical runs produce identical snapshots).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.obs.metrics import counter, gauge
+
+
+def jains_index(values: Sequence[float]) -> float:
+    """Jain's fairness index: ``(sum x)^2 / (n * sum x^2)``.
+
+    1.0 when all values are equal; ``1/n`` when one value monopolizes.
+    An empty or all-zero population is perfectly fair by convention.
+    """
+    xs = [float(v) for v in values]
+    if not xs:
+        return 1.0
+    square_sum = sum(x * x for x in xs)
+    if square_sum == 0.0:
+        return 1.0
+    total = sum(xs)
+    return (total * total) / (len(xs) * square_sum)
+
+
+def throughput_shares(delivered: Mapping[str, float]) -> dict[str, float]:
+    """Each key's fraction of the total delivered volume (sums to 1.0)."""
+    total = float(sum(delivered.values()))
+    if total <= 0.0:
+        return {key: 0.0 for key in delivered}
+    return {key: value / total for key, value in delivered.items()}
+
+
+class FairnessMeter:
+    """Publish fairness/starvation readings for one scheduling domain.
+
+    ``prefix`` namespaces the metric names (e.g. ``qos``); readings land
+    in the *current* registry so experiments wrap themselves in
+    :func:`repro.obs.use_registry` exactly like the solver instruments.
+    """
+
+    def __init__(self, prefix: str = "qos") -> None:
+        self.prefix = prefix
+
+    def record_shares(self, delivered_bits: Mapping[str, float]) -> None:
+        """Per-class throughput shares and the cross-class Jain index."""
+        shares = throughput_shares(delivered_bits)
+        for name, share in shares.items():
+            gauge(f"{self.prefix}.share.{name}").set(share)
+        gauge(f"{self.prefix}.fairness.jain_index").set(
+            jains_index(list(delivered_bits.values())))
+
+    def record_flow_fairness(self, satisfaction: Mapping[str, float]) -> None:
+        """Jain index over per-flow satisfaction (delivered/offered)."""
+        gauge(f"{self.prefix}.fairness.flow_jain_index").set(
+            jains_index(list(satisfaction.values())))
+
+    def record_starvation(self, service_class: str,
+                          max_queue_age_s: float) -> None:
+        gauge(f"{self.prefix}.starvation.max_queue_age_s."
+              f"{service_class}").set(max_queue_age_s)
+
+    def count_violation(self, service_class: str, kind: str,
+                        amount: int = 1) -> None:
+        """Contract-violation counter, e.g. kind=``latency``/``jitter``."""
+        counter(f"{self.prefix}.contract.{kind}_violations."
+                f"{service_class}").inc(amount)

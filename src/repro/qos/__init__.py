@@ -1,0 +1,65 @@
+"""repro.qos -- 802.16 service classes, schedulers, and admission (S-QoS).
+
+The guaranteed-QoS layer the source paper emulates: service flows carry
+UGS/rtPS/nrtPS/BE contracts (:mod:`repro.qos.model`), pluggable
+intra-node disciplines decide which flow rides each TDMA grant
+(:mod:`repro.qos.schedulers`), planners turn contracts into grant maps
+(:mod:`repro.qos.planner`), a deterministic grant-level simulator plays
+the result out packet by packet (:mod:`repro.qos.simulate`), and a
+class-aware admission controller enforces reject/park semantics over the
+min-slots search (:mod:`repro.qos.admission`).  See ``docs/qos.md``.
+"""
+
+from repro.qos.admission import (
+    QosAdmissionController,
+    QosAdmissionDecision,
+    class_shed_key,
+)
+from repro.qos.model import (
+    ServiceClass,
+    ServiceFlow,
+    ServiceFlowSet,
+    TrafficContract,
+    route_service_flows,
+)
+from repro.qos.planner import (
+    grant_schedule_for,
+    schedule_service_classes,
+    waterfill_grants,
+)
+from repro.qos.schedulers import (
+    DrrScheduler,
+    EdfScheduler,
+    QueueView,
+    ServiceFlowScheduler,
+    StrictPriorityScheduler,
+    WrrScheduler,
+    available_disciplines,
+    make_scheduler,
+)
+from repro.qos.simulate import ClassStats, QosRunResult, simulate_service_flows
+
+__all__ = [
+    "ClassStats",
+    "DrrScheduler",
+    "EdfScheduler",
+    "QosAdmissionController",
+    "QosAdmissionDecision",
+    "QosRunResult",
+    "QueueView",
+    "ServiceClass",
+    "ServiceFlow",
+    "ServiceFlowScheduler",
+    "ServiceFlowSet",
+    "StrictPriorityScheduler",
+    "TrafficContract",
+    "WrrScheduler",
+    "available_disciplines",
+    "class_shed_key",
+    "grant_schedule_for",
+    "make_scheduler",
+    "route_service_flows",
+    "schedule_service_classes",
+    "simulate_service_flows",
+    "waterfill_grants",
+]

@@ -1,0 +1,343 @@
+"""802.16 service classes and per-flow traffic contracts.
+
+IEEE 802.16 defines four scheduling services, each with its own contract
+vocabulary (arXiv:1111.2996 evaluates competing disciplines over exactly
+this mix):
+
+- **UGS** (unsolicited grant service): fixed-size periodic real-time
+  streams (VoIP without silence suppression).  Reserves a constant rate
+  and a hard latency bound; the sustained rate equals the reservation.
+- **rtPS** (real-time polling service): variable-rate real-time streams
+  (video).  Reserves a minimum rate with a latency bound and may burst up
+  to a maximum sustained rate; the excess above the reservation competes
+  for leftover capacity.
+- **nrtPS** (non-real-time polling service): delay-tolerant streams that
+  still need a bandwidth floor (bulk transfers with a deadline "soon").
+  Minimum reserved rate, no latency bound.
+- **BE** (best effort): everything else.  No reservation, no bound --
+  admitted always, guaranteed never.
+
+A :class:`ServiceFlow` layers one of these classes and a
+:class:`TrafficContract` onto the existing :class:`~repro.net.flows.Flow`
+demand model: :meth:`ServiceFlow.to_flow` produces the plain flow the
+scheduling core (conflict graphs, the min-slots search, admission) already
+understands, with the reservation as the flow rate and the latency bound
+as the delay budget.  :class:`ServiceFlowSet` is the class-aware sibling
+of :class:`~repro.net.flows.FlowSet`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator, Optional
+
+from repro.errors import ConfigurationError
+from repro.net.flows import Flow, FlowSet
+from repro.net.topology import Link, MeshTopology
+
+
+class ServiceClass(enum.Enum):
+    """The four 802.16 scheduling services, in strict priority order."""
+
+    UGS = "UGS"
+    RTPS = "rtPS"
+    NRTPS = "nrtPS"
+    BE = "BE"
+
+    @property
+    def rank(self) -> int:
+        """Strict-priority rank: lower serves first."""
+        return _CLASS_RANK[self]
+
+    @property
+    def default_weight(self) -> int:
+        """Default WRR/DRR weight (overridable per flow)."""
+        return _CLASS_WEIGHT[self]
+
+    @property
+    def is_guaranteed(self) -> bool:
+        """True for classes with a reserved rate (everything but BE)."""
+        return self is not ServiceClass.BE
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+_CLASS_RANK = {ServiceClass.UGS: 0, ServiceClass.RTPS: 1,
+               ServiceClass.NRTPS: 2, ServiceClass.BE: 3}
+_CLASS_WEIGHT = {ServiceClass.UGS: 8, ServiceClass.RTPS: 4,
+                 ServiceClass.NRTPS: 2, ServiceClass.BE: 1}
+
+
+@dataclass(frozen=True)
+class TrafficContract:
+    """Per-service-flow traffic contract.
+
+    Parameters
+    ----------
+    min_reserved_rate_bps:
+        Bandwidth floor the schedule must carry (0 for BE).
+    max_sustained_rate_bps:
+        Cap on the offered rate.  For UGS it must equal the reservation
+        (or be omitted); for rtPS/nrtPS it bounds the burst above the
+        floor; for BE it is the elastic *ask* used to size leftover
+        grants.
+    max_latency_s:
+        Hard end-to-end latency bound (UGS/rtPS only).
+    tolerated_jitter_s:
+        Jitter tolerance the instruments check deliveries against
+        (UGS/rtPS only; optional).
+    """
+
+    min_reserved_rate_bps: float = 0.0
+    max_sustained_rate_bps: Optional[float] = None
+    max_latency_s: Optional[float] = None
+    tolerated_jitter_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.min_reserved_rate_bps < 0:
+            raise ConfigurationError("min reserved rate must be >= 0")
+        if (self.max_sustained_rate_bps is not None
+                and self.max_sustained_rate_bps < self.min_reserved_rate_bps):
+            raise ConfigurationError(
+                "max sustained rate cannot undercut the reservation")
+        if self.max_latency_s is not None and self.max_latency_s <= 0:
+            raise ConfigurationError("max latency must be positive")
+        if self.tolerated_jitter_s is not None and self.tolerated_jitter_s <= 0:
+            raise ConfigurationError("jitter tolerance must be positive")
+
+
+def _validate_contract(name: str, service_class: ServiceClass,
+                       contract: TrafficContract) -> None:
+    cls = service_class
+    if cls is ServiceClass.BE:
+        if contract.min_reserved_rate_bps:
+            raise ConfigurationError(
+                f"service flow {name}: BE cannot reserve bandwidth")
+        if contract.max_latency_s is not None:
+            raise ConfigurationError(
+                f"service flow {name}: BE has no latency guarantee")
+        if not contract.max_sustained_rate_bps:
+            raise ConfigurationError(
+                f"service flow {name}: BE needs a max sustained rate "
+                "(the elastic ask)")
+        return
+    if contract.min_reserved_rate_bps <= 0:
+        raise ConfigurationError(
+            f"service flow {name}: {cls} requires a positive reserved rate")
+    if cls in (ServiceClass.UGS, ServiceClass.RTPS):
+        if contract.max_latency_s is None:
+            raise ConfigurationError(
+                f"service flow {name}: {cls} requires a latency bound")
+    else:  # nrtPS
+        if contract.max_latency_s is not None:
+            raise ConfigurationError(
+                f"service flow {name}: nrtPS has no latency bound; "
+                "use rtPS for delay-bounded traffic")
+    if cls is ServiceClass.UGS:
+        sustained = contract.max_sustained_rate_bps
+        if sustained is not None and \
+                sustained != contract.min_reserved_rate_bps:
+            raise ConfigurationError(
+                f"service flow {name}: UGS grants are unsolicited and "
+                "constant; max sustained must equal the reservation")
+
+
+@dataclass(frozen=True)
+class ServiceFlow:
+    """One unidirectional 802.16 service flow.
+
+    Parameters
+    ----------
+    name, src, dst:
+        As in :class:`~repro.net.flows.Flow`.
+    service_class:
+        One of the four :class:`ServiceClass` members.
+    contract:
+        The :class:`TrafficContract`; validated against the class rules.
+    route:
+        Ordered directed links (filled in by :func:`route_service_flows`).
+    weight:
+        WRR/DRR weight; defaults to the class weight.
+    packet_bits:
+        Packetization used by the grant-level simulator.
+    """
+
+    name: str
+    src: int
+    dst: int
+    service_class: ServiceClass
+    contract: TrafficContract
+    route: tuple[Link, ...] = field(default=())
+    weight: Optional[int] = None
+    packet_bits: int = 1600
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ConfigurationError(
+                f"service flow {self.name}: src == dst == {self.src}")
+        if not isinstance(self.service_class, ServiceClass):
+            raise ConfigurationError(
+                f"service flow {self.name}: unknown service class "
+                f"{self.service_class!r}")
+        _validate_contract(self.name, self.service_class, self.contract)
+        if self.weight is not None and self.weight <= 0:
+            raise ConfigurationError(
+                f"service flow {self.name}: weight must be positive")
+        if self.packet_bits <= 0:
+            raise ConfigurationError(
+                f"service flow {self.name}: packet size must be positive")
+
+    # -- derived quantities --------------------------------------------------
+
+    @property
+    def demand_rate_bps(self) -> float:
+        """The rate the *schedule* must carry: the reservation, or for BE
+        the elastic ask (used only to size leftover grants)."""
+        if self.service_class is ServiceClass.BE:
+            return float(self.contract.max_sustained_rate_bps)
+        return self.contract.min_reserved_rate_bps
+
+    @property
+    def offered_rate_bps(self) -> float:
+        """The rate the *source* offers: sustained cap, else the floor."""
+        if self.contract.max_sustained_rate_bps is not None:
+            return float(self.contract.max_sustained_rate_bps)
+        return self.contract.min_reserved_rate_bps
+
+    @property
+    def effective_weight(self) -> int:
+        return (self.weight if self.weight is not None
+                else self.service_class.default_weight)
+
+    @property
+    def deadline_s(self) -> float:
+        """Per-packet relative deadline (inf when the class has none)."""
+        if self.contract.max_latency_s is None:
+            return float("inf")
+        return self.contract.max_latency_s
+
+    @property
+    def is_routed(self) -> bool:
+        return bool(self.route)
+
+    def with_route(self, route: Iterable[Link]) -> "ServiceFlow":
+        return replace(self, route=tuple(route))
+
+    # -- bridges to the plain-flow core --------------------------------------
+
+    def to_flow(self) -> Flow:
+        """The plain :class:`~repro.net.flows.Flow` the scheduling core
+        sees: reservation as rate, latency bound as delay budget (absent
+        for nrtPS/BE, exactly like the legacy two-class split)."""
+        return Flow(name=self.name, src=self.src, dst=self.dst,
+                    rate_bps=self.demand_rate_bps,
+                    delay_budget_s=self.contract.max_latency_s,
+                    route=self.route)
+
+    @classmethod
+    def from_flow(cls, flow: Flow, service_class: ServiceClass,
+                  contract: Optional[TrafficContract] = None,
+                  **kwargs) -> "ServiceFlow":
+        """Wrap an existing flow into a service flow.
+
+        Without an explicit contract, the flow's rate becomes the
+        reservation (or the BE ask) and its delay budget the latency
+        bound -- the mapping that makes the migrated two-class layer
+        (E16) bit-identical to the legacy split.
+        """
+        if contract is None:
+            if service_class is ServiceClass.BE:
+                contract = TrafficContract(
+                    max_sustained_rate_bps=flow.rate_bps)
+            else:
+                contract = TrafficContract(
+                    min_reserved_rate_bps=flow.rate_bps,
+                    max_latency_s=flow.delay_budget_s)
+        return cls(name=flow.name, src=flow.src, dst=flow.dst,
+                   service_class=service_class, contract=contract,
+                   route=flow.route, **kwargs)
+
+
+class ServiceFlowSet:
+    """An ordered collection of service flows with unique names."""
+
+    def __init__(self, flows: Iterable[ServiceFlow] = ()) -> None:
+        self._flows: dict[str, ServiceFlow] = {}
+        for flow in flows:
+            self.add(flow)
+
+    def add(self, flow: ServiceFlow) -> None:
+        if flow.name in self._flows:
+            raise ConfigurationError(
+                f"duplicate service flow name {flow.name!r}")
+        self._flows[flow.name] = flow
+
+    def remove(self, name: str) -> ServiceFlow:
+        try:
+            return self._flows.pop(name)
+        except KeyError:
+            raise ConfigurationError(
+                f"no service flow named {name!r}") from None
+
+    def replace(self, flow: ServiceFlow) -> None:
+        if flow.name not in self._flows:
+            raise ConfigurationError(f"no service flow named {flow.name!r}")
+        self._flows[flow.name] = flow
+
+    def get(self, name: str) -> ServiceFlow:
+        try:
+            return self._flows[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"no service flow named {name!r}") from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._flows
+
+    def __iter__(self) -> Iterator[ServiceFlow]:
+        return iter(self._flows.values())
+
+    def __len__(self) -> int:
+        return len(self._flows)
+
+    def names(self) -> list[str]:
+        return list(self._flows)
+
+    def by_class(self, service_class: ServiceClass) -> list[ServiceFlow]:
+        return [f for f in self if f.service_class is service_class]
+
+    def guaranteed(self) -> list[ServiceFlow]:
+        """Flows with a reservation (UGS, rtPS, nrtPS)."""
+        return [f for f in self if f.service_class.is_guaranteed]
+
+    def best_effort(self) -> list[ServiceFlow]:
+        return self.by_class(ServiceClass.BE)
+
+    # -- bridges --------------------------------------------------------------
+
+    def to_flow_set(self) -> FlowSet:
+        """Every service flow as a plain flow (order preserved)."""
+        return FlowSet(f.to_flow() for f in self)
+
+    def guaranteed_flow_set(self) -> FlowSet:
+        """The UGS/rtPS/nrtPS flows as plain flows (order preserved)."""
+        return FlowSet(f.to_flow() for f in self.guaranteed())
+
+    def best_effort_flow_set(self) -> FlowSet:
+        return FlowSet(f.to_flow() for f in self.best_effort())
+
+
+def route_service_flows(topology: MeshTopology,
+                        flows: ServiceFlowSet) -> ServiceFlowSet:
+    """Route every unrouted service flow over shortest paths."""
+    from repro.net.routing import shortest_path_route
+
+    routed = ServiceFlowSet()
+    for flow in flows:
+        if not flow.is_routed:
+            flow = flow.with_route(
+                shortest_path_route(topology, flow.src, flow.dst))
+        routed.add(flow)
+    return routed

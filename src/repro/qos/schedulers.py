@@ -1,0 +1,263 @@
+"""Pluggable intra-node service-flow schedulers.
+
+Each mesh node owns a set of TDMA grants (slots assigned to its outgoing
+links by the global schedule).  The *discipline* decides which backlogged
+service flow fills each grant -- the intra-node half of the QoS story the
+global min-slots schedule cannot see.  Four classic disciplines are
+provided (the set compared by arXiv:1111.2996):
+
+- ``strict``: strict priority by service class (UGS > rtPS > nrtPS > BE).
+  Meets real-time contracts whenever feasible; starves BE under overload.
+- ``wrr``: weighted round robin, one grant per credit.  Fair in grants,
+  blind to packet size and deadlines.
+- ``drr``: deficit round robin with a per-flow quantum in bits
+  (weight x grant size).  Fair in *bits*; the deficit counter bounds how
+  far any backlogged flow can fall behind its weight share.
+- ``edf``: earliest deadline first over head-of-line packets.  Optimal
+  for deadline feasibility: if any work-conserving discipline meets all
+  deadlines on a trace, EDF does too.
+
+All disciplines are deterministic: ties break on enqueue time, then flow
+name.  ``pick()`` must return one of the offered candidates whenever any
+are offered -- the work-conservation contract the property tests enforce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.qos.model import ServiceClass
+
+
+@dataclass(frozen=True)
+class QueueView:
+    """Read-only view of one backlogged service-flow queue offered to a
+    scheduler for a single grant.
+
+    ``head_deadline_s`` is the absolute deadline of the head-of-line
+    packet (``inf`` for classes without a latency bound);
+    ``head_created_s`` its creation time.
+    """
+
+    name: str
+    service_class: ServiceClass
+    weight: int
+    backlog_bits: int
+    backlog_packets: int
+    head_created_s: float
+    head_deadline_s: float
+
+
+class ServiceFlowScheduler:
+    """Interface: pick the service flow that fills the next grant."""
+
+    #: Registry name; subclasses override.
+    name = "abstract"
+
+    def pick(self, candidates: Sequence[QueueView], now_s: float) -> str:
+        """Return the name of the candidate that gets this grant.
+
+        ``candidates`` is non-empty and deterministically ordered (flow
+        registration order).  Must return one of their names.
+        """
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Drop internal state (round pointers, credits, deficits)."""
+
+
+class StrictPriorityScheduler(ServiceFlowScheduler):
+    """UGS before rtPS before nrtPS before BE; FIFO within a class."""
+
+    name = "strict"
+
+    def pick(self, candidates: Sequence[QueueView], now_s: float) -> str:
+        best = min(candidates, key=lambda q: (q.service_class.rank,
+                                              q.head_created_s, q.name))
+        return best.name
+
+
+class EdfScheduler(ServiceFlowScheduler):
+    """Earliest absolute head-of-line deadline first.
+
+    Flows without a latency bound carry an infinite deadline and are
+    served (FIFO by enqueue time) only when no bounded packet waits.
+    """
+
+    name = "edf"
+
+    def pick(self, candidates: Sequence[QueueView], now_s: float) -> str:
+        best = min(candidates, key=lambda q: (q.head_deadline_s,
+                                              q.head_created_s, q.name))
+        return best.name
+
+
+class _RoundRobinBase(ServiceFlowScheduler):
+    """Shared ring bookkeeping for WRR/DRR.
+
+    Flows join the ring in first-seen order; the ring survives empty
+    periods so the round position is deterministic across grants.
+    """
+
+    def __init__(self) -> None:
+        self._ring: list[str] = []
+        self._index = 0
+
+    def reset(self) -> None:
+        self._ring.clear()
+        self._index = 0
+
+    def _admit_new(self, candidates: Sequence[QueueView]) -> None:
+        known = set(self._ring)
+        for q in candidates:
+            if q.name not in known:
+                self._ring.append(q.name)
+                known.add(q.name)
+
+    def _advance(self) -> bool:
+        """Move the pointer one position; True when the round wrapped."""
+        self._index = (self._index + 1) % len(self._ring)
+        return self._index == 0
+
+
+class WrrScheduler(_RoundRobinBase):
+    """Weighted round robin over grants.
+
+    Each flow holds ``weight`` credits per round; a grant costs one
+    credit.  When the pointer completes a round, credits refill.  Fair in
+    grant counts proportional to weight, regardless of packet sizes.
+    """
+
+    name = "wrr"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._credits: dict[str, int] = {}
+
+    def reset(self) -> None:
+        super().reset()
+        self._credits.clear()
+
+    def pick(self, candidates: Sequence[QueueView], now_s: float) -> str:
+        if not candidates:
+            raise ConfigurationError("pick() requires candidates")
+        self._admit_new(candidates)
+        views = {q.name: q for q in candidates}
+        for name in views:
+            self._credits.setdefault(name, views[name].weight)
+        # Two full rounds suffice: after one wrap every backlogged flow's
+        # credits refill, so the next visit to any candidate serves it.
+        for _ in range(2 * len(self._ring) + 1):
+            name = self._ring[self._index]
+            view = views.get(name)
+            if view is not None and self._credits.get(name, 0) > 0:
+                self._credits[name] -= 1
+                if self._credits[name] <= 0:
+                    self._advance_and_maybe_refill(views)
+                return name
+            self._advance_and_maybe_refill(views)
+        return candidates[0].name  # unreachable safety net
+
+    def _advance_and_maybe_refill(self, views) -> None:
+        if self._advance():
+            for name in self._ring:
+                if name in views:
+                    weight = views[name].weight
+                else:
+                    weight = self._credits.get(name, 1)
+                self._credits[name] = max(weight, 1)
+
+
+class DrrScheduler(_RoundRobinBase):
+    """Deficit round robin in bits.
+
+    Visiting a flow adds ``quantum_bits x weight`` to its deficit; a
+    grant costs ``min(grant_bits, backlog)`` bits.  A flow is served
+    while its deficit covers the cost, so throughput converges to the
+    weight share measured in *bits* -- and the deficit of any backlogged
+    flow never exceeds one quantum plus one grant (the classic DRR
+    fairness bound the property tests check).
+    """
+
+    name = "drr"
+
+    def __init__(self, quantum_bits: int = 2000,
+                 grant_bits: Optional[int] = None) -> None:
+        super().__init__()
+        if quantum_bits <= 0:
+            raise ConfigurationError("DRR quantum must be positive")
+        self.quantum_bits = quantum_bits
+        self.grant_bits = grant_bits if grant_bits is not None else quantum_bits
+        self._deficit: dict[str, float] = {}
+        self._fresh_visit = True
+
+    def reset(self) -> None:
+        super().reset()
+        self._deficit.clear()
+        self._fresh_visit = True
+
+    def pick(self, candidates: Sequence[QueueView], now_s: float) -> str:
+        if not candidates:
+            raise ConfigurationError("pick() requires candidates")
+        self._admit_new(candidates)
+        views = {q.name: q for q in candidates}
+        max_weight = max(q.weight for q in candidates)
+        # Bound: enough visits for the smallest-weight flow to accumulate
+        # one grant worth of deficit across repeated rounds.
+        rounds_needed = (self.grant_bits // self.quantum_bits) + 2
+        for _ in range(len(self._ring) * rounds_needed * max_weight + 2):
+            name = self._ring[self._index]
+            view = views.get(name)
+            if view is None:
+                # Empty queue: classic DRR zeroes the deficit so idle
+                # flows cannot hoard service.
+                self._deficit[name] = 0.0
+                self._advance()
+                self._fresh_visit = True
+                continue
+            if self._fresh_visit:
+                self._deficit[name] = (self._deficit.get(name, 0.0)
+                                       + self.quantum_bits * view.weight)
+                self._fresh_visit = False
+            cost = min(self.grant_bits, view.backlog_bits)
+            if self._deficit.get(name, 0.0) >= cost:
+                self._deficit[name] -= cost
+                return name
+            self._advance()
+            self._fresh_visit = True
+        return candidates[0].name  # unreachable safety net
+
+    def deficit_of(self, name: str) -> float:
+        """Current deficit counter (for the fairness-bound tests)."""
+        return self._deficit.get(name, 0.0)
+
+
+#: Factory registry: discipline name -> zero/keyword-arg constructor.
+SCHEDULER_REGISTRY: dict[str, Callable[..., ServiceFlowScheduler]] = {
+    StrictPriorityScheduler.name: StrictPriorityScheduler,
+    WrrScheduler.name: WrrScheduler,
+    DrrScheduler.name: DrrScheduler,
+    EdfScheduler.name: EdfScheduler,
+}
+
+
+def make_scheduler(name: str, **kwargs) -> ServiceFlowScheduler:
+    """Instantiate a discipline by registry name.
+
+    ``kwargs`` are forwarded to the constructor (e.g. ``quantum_bits``
+    for DRR); disciplines that take no parameters reject extras.
+    """
+    try:
+        factory = SCHEDULER_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(SCHEDULER_REGISTRY))
+        raise ConfigurationError(
+            f"unknown scheduling discipline {name!r} (known: {known})"
+        ) from None
+    return factory(**kwargs)
+
+
+def available_disciplines() -> list[str]:
+    return sorted(SCHEDULER_REGISTRY)

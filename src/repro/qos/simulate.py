@@ -1,0 +1,332 @@
+"""Deterministic grant-level simulation of service-class traffic.
+
+The TDMA schedule says which *link* owns each data slot; the discipline
+says which *service flow* rides each grant.  This simulator plays that
+out packet by packet: deterministic CBR arrivals at each source (the
+offered rate, which for rtPS/BE exceeds the reservation -- that surplus
+is what saturates the mesh), per-flow FIFO queues at every hop, one
+scheduler instance per node arbitrating its grants, store-and-forward
+across hops (a packet forwarded in slot *i* is eligible from the end of
+slot *i*).
+
+Everything is derived from the flow set, the schedule and the frame
+config -- no RNG, no wall clock -- so runs are bitwise reproducible and
+shard cleanly across processes (E19 relies on this for its serial vs
+``--jobs N`` identity).
+
+Outputs: per-flow :class:`~repro.traffic.qos.FlowQoS`, per-class
+:class:`ClassStats` (offered/delivered volume, contract-violation
+counts, starvation ages), Jain fairness indices, and grant-utilization
+counts.  The same numbers are published through
+:class:`repro.obs.fairness.FairnessMeter` into the current metrics
+registry.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from repro.core.schedule import Schedule
+from repro.errors import ConfigurationError
+from repro.mesh16.frame import MeshFrameConfig
+from repro.obs.fairness import FairnessMeter, jains_index
+from repro.obs.metrics import counter
+from repro.qos.model import ServiceClass, ServiceFlow, ServiceFlowSet
+from repro.qos.schedulers import QueueView, make_scheduler
+from repro.traffic.qos import FlowQoS
+
+
+@dataclass(frozen=True)
+class ClassStats:
+    """Aggregate outcome for one service class over a run."""
+
+    service_class: str
+    offered_packets: int
+    offered_bits: int
+    delivered_packets: int
+    delivered_bits: int
+    #: delivered bits / run horizon
+    throughput_bps: float
+    #: this class's fraction of all delivered bits
+    share: float
+    #: deliveries past the latency bound plus packets still queued past
+    #: their (in-horizon) deadline -- the contract-violation count
+    latency_violations: int
+    #: flows whose RFC3550 jitter exceeds the tolerated jitter
+    jitter_violations: int
+    #: worst head-of-line wait observed anywhere in the class
+    max_queue_age_s: float
+    #: True when the class's delivered rate covers its reservations
+    min_rate_met: bool
+
+
+@dataclass(frozen=True)
+class QosRunResult:
+    """Outcome of :func:`simulate_service_flows`."""
+
+    discipline: str
+    num_frames: int
+    frame_duration_s: float
+    per_flow: dict[str, FlowQoS]
+    per_class: dict[str, ClassStats]
+    #: Jain index over per-flow satisfaction (delivered/offered bits)
+    flow_jain_index: float
+    #: Jain index over per-class delivered bits
+    class_jain_index: float
+    grants_total: int
+    grants_idle: int
+
+    @property
+    def horizon_s(self) -> float:
+        return self.num_frames * self.frame_duration_s
+
+    def stats_for(self, service_class: ServiceClass) -> ClassStats:
+        return self.per_class[service_class.value]
+
+
+class _Packet:
+    __slots__ = ("bits", "created_s", "deadline_s", "avail_s", "hop")
+
+    def __init__(self, bits: int, created_s: float, deadline_s: float,
+                 avail_s: float, hop: int) -> None:
+        self.bits = bits
+        self.created_s = created_s
+        self.deadline_s = deadline_s
+        self.avail_s = avail_s
+        self.hop = hop
+
+
+def _scheduler_kwargs(discipline: str, frame: MeshFrameConfig,
+                      scheduler_kwargs: Optional[Mapping]) -> dict:
+    kwargs = dict(scheduler_kwargs or {})
+    if discipline == "drr":
+        kwargs.setdefault("quantum_bits", frame.data_slot_capacity_bits)
+        kwargs.setdefault("grant_bits", frame.data_slot_capacity_bits)
+    return kwargs
+
+
+def simulate_service_flows(service_flows: ServiceFlowSet,
+                           schedule: Schedule,
+                           frame: MeshFrameConfig,
+                           discipline: str,
+                           num_frames: int = 200,
+                           scheduler_kwargs: Optional[Mapping] = None,
+                           ) -> QosRunResult:
+    """Run ``num_frames`` frames of grant-by-grant service.
+
+    ``service_flows`` must be routed; ``schedule`` carries the per-link
+    grants (slot indices) the disciplines arbitrate.
+    """
+    if num_frames <= 0:
+        raise ConfigurationError("num_frames must be positive")
+    flows = list(service_flows)
+    if not flows:
+        raise ConfigurationError("no service flows to simulate")
+    for flow in flows:
+        if not flow.is_routed:
+            raise ConfigurationError(
+                f"service flow {flow.name} is unrouted; route first")
+        if flow.packet_bits > frame.data_slot_capacity_bits:
+            raise ConfigurationError(
+                f"service flow {flow.name}: packet of {flow.packet_bits} "
+                f"bits can never fit a "
+                f"{frame.data_slot_capacity_bits}-bit grant")
+
+    horizon_s = num_frames * frame.frame_duration_s
+    slot_s = frame.data_slot_s
+    capacity = frame.data_slot_capacity_bits
+
+    # grants: slot index -> deterministically ordered owning links
+    owners: list[list] = [[] for _ in range(frame.data_slots)]
+    for link, block in sorted(schedule.items(), key=lambda kv: kv[0]):
+        for slot in block.slots():
+            if slot < frame.data_slots:
+                owners[slot].append(link)
+
+    # per-flow deterministic CBR arrival processes
+    intervals = {f.name: f.packet_bits / f.offered_rate_bps for f in flows}
+    next_arrival = {f.name: 0.0 for f in flows}
+    offered_packets = {f.name: 0 for f in flows}
+    offered_bits = {f.name: 0 for f in flows}
+
+    # queues[(flow_name, node)] -> FIFO of packets waiting at that hop
+    queues: dict[tuple[str, int], deque] = {
+        (f.name, link[0]): deque() for f in flows for link in f.route}
+    # flows whose route crosses each link, in registration order
+    link_flows: dict[tuple, list[ServiceFlow]] = {}
+    for f in flows:
+        for link in f.route:
+            link_flows.setdefault(link, []).append(f)
+
+    nodes = sorted({link[0] for f in flows for link in f.route})
+    kwargs = _scheduler_kwargs(discipline, frame, scheduler_kwargs)
+    schedulers = {node: make_scheduler(discipline, **kwargs)
+                  for node in nodes}
+
+    delays: dict[str, list[float]] = {f.name: [] for f in flows}
+    delivered_packets = {f.name: 0 for f in flows}
+    delivered_bits = {f.name: 0 for f in flows}
+    max_queue_age = {f.name: 0.0 for f in flows}
+    grants_total = 0
+    grants_idle = 0
+
+    def admit_arrivals(flow: ServiceFlow, now: float) -> None:
+        t = next_arrival[flow.name]
+        interval = intervals[flow.name]
+        queue = queues[(flow.name, flow.src)]
+        while t <= now and t < horizon_s:
+            queue.append(_Packet(flow.packet_bits, t,
+                                 t + flow.deadline_s, t, 0))
+            offered_packets[flow.name] += 1
+            offered_bits[flow.name] += flow.packet_bits
+            t += interval
+        next_arrival[flow.name] = t
+
+    for frame_idx in range(num_frames):
+        frame_start = frame_idx * frame.frame_duration_s
+        for slot in range(frame.data_slots):
+            now = frame_start + frame.data_slot_offset(slot)
+            slot_end = now + slot_s
+            for flow in flows:
+                admit_arrivals(flow, now)
+            for link in owners[slot]:
+                grants_total += 1
+                node = link[0]
+                candidates = []
+                views = []
+                for flow in link_flows[link]:
+                    queue = queues[(flow.name, node)]
+                    if not queue or queue[0].avail_s > now:
+                        continue
+                    head = queue[0]
+                    age = now - head.created_s
+                    if age > max_queue_age[flow.name]:
+                        max_queue_age[flow.name] = age
+                    candidates.append(flow)
+                    views.append(QueueView(
+                        name=flow.name,
+                        service_class=flow.service_class,
+                        weight=flow.effective_weight,
+                        backlog_bits=sum(p.bits for p in queue),
+                        backlog_packets=len(queue),
+                        head_created_s=head.created_s,
+                        head_deadline_s=head.deadline_s))
+                if not views:
+                    grants_idle += 1
+                    continue
+                picked = schedulers[node].pick(views, now)
+                flow = next(f for f in candidates if f.name == picked)
+                queue = queues[(flow.name, node)]
+                budget = capacity
+                while queue and queue[0].avail_s <= now \
+                        and queue[0].bits <= budget:
+                    pkt = queue.popleft()
+                    budget -= pkt.bits
+                    pkt.hop += 1
+                    if pkt.hop >= len(flow.route):
+                        delays[flow.name].append(slot_end - pkt.created_s)
+                        delivered_packets[flow.name] += 1
+                        delivered_bits[flow.name] += pkt.bits
+                    else:
+                        pkt.avail_s = slot_end
+                        next_node = flow.route[pkt.hop][0]
+                        queues[(flow.name, next_node)].append(pkt)
+
+    # final starvation sweep: packets still queued at the horizon
+    for (name, _node), queue in queues.items():
+        if queue:
+            age = horizon_s - queue[0].created_s
+            if age > max_queue_age[name]:
+                max_queue_age[name] = age
+
+    per_flow = {
+        f.name: FlowQoS.from_samples(f.name, offered_packets[f.name],
+                                     delivered_packets[f.name],
+                                     delays[f.name])
+        for f in flows}
+
+    per_class = _aggregate_classes(flows, queues, delays, offered_packets,
+                                   offered_bits, delivered_packets,
+                                   delivered_bits, per_flow, max_queue_age,
+                                   horizon_s)
+
+    satisfaction = {
+        f.name: (delivered_bits[f.name] / offered_bits[f.name]
+                 if offered_bits[f.name] else 0.0)
+        for f in flows}
+    flow_jain = jains_index(list(satisfaction.values()))
+    class_delivered = {cls: stats.delivered_bits
+                       for cls, stats in per_class.items()}
+    class_jain = jains_index(list(class_delivered.values()))
+
+    meter = FairnessMeter("qos")
+    meter.record_shares({c: float(v) for c, v in class_delivered.items()})
+    meter.record_flow_fairness(satisfaction)
+    for cls, stats in per_class.items():
+        meter.record_starvation(cls, stats.max_queue_age_s)
+        if stats.latency_violations:
+            meter.count_violation(cls, "latency", stats.latency_violations)
+        if stats.jitter_violations:
+            meter.count_violation(cls, "jitter", stats.jitter_violations)
+        counter(f"qos.delivered_packets.{cls}").inc(stats.delivered_packets)
+    counter("qos.grants.total").inc(grants_total)
+    counter("qos.grants.idle").inc(grants_idle)
+
+    return QosRunResult(
+        discipline=discipline,
+        num_frames=num_frames,
+        frame_duration_s=frame.frame_duration_s,
+        per_flow=per_flow,
+        per_class=per_class,
+        flow_jain_index=flow_jain,
+        class_jain_index=class_jain,
+        grants_total=grants_total,
+        grants_idle=grants_idle)
+
+
+def _aggregate_classes(flows, queues, delays, offered_packets, offered_bits,
+                       delivered_packets, delivered_bits, per_flow,
+                       max_queue_age, horizon_s) -> dict[str, ClassStats]:
+    total_delivered = sum(delivered_bits.values())
+    stats: dict[str, ClassStats] = {}
+    for cls in ServiceClass:
+        members = [f for f in flows if f.service_class is cls]
+        if not members:
+            continue
+        late = 0
+        jitter_bad = 0
+        for f in members:
+            bound = f.contract.max_latency_s
+            if bound is not None:
+                late += sum(1 for d in delays[f.name] if d > bound)
+                # queued past an in-horizon deadline: also a violation
+                for (name, _node), queue in queues.items():
+                    if name != f.name:
+                        continue
+                    late += sum(1 for p in queue if p.deadline_s < horizon_s)
+            tol = f.contract.tolerated_jitter_s
+            qos = per_flow[f.name]
+            if (tol is not None and qos.has_samples
+                    and qos.jitter_s > tol):
+                jitter_bad += 1
+        cls_delivered = sum(delivered_bits[f.name] for f in members)
+        reserved = sum(f.contract.min_reserved_rate_bps for f in members)
+        throughput = cls_delivered / horizon_s
+        stats[cls.value] = ClassStats(
+            service_class=cls.value,
+            offered_packets=sum(offered_packets[f.name] for f in members),
+            offered_bits=sum(offered_bits[f.name] for f in members),
+            delivered_packets=sum(
+                delivered_packets[f.name] for f in members),
+            delivered_bits=cls_delivered,
+            throughput_bps=throughput,
+            share=(cls_delivered / total_delivered
+                   if total_delivered else 0.0),
+            latency_violations=late,
+            jitter_violations=jitter_bad,
+            max_queue_age_s=max(max_queue_age[f.name] for f in members),
+            min_rate_met=(throughput >= 0.9 * reserved),
+        )
+    return stats

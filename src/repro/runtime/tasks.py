@@ -56,6 +56,7 @@ SHARD_AXES: dict[str, str] = {
     "E16": "call_counts",
     "E17": "churn_rates",
     "E18": "loss_rates",
+    "E19": "disciplines",
 }
 
 

@@ -87,6 +87,9 @@ class FlowQoS:
     p99_delay_s: float
     max_delay_s: float
     jitter_s: float
+    #: False when no packet was delivered: every delay statistic is NaN
+    #: and must serialize as null, not as the non-strict-JSON token NaN.
+    has_samples: bool = True
 
     @classmethod
     def from_samples(cls, flow_name: str, sent: int, received: int,
@@ -94,7 +97,7 @@ class FlowQoS:
         if not delays:
             nan = float("nan")
             return cls(flow_name, sent, received, nan, nan, nan, nan, nan,
-                       nan)
+                       nan, has_samples=False)
         ordered = sorted(delays)
         return cls(
             flow_name=flow_name,
@@ -106,7 +109,35 @@ class FlowQoS:
             p99_delay_s=_percentile(ordered, 99),
             max_delay_s=ordered[-1],
             jitter_s=rfc3550_jitter(list(delays)),
+            has_samples=True,
         )
+
+    def to_dict(self) -> dict:
+        """Strict-JSON-safe mapping: delay fields are ``None`` when the
+        flow delivered nothing (``json.dumps`` would otherwise emit the
+        non-standard ``NaN`` token and break snapshot byte-stability)."""
+        def _field(value: float):
+            return value if self.has_samples else None
+
+        return {
+            "flow_name": self.flow_name,
+            "sent": self.sent,
+            "received": self.received,
+            "has_samples": self.has_samples,
+            "mean_delay_s": _field(self.mean_delay_s),
+            "p50_delay_s": _field(self.p50_delay_s),
+            "p95_delay_s": _field(self.p95_delay_s),
+            "p99_delay_s": _field(self.p99_delay_s),
+            "max_delay_s": _field(self.max_delay_s),
+            "jitter_s": _field(self.jitter_s),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FlowQoS":
+        nan = float("nan")
+        fields = {key: (nan if value is None else value)
+                  for key, value in data.items()}
+        return cls(**fields)
 
     @property
     def loss_fraction(self) -> float:

@@ -28,6 +28,7 @@ PUBLIC_MODULES = [
     "repro.obs",
     "repro.mesh16",
     "repro.overlay",
+    "repro.qos",
     "repro.traffic",
     "repro.faults",
     "repro.resilience",
@@ -36,7 +37,8 @@ PUBLIC_MODULES = [
 
 #: Methods of facade/result classes that are part of the contract.
 PUBLIC_CLASS_METHODS = {
-    "repro.api.Scenario": ["__init__", "route", "schedule", "simulate"],
+    "repro.api.Scenario": ["__init__", "route", "schedule", "simulate",
+                           "simulate_qos"],
     "repro.core.minslots.MinSlotResult": [],
     "repro.core.engine.SolverEngine": [
         "__init__", "conflict_index", "interference_index", "solve",

@@ -180,6 +180,50 @@ def test_e16_shape():
     assert fractions == sorted(fractions, reverse=True)
 
 
+def test_e16_matches_pre_qos_implementation():
+    """The repro.qos migration must be a pure refactor: identical rows to
+    the seed implementation that fed schedule_two_classes directly."""
+    from repro.analysis.scenarios import (delay_constraints_for,
+                                          make_voip_flows)
+    from repro.core.besteffort import schedule_two_classes
+    from repro.core.engine import SolverEngine
+    from repro.mesh16.frame import default_frame_config
+    from repro.net.flows import Flow, FlowSet
+    from repro.net.routing import route_all
+    from repro.net.topology import grid_topology
+    from repro.sim.random import RngRegistry
+
+    call_counts = (0, 2, 4)
+    topology = grid_topology(3, 3)
+    frame = default_frame_config()
+    bulk = route_all(topology, FlowSet([
+        Flow("bulk0", 6, 2, rate_bps=800_000),
+        Flow("bulk1", 2, 6, rate_bps=800_000),
+    ]))
+    be_demands = bulk.link_demands(frame.frame_duration_s,
+                                   frame.data_slot_capacity_bits)
+    solver = SolverEngine()
+    legacy_rows = []
+    for count in call_counts:
+        rngs = RngRegistry(seed=41)
+        voip = make_voip_flows(topology, count, rngs, gateway=0,
+                               delay_budget_s=0.1)
+        g_demands = voip.link_demands(frame.frame_duration_s,
+                                      frame.data_slot_capacity_bits)
+        conflicts = solver.conflict_index(
+            topology, hops=2,
+            links=set(g_demands) | set(be_demands)).graph
+        two = schedule_two_classes(
+            conflicts, g_demands, be_demands, frame.data_slots,
+            delay_constraints=delay_constraints_for(voip, frame))
+        legacy_rows.append([
+            count, two.guaranteed_region, two.best_effort_region,
+            sum(two.best_effort_grants.values()),
+            two.grant_fraction(be_demands)])
+
+    assert ex.e16_two_class(call_counts=call_counts).rows == legacy_rows
+
+
 def test_e17_shape():
     result = ex.e17_churn(churn_rates=(4.0,), horizon_s=60.0)
     assert_well_formed(result)
@@ -190,4 +234,4 @@ def test_e17_shape():
 
 
 def test_registry_lists_all():
-    assert set(ex.ALL_EXPERIMENTS) == {f"E{i}" for i in range(1, 19)}
+    assert set(ex.ALL_EXPERIMENTS) == {f"E{i}" for i in range(1, 20)}

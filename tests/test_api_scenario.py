@@ -135,3 +135,59 @@ def test_repr_mentions_topology_and_flows():
     scenario = Scenario(chain_topology(5), _flows())
     text = repr(scenario)
     assert "chain5" in text and "1 flows" in text
+
+
+class TestServiceFlowScenario:
+    def _service_flows(self):
+        from repro.qos import ServiceClass, ServiceFlow, TrafficContract
+
+        frame = default_frame_config()
+        slot_rate = frame.data_slot_capacity_bits / frame.frame_duration_s
+        return [
+            ServiceFlow("voip0", 1, 0, ServiceClass.UGS, TrafficContract(
+                min_reserved_rate_bps=2 * slot_rate,
+                max_sustained_rate_bps=2 * slot_rate, max_latency_s=0.05)),
+            ServiceFlow("bulk0", 2, 0, ServiceClass.BE, TrafficContract(
+                max_sustained_rate_bps=4 * slot_rate)),
+        ]
+
+    def test_exactly_one_flow_argument(self):
+        from repro.qos import ServiceFlowSet
+
+        topo = chain_topology(3)
+        with pytest.raises(ConfigurationError, match="exactly one"):
+            Scenario(topo)
+        with pytest.raises(ConfigurationError, match="exactly one"):
+            Scenario(topo, flows=_flows(),
+                     service_flows=ServiceFlowSet(self._service_flows()))
+
+    def test_service_flows_project_to_plain_flows(self):
+        from repro.qos import ServiceFlowSet
+
+        scenario = Scenario(chain_topology(3),
+                            service_flows=self._service_flows())
+        assert isinstance(scenario.service_flows, ServiceFlowSet)
+        assert scenario.flows.names() == ["voip0", "bulk0"]
+        assert scenario.flows.get("voip0").delay_budget_s == 0.05
+
+    def test_route_routes_service_flows(self):
+        scenario = Scenario(chain_topology(3),
+                            service_flows=self._service_flows()).route()
+        assert scenario.service_flows.get("bulk0").route == ((2, 1), (1, 0))
+        assert scenario.flows.get("bulk0").route == ((2, 1), (1, 0))
+
+    def test_simulate_qos_needs_service_flows(self):
+        scenario = Scenario(chain_topology(3), flows=_flows())
+        with pytest.raises(ConfigurationError, match="service_flows"):
+            scenario.simulate_qos()
+
+    def test_simulate_qos_end_to_end(self):
+        from repro.qos import QosRunResult, ServiceClass
+
+        scenario = Scenario(chain_topology(3),
+                            service_flows=self._service_flows())
+        result = scenario.simulate_qos("drr", num_frames=50)
+        assert isinstance(result, QosRunResult)
+        assert result.discipline == "drr"
+        assert result.stats_for(ServiceClass.UGS).latency_violations == 0
+        assert scenario.service_flows.get("voip0").is_routed

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro import obs
 from repro.core.admission import AdmissionController
 from repro.errors import ConfigurationError
 from repro.net.flows import Flow
@@ -114,8 +115,21 @@ class TestRelease:
         assert ctrl.slots_used == 0
 
     def test_release_unknown_rejected(self):
+        with obs.use_registry(obs.MetricsRegistry()) as reg:
+            with pytest.raises(ConfigurationError,
+                               match="no such admitted flow"):
+                controller().release("ghost")
+        counters = reg.snapshot()["counters"]
+        assert counters["core.admission.release_unknown"] == 1
+
+    def test_release_unknown_leaves_state_untouched(self):
+        ctrl = controller()
+        ctrl.try_admit(voip_flow("f1", 0, 2))
+        before = ctrl.schedule.to_dict()
         with pytest.raises(ConfigurationError):
-            controller().release("ghost")
+            ctrl.release("ghost")
+        assert ctrl.admitted_count() == 1
+        assert ctrl.schedule.to_dict() == before
 
 
 class TestConfiguration:

@@ -1,0 +1,142 @@
+"""Service-class model: contracts, validation, flow bridges."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.flows import Flow
+from repro.net.topology import chain_topology
+from repro.qos import (
+    ServiceClass,
+    ServiceFlow,
+    ServiceFlowSet,
+    TrafficContract,
+    route_service_flows,
+)
+
+
+def ugs(name="u0", **kwargs):
+    contract = TrafficContract(min_reserved_rate_bps=80_000,
+                               max_latency_s=0.05, **kwargs)
+    return ServiceFlow(name, 1, 0, ServiceClass.UGS, contract)
+
+
+class TestContracts:
+    def test_class_properties(self):
+        assert ServiceClass.UGS.rank < ServiceClass.RTPS.rank \
+            < ServiceClass.NRTPS.rank < ServiceClass.BE.rank
+        assert ServiceClass.BE.is_guaranteed is False
+        assert ServiceClass.RTPS.is_guaranteed
+        assert ServiceClass.UGS.default_weight > ServiceClass.BE.default_weight
+
+    def test_ugs_requires_latency(self):
+        with pytest.raises(ConfigurationError, match="latency"):
+            ServiceFlow("u", 1, 0, ServiceClass.UGS,
+                        TrafficContract(min_reserved_rate_bps=80_000))
+
+    def test_ugs_sustained_must_match_reservation(self):
+        with pytest.raises(ConfigurationError, match="unsolicited"):
+            ServiceFlow("u", 1, 0, ServiceClass.UGS, TrafficContract(
+                min_reserved_rate_bps=80_000,
+                max_sustained_rate_bps=160_000, max_latency_s=0.05))
+
+    def test_rtps_may_burst_above_reservation(self):
+        flow = ServiceFlow("v", 2, 0, ServiceClass.RTPS, TrafficContract(
+            min_reserved_rate_bps=100_000, max_sustained_rate_bps=400_000,
+            max_latency_s=0.1))
+        assert flow.demand_rate_bps == 100_000
+        assert flow.offered_rate_bps == 400_000
+
+    def test_nrtps_rejects_latency_bound(self):
+        with pytest.raises(ConfigurationError, match="nrtPS"):
+            ServiceFlow("s", 1, 0, ServiceClass.NRTPS, TrafficContract(
+                min_reserved_rate_bps=100_000, max_latency_s=0.1))
+
+    def test_be_cannot_reserve(self):
+        with pytest.raises(ConfigurationError, match="reserve"):
+            ServiceFlow("b", 1, 0, ServiceClass.BE,
+                        TrafficContract(min_reserved_rate_bps=1000,
+                                        max_sustained_rate_bps=2000))
+
+    def test_be_needs_an_ask(self):
+        with pytest.raises(ConfigurationError, match="sustained"):
+            ServiceFlow("b", 1, 0, ServiceClass.BE, TrafficContract())
+
+    def test_sustained_cannot_undercut_reservation(self):
+        with pytest.raises(ConfigurationError, match="undercut"):
+            TrafficContract(min_reserved_rate_bps=100_000,
+                            max_sustained_rate_bps=50_000)
+
+    def test_deadline_inf_without_latency_bound(self):
+        be = ServiceFlow("b", 1, 0, ServiceClass.BE,
+                         TrafficContract(max_sustained_rate_bps=1e6))
+        assert be.deadline_s == float("inf")
+        assert ugs().deadline_s == 0.05
+
+
+class TestFlowBridge:
+    def test_to_flow_carries_reservation_and_budget(self):
+        flow = ugs().to_flow()
+        assert isinstance(flow, Flow)
+        assert flow.rate_bps == 80_000
+        assert flow.delay_budget_s == 0.05
+
+    def test_be_to_flow_has_no_budget(self):
+        be = ServiceFlow("b", 1, 0, ServiceClass.BE,
+                         TrafficContract(max_sustained_rate_bps=1e6))
+        flow = be.to_flow()
+        assert flow.delay_budget_s is None
+        assert flow.rate_bps == 1e6
+
+    def test_from_flow_round_trip(self):
+        base = Flow("v", 0, 3, rate_bps=64_000, delay_budget_s=0.1)
+        sf = ServiceFlow.from_flow(base, ServiceClass.RTPS)
+        assert sf.contract.min_reserved_rate_bps == 64_000
+        assert sf.contract.max_latency_s == 0.1
+        again = sf.to_flow()
+        assert (again.name, again.src, again.dst, again.rate_bps,
+                again.delay_budget_s) == ("v", 0, 3, 64_000, 0.1)
+
+    def test_from_flow_best_effort(self):
+        base = Flow("b", 0, 3, rate_bps=800_000)
+        sf = ServiceFlow.from_flow(base, ServiceClass.BE)
+        assert sf.contract.max_sustained_rate_bps == 800_000
+        assert sf.contract.min_reserved_rate_bps == 0
+
+
+class TestServiceFlowSet:
+    def make_set(self):
+        return ServiceFlowSet([
+            ugs("u0"),
+            ServiceFlow("v0", 2, 0, ServiceClass.RTPS, TrafficContract(
+                min_reserved_rate_bps=100_000, max_latency_s=0.1)),
+            ServiceFlow("b0", 3, 0, ServiceClass.BE,
+                        TrafficContract(max_sustained_rate_bps=1e6)),
+        ])
+
+    def test_partitions(self):
+        flows = self.make_set()
+        assert [f.name for f in flows.guaranteed()] == ["u0", "v0"]
+        assert [f.name for f in flows.best_effort()] == ["b0"]
+        assert [f.name for f in flows.by_class(ServiceClass.UGS)] == ["u0"]
+
+    def test_duplicate_rejected(self):
+        flows = self.make_set()
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            flows.add(ugs("u0"))
+
+    def test_remove_unknown_raises(self):
+        with pytest.raises(ConfigurationError, match="no service flow"):
+            self.make_set().remove("ghost")
+
+    def test_flow_set_projections_preserve_order(self):
+        flows = self.make_set()
+        assert flows.to_flow_set().names() == ["u0", "v0", "b0"]
+        assert flows.guaranteed_flow_set().names() == ["u0", "v0"]
+        assert flows.best_effort_flow_set().names() == ["b0"]
+
+    def test_routing(self):
+        topo = chain_topology(4)
+        routed = route_service_flows(topo, ServiceFlowSet([
+            ServiceFlow("v0", 3, 0, ServiceClass.RTPS, TrafficContract(
+                min_reserved_rate_bps=100_000, max_latency_s=0.1))]))
+        assert routed.get("v0").route == ((3, 2), (2, 1), (1, 0))

@@ -1,0 +1,138 @@
+"""Intra-node scheduling disciplines."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.qos import ServiceClass, available_disciplines, make_scheduler
+from repro.qos.schedulers import QueueView
+
+
+def view(name, cls=ServiceClass.BE, weight=1, backlog_bits=10_000,
+         backlog_packets=5, created=0.0, deadline=float("inf")):
+    return QueueView(name, cls, weight, backlog_bits, backlog_packets,
+                     created, deadline)
+
+
+class TestFactory:
+    def test_all_four_disciplines_available(self):
+        assert available_disciplines() == ["drr", "edf", "strict", "wrr"]
+        for name in available_disciplines():
+            assert make_scheduler(name).name == name
+
+    def test_unknown_discipline(self):
+        with pytest.raises(ConfigurationError, match="unknown scheduling"):
+            make_scheduler("fifo")
+
+    def test_drr_params_forwarded(self):
+        drr = make_scheduler("drr", quantum_bits=512)
+        assert drr.quantum_bits == 512
+
+
+class TestStrictPriority:
+    def test_class_order(self):
+        s = make_scheduler("strict")
+        cands = [view("be0", ServiceClass.BE),
+                 view("nrtps0", ServiceClass.NRTPS),
+                 view("ugs0", ServiceClass.UGS),
+                 view("rtps0", ServiceClass.RTPS)]
+        assert s.pick(cands, 0.0) == "ugs0"
+        assert s.pick(cands[:2], 0.0) == "nrtps0"
+
+    def test_fifo_within_class(self):
+        s = make_scheduler("strict")
+        cands = [view("a", created=2.0), view("b", created=1.0)]
+        assert s.pick(cands, 3.0) == "b"
+
+
+class TestEdf:
+    def test_earliest_deadline(self):
+        s = make_scheduler("edf")
+        cands = [view("late", deadline=0.5),
+                 view("soon", deadline=0.1),
+                 view("none", deadline=float("inf"))]
+        assert s.pick(cands, 0.0) == "soon"
+
+    def test_unbounded_flows_only_when_no_deadline_waits(self):
+        s = make_scheduler("edf")
+        assert s.pick([view("be0"), view("be1", created=-1.0)], 0.0) == "be1"
+
+    def test_deadline_beats_class(self):
+        # EDF is deadline-blind to class rank: a tighter rtPS deadline
+        # outranks a looser UGS one
+        s = make_scheduler("edf")
+        cands = [view("ugs0", ServiceClass.UGS, deadline=0.5),
+                 view("rtps0", ServiceClass.RTPS, deadline=0.2)]
+        assert s.pick(cands, 0.0) == "rtps0"
+
+
+class TestWrr:
+    def test_weight_proportional_grants(self):
+        s = make_scheduler("wrr")
+        cands = [view("heavy", weight=3), view("light", weight=1)]
+        picks = [s.pick(cands, 0.0) for _ in range(16)]
+        assert picks.count("heavy") == 12
+        assert picks.count("light") == 4
+
+    def test_absent_flow_skipped(self):
+        s = make_scheduler("wrr")
+        both = [view("a", weight=2), view("b", weight=2)]
+        s.pick(both, 0.0)
+        only_b = [view("b", weight=2)]
+        assert s.pick(only_b, 0.0) == "b"
+        assert s.pick(only_b, 0.0) == "b"
+
+    def test_reset_clears_round_state(self):
+        s = make_scheduler("wrr")
+        cands = [view("a", weight=1), view("b", weight=1)]
+        first = s.pick(cands, 0.0)
+        s.reset()
+        assert s.pick(cands, 0.0) == first
+
+
+class TestDrr:
+    def test_bit_fair_shares(self):
+        s = make_scheduler("drr", quantum_bits=1000, grant_bits=1000)
+        cands = [view("a", weight=2, backlog_bits=10**9),
+                 view("b", weight=1, backlog_bits=10**9)]
+        picks = [s.pick(cands, 0.0) for _ in range(30)]
+        assert picks.count("a") == 20
+        assert picks.count("b") == 10
+
+    def test_small_quantum_still_serves(self):
+        # quantum below the grant size: deficits accumulate over rounds
+        # and every backlogged flow is still eventually served
+        s = make_scheduler("drr", quantum_bits=300, grant_bits=1000)
+        cands = [view("a", weight=1, backlog_bits=10**9),
+                 view("b", weight=1, backlog_bits=10**9)]
+        picks = [s.pick(cands, 0.0) for _ in range(10)]
+        assert set(picks) == {"a", "b"}
+
+    def test_idle_flow_deficit_zeroed(self):
+        s = make_scheduler("drr", quantum_bits=1000, grant_bits=1000)
+        cands = [view("a", weight=1, backlog_bits=10**9),
+                 view("b", weight=1, backlog_bits=10**9)]
+        for _ in range(4):
+            s.pick(cands, 0.0)
+        # b leaves (queue empties): its deficit must not accumulate
+        for _ in range(6):
+            s.pick([view("a", weight=1, backlog_bits=10**9)], 0.0)
+        assert s.deficit_of("b") == 0.0
+
+    def test_partial_grant_costs_backlog_only(self):
+        s = make_scheduler("drr", quantum_bits=1000, grant_bits=1000)
+        picked = s.pick([view("a", weight=1, backlog_bits=400)], 0.0)
+        assert picked == "a"
+        assert s.deficit_of("a") == 600.0
+
+    def test_invalid_quantum(self):
+        with pytest.raises(ConfigurationError, match="quantum"):
+            make_scheduler("drr", quantum_bits=0)
+
+
+class TestWorkConservation:
+    def test_every_discipline_serves_sole_candidate(self):
+        lone = [view("only", ServiceClass.BE)]
+        for name in available_disciplines():
+            sched = make_scheduler(name)
+            for _ in range(5):
+                assert sched.pick(lone, 0.0) == "only"

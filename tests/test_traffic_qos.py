@@ -128,3 +128,32 @@ class TestFlowQoS:
     def test_meets_with_no_deliveries_fails_delay(self):
         qos = FlowQoS.from_samples("f", sent=10, received=0, delays=[])
         assert not qos.meets(max_delay_s=1.0)
+
+
+class TestSerialization:
+    def test_empty_flow_flagged_and_json_safe(self):
+        import json
+        qos = FlowQoS.from_samples("f", sent=10, received=0, delays=[])
+        assert qos.has_samples is False
+        data = qos.to_dict()
+        assert data["mean_delay_s"] is None
+        assert data["p95_delay_s"] is None
+        # strict JSON: NaN would raise with allow_nan=False
+        text = json.dumps(data, allow_nan=False)
+        assert '"has_samples": false' in text
+
+    def test_delivering_flow_serializes_numbers(self):
+        qos = FlowQoS.from_samples("f", sent=4, received=4,
+                                   delays=[0.01, 0.02, 0.03, 0.04])
+        assert qos.has_samples is True
+        data = qos.to_dict()
+        assert data["mean_delay_s"] == pytest.approx(0.025)
+        assert data["sent"] == 4 and data["received"] == 4
+
+    def test_round_trip(self):
+        for qos in (FlowQoS.from_samples("f", 10, 0, []),
+                    FlowQoS.from_samples("g", 5, 4, [0.01, 0.02, 0.3, 0.4])):
+            again = FlowQoS.from_dict(qos.to_dict())
+            assert again == qos or (not qos.has_samples
+                                    and again.flow_name == qos.flow_name
+                                    and math.isnan(again.mean_delay_s))
