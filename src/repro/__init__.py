@@ -78,6 +78,13 @@ from repro.errors import (
 )
 from repro.faults import FaultEvent, FaultInjector, FaultPlan
 from repro.mesh16 import MeshFrameConfig, default_frame_config
+from repro.mobility import (
+    MobilityTrace,
+    RadioRangeModel,
+    RandomWaypointModel,
+    TopologyStream,
+    run_mobility,
+)
 from repro.net import (
     Flow,
     FlowSet,
@@ -127,7 +134,10 @@ __all__ = [
     "InfeasibleScheduleError",
     "MeshFrameConfig",
     "MeshTopology",
+    "MobilityTrace",
     "QosAdmissionController",
+    "RadioRangeModel",
+    "RandomWaypointModel",
     "QosRunResult",
     "RepairEngine",
     "RepairOutcome",
@@ -147,6 +157,7 @@ __all__ = [
     "SlotBlock",
     "SolverEngine",
     "SolverError",
+    "TopologyStream",
     "TrafficContract",
     "TransmissionOrder",
     "VoipCodec",
@@ -164,6 +175,7 @@ __all__ = [
     "random_disk_topology",
     "required_guard_s",
     "route_all",
+    "run_mobility",
     "schedule_from_order",
     "simulate_service_flows",
     "solve_schedule_ilp",

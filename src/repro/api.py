@@ -64,17 +64,36 @@ class Scenario:
         :meth:`schedule` calls reuse the cached conflict index and
         solved-problem table without leaking state between scenarios;
         pass one explicitly to share caches across scenarios.
+    mobility:
+        Optional :class:`~repro.mobility.stream.TopologyStream`
+        describing a *moving* mesh.  Mutually exclusive with
+        ``topology`` -- the scenario's topology becomes the stream's
+        union base (the gateway's component of every node and link that
+        ever exists), and :meth:`simulate_mobility` carries the flows
+        across the churn.
     """
 
-    def __init__(self, topology: MeshTopology,
+    def __init__(self, topology: Optional[MeshTopology] = None,
                  flows: Optional[FlowsLike] = None,
                  frame: Optional[MeshFrameConfig] = None,
                  gateway: int = 0, hops: int = 2,
                  engine: Optional[SolverEngine] = None,
-                 service_flows=None) -> None:
+                 service_flows=None, mobility=None) -> None:
         if (flows is None) == (service_flows is None):
             raise ConfigurationError(
                 "pass exactly one of flows= or service_flows=")
+        if mobility is not None:
+            if topology is not None:
+                raise ConfigurationError(
+                    "pass either topology= or mobility=, not both: a "
+                    "mobile scenario's topology is the stream's union "
+                    "base")
+            topology = mobility.union_topology(gateway)[0]
+        elif topology is None:
+            raise ConfigurationError(
+                "a Scenario needs topology= or mobility=")
+        #: the mobility stream, when constructed via ``mobility=``
+        self.mobility = mobility
         if service_flows is not None:
             from repro.qos.model import ServiceFlowSet
 
@@ -183,6 +202,27 @@ class Scenario:
         return simulate_service_flows(routed, schedule, self.frame,
                                       discipline, num_frames=num_frames,
                                       **kwargs)
+
+    def simulate_mobility(self, **kwargs):
+        """Carry the flow set across the moving mesh described by
+        ``mobility=``.
+
+        Delegates to :func:`repro.mobility.run.run_mobility` with this
+        scenario's frame, gateway, conflict hops and engine; remaining
+        keyword arguments (``gateways``, ``packet_interval_s``, ...)
+        pass through.  Flows need no prior :meth:`route` -- the repair
+        engine routes and re-routes them as the mesh morphs.  Returns
+        the :class:`repro.mobility.run.MobilityRunResult`.
+        """
+        if self.mobility is None:
+            raise ConfigurationError(
+                "simulate_mobility() needs a scenario built with "
+                "mobility=")
+        from repro.mobility.run import run_mobility
+
+        return run_mobility(self.mobility, list(self.flows), self.frame,
+                            gateway=self.gateway, hops=self.hops,
+                            engine=self.engine, **kwargs)
 
     # -- inspectable intermediates ------------------------------------------
 

@@ -16,7 +16,14 @@ probe, repair and sweep point as a cold solve:
    :func:`~repro.core.conflict.conflict_graph` independently.
    :meth:`SolverEngine.interference_index` does the same for the *exact*
    interference relation (:func:`repro.phy.interference.interference_graph`)
-   that the distributed DSCH handshake packs against.
+   that the distributed DSCH handshake packs against.  Cache *misses* on
+   a churning topology are answered incrementally where possible: the
+   request is diffed against the last index of the same hops value and
+   only the dirty links are rescanned (:func:`updated_conflict_edges`),
+   turning the per-event quadratic rebuild that used to dominate
+   churn-heavy workloads into work proportional to the change --
+   ``core.engine.delta_updates`` vs ``core.engine.index_builds`` count
+   the rebuilds avoided.
 
 2. **Warm-started probe search.**  Inside one
    :func:`~repro.core.minslots.minimum_slots` search the engine carries the
@@ -89,23 +96,41 @@ from repro.net.topology import Link, MeshTopology
 BF_CERTIFIED = "bf-certified"
 
 
+def _fingerprint_token(topology: MeshTopology) -> tuple:
+    """Cheap structural signature guarding the memoized fingerprint.
+
+    Combines the topology's monotone mutation counter
+    (:meth:`~repro.net.topology.MeshTopology.apply_edge_changes` bumps it)
+    with the node and edge counts, so both sanctioned in-place mutation
+    and direct ``topology.graph`` edits that change either count
+    invalidate the cache instead of silently serving a stale fingerprint
+    -- and, through it, a stale cached :class:`ConflictIndex`.
+    """
+    return (getattr(topology, "mutations", 0),
+            topology.graph.number_of_nodes(),
+            topology.graph.number_of_edges())
+
+
 def topology_fingerprint(topology: MeshTopology) -> str:
     """Content hash of a topology's connectivity (nodes + undirected edges).
 
     Positions and the display name are irrelevant to scheduling, so two
     topologies with the same connectivity share a fingerprint -- and hence
-    share cached conflict indexes.
+    share cached conflict indexes.  The hash is memoized on the topology
+    object, keyed by :func:`_fingerprint_token`, so it survives repeated
+    lookups but never an in-place mutation.
     """
+    token = _fingerprint_token(topology)
     cached = getattr(topology, "_repro_fingerprint", None)
-    if cached is not None:
-        return cached
+    if isinstance(cached, tuple) and cached[0] == token:
+        return cached[1]
     digest = hashlib.sha256()
     digest.update(repr(sorted(topology.graph.nodes)).encode())
     digest.update(repr(sorted(tuple(sorted(e))
                               for e in topology.graph.edges)).encode())
     fingerprint = digest.hexdigest()[:16]
     try:
-        topology._repro_fingerprint = fingerprint
+        topology._repro_fingerprint = (token, fingerprint)
     except AttributeError:  # pragma: no cover - exotic topology subclass
         pass
     return fingerprint
@@ -175,16 +200,30 @@ class ConflictIndex:
     ``hops`` is the protocol-model distance, or ``None`` for the exact
     interference relation.  Treat instances (and :attr:`graph`) as frozen:
     they are shared across every consumer of the owning engine.
+
+    Protocol-model indexes built through :meth:`SolverEngine.conflict_index`
+    additionally carry a snapshot of the topology they were computed from
+    (:attr:`topo_nodes` / :attr:`topo_edges`, undirected sorted pairs).
+    The snapshot is what makes *delta updates* possible: a later request
+    for a slightly different topology/link set can be diffed against it
+    and answered by rescanning only the dirty links instead of rebuilding
+    the whole quadratic pairwise conflict relation (see
+    :meth:`SolverEngine.delta_index`).
     """
 
     __slots__ = ("key", "hops", "links", "graph", "indptr", "indices",
-                 "_positions", "_node_links")
+                 "_positions", "_node_links", "topo_nodes", "topo_edges")
 
     def __init__(self, key: str, hops: Optional[int],
-                 graph: nx.Graph) -> None:
+                 graph: nx.Graph,
+                 topo_nodes: Optional[frozenset[int]] = None,
+                 topo_edges: Optional[frozenset[tuple[int, int]]] = None
+                 ) -> None:
         self.key = key
         self.hops = hops
         self.graph = graph
+        self.topo_nodes = topo_nodes
+        self.topo_edges = topo_edges
         self.links: tuple[Link, ...] = tuple(sorted(graph.nodes))
         self._positions = {link: i for i, link in enumerate(self.links)}
         indptr = np.zeros(len(self.links) + 1, dtype=np.int64)
@@ -246,6 +285,122 @@ class ConflictIndex:
         return max(per_node.values()) if per_node else 0
 
 
+def _topology_snapshot(topology: MeshTopology
+                       ) -> tuple[frozenset[int],
+                                  frozenset[tuple[int, int]]]:
+    """The (nodes, undirected sorted edges) snapshot a delta diffs against."""
+    return (frozenset(topology.graph.nodes),
+            frozenset(tuple(sorted(e)) for e in topology.graph.edges))
+
+
+def _ball(neighbors, seeds, cutoff: int) -> set[int]:
+    """Multi-source BFS ball: every node within ``cutoff`` hops of a seed."""
+    seen = set(seeds)
+    frontier = list(seeds)
+    for _ in range(cutoff):
+        if not frontier:
+            break
+        nxt = []
+        for node in frontier:
+            for other in neighbors(node):
+                if other not in seen:
+                    seen.add(other)
+                    nxt.append(other)
+        frontier = nxt
+    return seen
+
+
+def updated_conflict_edges(old: "ConflictIndex", topology: MeshTopology,
+                           hops: int, link_list: Sequence[Link]
+                           ) -> Optional[set[tuple[Link, Link]]]:
+    """Conflict-edge set for ``(topology, link_list)``, delta-updated.
+
+    Diffs the request against the ``old`` index's stored topology
+    snapshot and link set, identifies the *dirty* links -- added links
+    plus links whose endpoints' ``hops - 1`` reach sets may have changed
+    -- and rescans only those rows against the new topology.  Conflict
+    rows between clean links are provably unchanged: under the protocol
+    model, ``conflict(a, b)`` depends only on ``a``'s endpoint reach
+    sets and ``b``'s endpoint identities, so an untouched reach set
+    means an untouched row.
+
+    Returns ``None`` when the delta cannot be applied (the old index has
+    no snapshot, or its hops differ) or would not pay (more than half
+    the links are dirty -- a rebuild is no slower then).  The returned
+    edge set is *semantically identical* to a cold
+    :func:`~repro.core.conflict.conflict_graph` build: the equivalence
+    is property-tested in ``tests/test_property_mobility.py``.
+    """
+    if old.topo_edges is None or old.topo_nodes is None or old.hops != hops:
+        return None
+    new_nodes, new_edges = _topology_snapshot(topology)
+    seeds: set[int] = set(old.topo_nodes ^ new_nodes)
+    for u, v in old.topo_edges ^ new_edges:
+        seeds.add(u)
+        seeds.add(v)
+    old_set = set(old.links)
+    new_set = set(link_list)
+    if seeds:
+        old_adj: dict[int, list[int]] = {}
+        for u, v in old.topo_edges:
+            old_adj.setdefault(u, []).append(v)
+            old_adj.setdefault(v, []).append(u)
+        graph = topology.graph
+        dirty_nodes = (_ball(lambda n: old_adj.get(n, ()), seeds, hops - 1)
+                       | _ball(lambda n: (graph.neighbors(n)
+                                          if n in graph else ()),
+                               seeds, hops - 1))
+    else:
+        dirty_nodes = set()
+    dirty = {link for link in new_set
+             if link not in old_set
+             or link[0] in dirty_nodes or link[1] in dirty_nodes}
+    if 2 * len(dirty) > len(new_set):
+        return None
+    clean = new_set - dirty
+    edges: set[tuple[Link, Link]] = set()
+    for a, b in old.graph.edges:
+        if a in clean and b in clean:
+            edges.add((a, b) if a <= b else (b, a))
+    # Rescan dirty rows against the node -> links incidence: under the
+    # protocol model conflict(a, b) holds iff b touches ``near_a`` (the
+    # shared-endpoint case is subsumed -- reach includes the source), so
+    # the scan is proportional to the rows' output, not to |links|.
+    incidence: dict[int, list[Link]] = {}
+    for link in link_list:
+        incidence.setdefault(link[0], []).append(link)
+        incidence.setdefault(link[1], []).append(link)
+    reach: dict[int, set[int]] = {}
+    graph = topology.graph
+    for a in dirty:
+        near_a: set[int] = set()
+        for node in a:
+            if node not in reach:
+                reach[node] = set(nx.single_source_shortest_path_length(
+                    graph, node, cutoff=hops - 1))
+            near_a |= reach[node]
+        for node in near_a:
+            for b in incidence.get(node, ()):
+                if b != a:
+                    edges.add((a, b) if a <= b else (b, a))
+    return edges
+
+
+def _graph_from_conflicts(link_list: Sequence[Link],
+                          edges: set[tuple[Link, Link]]) -> nx.Graph:
+    """Materialize a conflict graph with the canonical insertion order.
+
+    Nodes in sorted link order, edges in sorted lexicographic order --
+    exactly the order :func:`~repro.core.conflict.conflict_graph`'s
+    pairwise scan produces, so a delta-built graph is indistinguishable
+    from a rebuilt one right down to adjacency iteration order.
+    """
+    graph = nx.Graph()
+    graph.add_nodes_from(link_list)
+    graph.add_edges_from(sorted(edges))
+    return graph
+
+
 class SolverEngine:
     """Shared, incremental front end to the scheduling solver stack.
 
@@ -262,22 +417,45 @@ class SolverEngine:
         module-level :func:`default_engine`, which must stay stateless so
         the deterministic-observability contract holds for the bare public
         functions.
+    delta_updates:
+        When a :meth:`conflict_index` request misses the cache but a
+        previously-built index for the same ``hops`` exists, diff the two
+        and rescan only the dirty links instead of rebuilding the whole
+        pairwise conflict relation (:func:`updated_conflict_edges`).  The
+        resulting index is semantically identical to a rebuild;
+        ``stats["delta_updates"]`` / the ``core.engine.delta_updates``
+        counter record the rebuilds avoided.  Requires ``max_indexes > 0``
+        (the stateless default engine never delta-updates).  ``False``
+        gives the rebuild-always reference behaviour -- the baseline arm
+        of experiment E20.
     """
 
     def __init__(self, warm_start: bool = True, max_indexes: int = 32,
-                 max_problems: int = 128) -> None:
+                 max_problems: int = 128,
+                 delta_updates: bool = True) -> None:
         if max_indexes < 0 or max_problems < 0:
             raise ConfigurationError("cache sizes must be non-negative")
         self.warm_start = warm_start
         self.max_indexes = max_indexes
         self.max_problems = max_problems
+        self.delta_updates = delta_updates
         self._indexes: OrderedDict[tuple, ConflictIndex] = OrderedDict()
         self._problems: OrderedDict[str, ILPResult] = OrderedDict()
+        #: most recently used protocol-model index per (hops, full-links?)
+        #: lineage: the base the next cache miss is diffed against.  Churny
+        #: workloads mutate one topology a little at a time, so the last
+        #: index is almost always the cheapest base -- but whole-topology
+        #: requests and explicit-subset requests (e.g. a repair engine's
+        #: demand links) interleave, and diffing one against the other
+        #: marks every link dirty.  Keeping one lineage per kind keeps
+        #: both diffs small.
+        self._delta_bases: dict[tuple[int, bool], ConflictIndex] = {}
         #: actual-work accounting (plain ints, independent of :mod:`repro.obs`):
         #: cache effectiveness is a property of this engine's lifetime, not
         #: of the workload, so it lives here rather than in the registry.
         self.stats = {
             "index_builds": 0, "index_hits": 0,
+            "delta_updates": 0,
             "ilp_solves": 0, "problem_hits": 0,
             "ilp_probes": 0, "bf_shortcuts": 0,
         }
@@ -287,12 +465,59 @@ class SolverEngine:
     def conflict_index(self, topology: MeshTopology, hops: int = 2,
                        links: Optional[Sequence[Link]] = None
                        ) -> ConflictIndex:
-        """The (cached) :class:`ConflictIndex` for a topology/links/hops key."""
+        """The (cached) :class:`ConflictIndex` for a topology/links/hops key.
+
+        Misses are answered by the cheapest correct path: an incremental
+        delta update against the last index of the same ``hops`` when the
+        diff is small (see ``delta_updates``), a full
+        :func:`~repro.core.conflict.conflict_graph` build otherwise.
+        Either way the result is identical and lands in the same LRU.
+        """
+        if hops < 1:
+            raise ConfigurationError(
+                f"interference model needs hops >= 1, got {hops}")
         link_key = None if links is None else tuple(sorted(set(links)))
         key = ("conflict", topology_fingerprint(topology), hops, link_key)
-        return self._index_for(
-            key, hops,
-            lambda: conflict_graph(topology, hops=hops, links=links))
+        cached = self._indexes.get(key)
+        if cached is not None:
+            self._indexes.move_to_end(key)
+            self.stats["index_hits"] += 1
+            obs.counter("core.engine.index_hits").inc()
+            self._delta_bases[(hops, link_key is None)] = cached
+            return cached
+        if link_key is None:
+            link_list: Sequence[Link] = list(topology.links)
+        else:
+            link_list = list(link_key)
+            for link in link_list:
+                if not topology.has_link(link):
+                    raise ConfigurationError(
+                        f"{link} is not a link of the topology")
+        index: Optional[ConflictIndex] = None
+        base = (self._delta_bases.get((hops, link_key is None))
+                if self.delta_updates and self.max_indexes > 0 else None)
+        if base is not None:
+            edges = updated_conflict_edges(base, topology, hops, link_list)
+            if edges is not None:
+                index = ConflictIndex(
+                    "/".join(map(repr, key)), hops,
+                    _graph_from_conflicts(link_list, edges),
+                    *_topology_snapshot(topology))
+                self.stats["delta_updates"] += 1
+                obs.counter("core.engine.delta_updates").inc()
+        if index is None:
+            index = ConflictIndex(
+                "/".join(map(repr, key)), hops,
+                conflict_graph(topology, hops=hops, links=link_list),
+                *_topology_snapshot(topology))
+            self.stats["index_builds"] += 1
+            obs.counter("core.engine.index_builds").inc()
+        if self.max_indexes > 0:
+            self._indexes[key] = index
+            while len(self._indexes) > self.max_indexes:
+                self._indexes.popitem(last=False)
+            self._delta_bases[(hops, link_key is None)] = index
+        return index
 
     def interference_index(self, topology: MeshTopology) -> ConflictIndex:
         """The (cached) index of the exact interference relation.

@@ -115,7 +115,9 @@ class RepairEngine:
                  gateway: int = 0, hops: int = 2, search: str = "binary",
                  time_limit_per_probe_s: Optional[float] = 15.0,
                  engine: Optional[SolverEngine] = None,
-                 shed_key=None) -> None:
+                 shed_key=None,
+                 dead_nodes: Iterable[int] = (),
+                 dead_edges: Iterable[tuple[int, int]] = ()) -> None:
         if gateway not in topology.graph:
             raise ConfigurationError(f"gateway {gateway} not in topology")
         self.engine = engine if engine is not None else SolverEngine()
@@ -125,10 +127,19 @@ class RepairEngine:
         self.hops = hops
         self.search = search
         self.time_limit_per_probe_s = time_limit_per_probe_s
-        self._dead_nodes: frozenset[int] = frozenset()
-        self._dead_edges: frozenset[tuple[int, int]] = frozenset()
-        self.alive: MeshTopology = topology
-        self.unreachable: frozenset[int] = frozenset()
+        #: initial fault state: a mobility stream's world at t=0 rarely has
+        #: every union-topology link up, so the engine can be born degraded
+        #: and :meth:`install` then routes on the t=0 survivor rather than
+        #: on links that do not exist yet.
+        self._dead_nodes: frozenset[int] = frozenset(dead_nodes)
+        self._dead_edges: frozenset[tuple[int, int]] = frozenset(
+            (min(u, v), max(u, v)) for u, v in dead_edges)
+        if self._dead_nodes or self._dead_edges:
+            self.alive, self.unreachable = surviving_topology(
+                topology, self._dead_nodes, self._dead_edges, anchor=gateway)
+        else:
+            self.alive = topology
+            self.unreachable = frozenset()
         #: every managed flow definition (route-free), insertion-ordered
         self._flows: dict[str, Flow] = {}
         #: currently-carried routed flows (subset of _flows, same order)
@@ -171,13 +182,19 @@ class RepairEngine:
     # -- installation -------------------------------------------------------
 
     def install(self, flows: Iterable[Flow]) -> RepairOutcome:
-        """Admit the initial flow set on the fault-free mesh (full solve)."""
+        """Admit the initial flow set (full solve).
+
+        On a fault-free mesh every flow is carried.  With an initial
+        fault state (``dead_nodes=`` / ``dead_edges=`` at construction,
+        e.g. a mobility stream's t=0 world) flows whose endpoints are
+        unreachable start out parked and are readmitted by a later
+        :meth:`retarget` once their endpoints come into range.
+        """
         if self._flows:
             raise ConfigurationError("install() may only be called once")
         for flow in flows:
             self._flows[flow.name] = flow.with_route(())
-        carried = {name: self._route(base)
-                   for name, base in self._flows.items()}
+        carried, _, _, _ = self._partition(self.alive, self.unreachable)
         result = self._solve(list(carried.values()))
         if not result.feasible:
             raise AdmissionError(

@@ -44,6 +44,16 @@ class FaultPlan:
         """Time of the last event (0.0 for an empty plan)."""
         return self.events[-1].at_s if self.events else 0.0
 
+    def merged(self, other: "FaultPlan") -> "FaultPlan":
+        """This plan and ``other`` interleaved into one time-sorted plan.
+
+        The natural way to combine a mobility-derived topology stream
+        (:meth:`repro.mobility.TopologyStream.fault_plan`) with an
+        ambient stochastic fault plan: churn from motion and churn from
+        failures ride the same injector.
+        """
+        return FaultPlan(self.events + other.events)
+
     # -- builders ----------------------------------------------------------
 
     @classmethod

@@ -1,0 +1,65 @@
+"""Time-varying topologies: motion, traces and topology streams (S36).
+
+The paper schedules a *static* mesh; this subpackage makes the geometry
+itself move.  Three layers, each usable alone:
+
+- **Motion** (:mod:`repro.mobility.models`,
+  :mod:`repro.mobility.trace`): deterministic seeded random-waypoint and
+  constant-velocity models, plus :class:`MobilityTrace` replay of
+  recorded ``(t, node, x, y)`` samples (CSV / JSON Lines).  All expose
+  the same ``position(node, t)`` interface.
+- **Streaming** (:mod:`repro.mobility.stream`): a
+  :class:`TopologyStream` samples motion through a debounced
+  :class:`RadioRangeModel` and emits timestamped
+  :class:`TopologyDelta` events -- links forming/breaking, nodes
+  joining/leaving -- then lowers them onto the existing fault
+  vocabulary (:meth:`TopologyStream.fault_plan`), so the repair engine
+  survives sustained churn with no mobility-specific code.
+- **Driving** (:mod:`repro.mobility.run`): :func:`run_mobility` replays
+  the lowered plan through a :class:`~repro.faults.FaultInjector` with
+  batched :class:`~repro.core.repair.RepairEngine` retargets, checking
+  S8 validity and delay guarantees after every batch.  Experiment E20
+  sweeps node speed through this driver.
+
+Quickstart::
+
+    from repro.mobility import (RandomWaypointModel, TopologyStream,
+                                run_mobility)
+
+    motion = RandomWaypointModel(num_nodes=16, area=400.0,
+                                 speed_mps=10.0, horizon_s=60.0, seed=7)
+    stream = TopologyStream(motion, radio=170.0, dt=1.0)
+    result = run_mobility(stream, flows)
+    print(result.goodput_fraction, result.conflict_ok)
+"""
+
+from repro.mobility.models import ConstantVelocityModel, RandomWaypointModel
+from repro.mobility.run import (
+    MobilityRunResult,
+    MobilityStepOutcome,
+    run_mobility,
+)
+from repro.mobility.stream import (
+    DELTA_KINDS,
+    RadioRangeModel,
+    StreamWorld,
+    TopologyDelta,
+    TopologyStream,
+    gateway_selection,
+)
+from repro.mobility.trace import MobilityTrace
+
+__all__ = [
+    "DELTA_KINDS",
+    "ConstantVelocityModel",
+    "MobilityRunResult",
+    "MobilityStepOutcome",
+    "MobilityTrace",
+    "RadioRangeModel",
+    "RandomWaypointModel",
+    "StreamWorld",
+    "TopologyDelta",
+    "TopologyStream",
+    "gateway_selection",
+    "run_mobility",
+]

@@ -1,0 +1,351 @@
+"""Positions -> timestamped topology deltas (S36).
+
+A :class:`TopologyStream` samples a motion model (or replayed trace)
+every ``dt`` seconds, maps pairwise distances through a
+:class:`RadioRangeModel`, and emits the *differences* between
+consecutive connectivity snapshots as :class:`TopologyDelta` events:
+links forming and breaking, nodes joining and leaving the field.
+
+The stream is the bridge between geometry and the fault machinery.
+:meth:`TopologyStream.fault_plan` lowers the delta stream onto the
+existing :class:`~repro.faults.plan.FaultPlan` vocabulary against a
+fixed *union* base topology (every node and link that ever exists,
+restricted to the gateway's component), plus the initial dead sets that
+describe the t=0 world.  A :class:`~repro.core.repair.RepairEngine`
+seeded with that base and those dead sets then survives sustained
+churn exactly as it survives scripted faults -- mobility needs no new
+repair code, only this lowering.
+
+Hysteresis matters: with ``hysteresis=0`` a node oscillating around the
+range boundary flaps its links every step.  The radio model forms a
+link only once the pair is *well* inside range and breaks it only once
+*well* outside, which is also how real drivers debounce association.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Union
+
+from repro.errors import ConfigurationError
+from repro.faults.events import FaultEvent
+from repro.faults.plan import FaultPlan
+from repro.net.topology import MeshTopology, from_edges
+
+#: Delta kinds a stream can emit.
+DELTA_KINDS = frozenset({"link_up", "link_down", "node_join", "node_leave"})
+
+#: How stream delta kinds lower onto the fault-event vocabulary.
+_FAULT_KIND = {"link_up": "link_up", "link_down": "link_down",
+               "node_join": "node_up", "node_leave": "node_down"}
+
+
+class RadioRangeModel:
+    """Disk connectivity with symmetric hysteresis debouncing.
+
+    A link *forms* once the pair distance drops to ``range_m * (1 -
+    hysteresis)`` and *breaks* once it exceeds ``range_m * (1 +
+    hysteresis)``; in between, the previous state holds.  At t=0 (no
+    previous state) the nominal ``d <= range_m`` disk rule applies, so a
+    stream over a static layout reproduces exactly the graph
+    :func:`~repro.net.topology.random_disk_topology` would build from
+    the same positions and range.
+    """
+
+    def __init__(self, range_m: float, hysteresis: float = 0.1) -> None:
+        if range_m <= 0:
+            raise ConfigurationError("range_m must be positive")
+        if not 0.0 <= hysteresis < 1.0:
+            raise ConfigurationError(
+                f"hysteresis must be in [0, 1), got {hysteresis}")
+        self.range_m = float(range_m)
+        self.hysteresis = float(hysteresis)
+
+    def initial(self, distance: float) -> bool:
+        """Nominal disk rule for the very first snapshot."""
+        return distance <= self.range_m
+
+    def next_state(self, was_up: bool, distance: float) -> bool:
+        """Debounced link state given the previous state and new distance."""
+        if was_up:
+            return distance <= self.range_m * (1.0 + self.hysteresis)
+        return distance <= self.range_m * (1.0 - self.hysteresis)
+
+
+@dataclass(frozen=True)
+class TopologyDelta:
+    """One timestamped connectivity change emitted by a stream.
+
+    ``link_up``/``link_down`` carry the undirected ``link`` (normalised
+    to the sorted pair); ``node_join``/``node_leave`` carry the ``node``.
+    A leaving node's incident links get their own ``link_down`` deltas at
+    the same timestamp, so the link state is always the full edge-set
+    diff -- consumers never need to infer implied link changes.
+    """
+
+    at_s: float
+    kind: str
+    node: Optional[int] = None
+    link: Optional[tuple[int, int]] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in DELTA_KINDS:
+            raise ConfigurationError(
+                f"unknown delta kind {self.kind!r}; expected one of "
+                f"{sorted(DELTA_KINDS)}")
+        if self.at_s < 0:
+            raise ConfigurationError(f"delta time {self.at_s} is negative")
+        if self.kind.startswith("node"):
+            if self.node is None or self.link is not None:
+                raise ConfigurationError(f"{self.kind} delta needs a node")
+        else:
+            if self.link is None or self.node is not None:
+                raise ConfigurationError(f"{self.kind} delta needs a link")
+            u, v = self.link
+            if u == v:
+                raise ConfigurationError(f"degenerate link ({u}, {v})")
+            object.__setattr__(self, "link", (min(u, v), max(u, v)))
+
+    def sort_key(self) -> tuple:
+        """Deterministic total order: time, kind, victim."""
+        return (self.at_s, self.kind,
+                self.node if self.node is not None else -1,
+                self.link or (-1, -1))
+
+
+@dataclass(frozen=True)
+class StreamWorld:
+    """A stream lowered onto the fault machinery's vocabulary.
+
+    ``topology`` is the union base (the gateway's component of every
+    node/link that ever exists); ``dead_nodes``/``dead_edges`` describe
+    what is *missing at t=0* relative to that base; ``plan`` replays the
+    remaining deltas as fault events.  ``dropped_nodes`` lists union
+    nodes outside the gateway component -- they never matter to the
+    scheduled mesh and are excised from the plan too.
+    """
+
+    topology: MeshTopology
+    dead_nodes: frozenset[int]
+    dead_edges: frozenset[tuple[int, int]]
+    plan: FaultPlan
+    dropped_nodes: frozenset[int] = field(default_factory=frozenset)
+
+
+class TopologyStream:
+    """Sampled motion + radio range -> snapshots and deltas.
+
+    Parameters
+    ----------
+    motion:
+        Any motion-interface object (:mod:`repro.mobility.models` model
+        or :class:`~repro.mobility.trace.MobilityTrace`).
+    radio:
+        A :class:`RadioRangeModel`, or a bare range in metres (default
+        hysteresis applies).
+    dt:
+        Sampling period, seconds.  Also the delta timestamp grain.
+    horizon_s:
+        Stream end time; defaults to the motion's own horizon.
+    """
+
+    def __init__(self, motion, radio: Union[RadioRangeModel, float],
+                 dt: float = 1.0,
+                 horizon_s: Optional[float] = None) -> None:
+        if dt <= 0:
+            raise ConfigurationError("dt must be positive")
+        if not isinstance(radio, RadioRangeModel):
+            radio = RadioRangeModel(float(radio))
+        self.motion = motion
+        self.radio = radio
+        self.dt = float(dt)
+        self.horizon_s = float(motion.horizon_s if horizon_s is None
+                               else horizon_s)
+        if self.horizon_s < 0:
+            raise ConfigurationError("horizon_s must be non-negative")
+        self._snapshots: Optional[list[tuple[float, frozenset[int],
+                                    frozenset[tuple[int, int]]]]] = None
+        self._first_seen: dict[int, tuple[float, float]] = {}
+
+    def sample_times(self) -> list[float]:
+        """The sampling grid ``0, dt, 2*dt, ...`` up to the horizon."""
+        steps = int(self.horizon_s / self.dt + 1e-9)
+        return [round(k * self.dt, 9) for k in range(steps + 1)]
+
+    def snapshots(self) -> list[tuple[float, frozenset[int],
+                                      frozenset[tuple[int, int]]]]:
+        """``(t, present_nodes, present_edges)`` per sample time.
+
+        Computed once with debounced per-edge state and cached; every
+        other accessor derives from this list.
+        """
+        if self._snapshots is not None:
+            return self._snapshots
+        nodes = tuple(self.motion.nodes)
+        up: set[tuple[int, int]] = set()
+        result = []
+        for step, t in enumerate(self.sample_times()):
+            positions = {}
+            for node in nodes:
+                xy = self.motion.position(node, t)
+                if xy is not None:
+                    positions[node] = xy
+                    self._first_seen.setdefault(node, xy)
+            present = sorted(positions)
+            edges = set()
+            for i, u in enumerate(present):
+                for v in present[i + 1:]:
+                    (xu, yu), (xv, yv) = positions[u], positions[v]
+                    d = math.hypot(xu - xv, yu - yv)
+                    if step == 0:
+                        alive = self.radio.initial(d)
+                    else:
+                        alive = self.radio.next_state((u, v) in up, d)
+                    if alive:
+                        edges.add((u, v))
+            up = edges
+            result.append((t, frozenset(present), frozenset(edges)))
+        self._snapshots = result
+        return result
+
+    def deltas(self) -> list[TopologyDelta]:
+        """The full diff between consecutive snapshots, time-sorted.
+
+        The t=0 snapshot is the starting state, not a delta: the first
+        deltas carry the second sample's timestamp.
+        """
+        out: list[TopologyDelta] = []
+        snaps = self.snapshots()
+        for (t0, nodes0, edges0), (t1, nodes1, edges1) in zip(snaps,
+                                                              snaps[1:]):
+            for node in nodes1 - nodes0:
+                out.append(TopologyDelta(t1, "node_join", node=node))
+            for node in nodes0 - nodes1:
+                out.append(TopologyDelta(t1, "node_leave", node=node))
+            for link in edges1 - edges0:
+                out.append(TopologyDelta(t1, "link_up", link=link))
+            for link in edges0 - edges1:
+                out.append(TopologyDelta(t1, "link_down", link=link))
+        out.sort(key=TopologyDelta.sort_key)
+        return out
+
+    def union(self) -> tuple[frozenset[int], frozenset[tuple[int, int]]]:
+        """Every node and edge present in *any* snapshot."""
+        nodes: set[int] = set()
+        edges: set[tuple[int, int]] = set()
+        for _, snap_nodes, snap_edges in self.snapshots():
+            nodes |= snap_nodes
+            edges |= snap_edges
+        return frozenset(nodes), frozenset(edges)
+
+    def union_topology(self, gateway: int = 0
+                       ) -> tuple[MeshTopology, frozenset[int]]:
+        """The gateway's component of the union graph, plus dropped nodes.
+
+        Positions record each node's first-seen sample (for plotting and
+        re-seeding).  Nodes that never connect to the gateway's
+        component -- even transitively, even briefly -- are dropped: no
+        schedule can ever carry their traffic.
+        """
+        nodes, edges = self.union()
+        if gateway not in nodes:
+            raise ConfigurationError(
+                f"gateway {gateway} never appears in the stream")
+        adjacency: dict[int, list[int]] = {n: [] for n in nodes}
+        for u, v in edges:
+            adjacency[u].append(v)
+            adjacency[v].append(u)
+        component = {gateway}
+        queue = deque([gateway])
+        while queue:
+            node = queue.popleft()
+            for peer in adjacency[node]:
+                if peer not in component:
+                    component.add(peer)
+                    queue.append(peer)
+        kept_edges = sorted(e for e in edges if e[0] in component)
+        if not kept_edges and len(component) > 1:  # pragma: no cover
+            raise ConfigurationError("union component has no edges")
+        if len(component) == 1:
+            raise ConfigurationError(
+                f"gateway {gateway} never hears another node; "
+                "no mesh to schedule")
+        positions = {n: self._first_seen[n] for n in sorted(component)}
+        topology = from_edges(kept_edges, name="mobility-union",
+                              positions=positions)
+        return topology, frozenset(nodes - component)
+
+    def fault_plan(self, gateway: int = 0) -> StreamWorld:
+        """Lower the stream onto the fault machinery (see module docs).
+
+        The gateway anchors repair, so it must be present in *every*
+        snapshot -- a mobile gateway that leaves the field mid-run is a
+        configuration error, not a fault to survive.
+        """
+        for t, nodes, _ in self.snapshots():
+            if gateway not in nodes:
+                raise ConfigurationError(
+                    f"gateway {gateway} is absent from the stream at "
+                    f"t={t}; the repair anchor must always be present")
+        topology, dropped = self.union_topology(gateway)
+        kept_nodes = frozenset(topology.graph.nodes)
+        kept_edges = frozenset(tuple(sorted(e))
+                               for e in topology.graph.edges)
+        t0, nodes0, edges0 = self.snapshots()[0]
+        dead_nodes = kept_nodes - nodes0
+        dead_edges = kept_edges - edges0
+        events = []
+        for delta in self.deltas():
+            if delta.node is not None:
+                if delta.node not in kept_nodes:
+                    continue
+                events.append(FaultEvent(delta.at_s,
+                                         _FAULT_KIND[delta.kind],
+                                         node=delta.node))
+            else:
+                if delta.link not in kept_edges:
+                    continue
+                events.append(FaultEvent(delta.at_s,
+                                         _FAULT_KIND[delta.kind],
+                                         link=delta.link))
+        return StreamWorld(topology=topology,
+                           dead_nodes=frozenset(dead_nodes),
+                           dead_edges=frozenset(dead_edges),
+                           plan=FaultPlan.scripted(events, topology),
+                           dropped_nodes=dropped)
+
+
+def gateway_selection(nodes: Iterable[int],
+                      edges: Iterable[tuple[int, int]],
+                      gateways: Iterable[int]) -> dict[int, Optional[int]]:
+    """Nearest-gateway assignment by hop count over the given edge set.
+
+    Every node maps to the gateway with the smallest hop distance
+    (smallest gateway id breaks ties), or ``None`` when no gateway is
+    reachable.  E20 tracks how often this assignment *changes* per node
+    as the mesh morphs -- the gateway re-selection rate, a proxy for the
+    route-stability cost of mobility.
+    """
+    node_set = set(nodes)
+    adjacency: dict[int, list[int]] = {n: [] for n in node_set}
+    for u, v in edges:
+        if u in node_set and v in node_set:
+            adjacency[u].append(v)
+            adjacency[v].append(u)
+    best: dict[int, tuple[int, int]] = {}
+    for gateway in sorted(set(gateways) & node_set):
+        dist = {gateway: 0}
+        queue = deque([gateway])
+        while queue:
+            node = queue.popleft()
+            for peer in adjacency[node]:
+                if peer not in dist:
+                    dist[peer] = dist[node] + 1
+                    queue.append(peer)
+        for node, hops in dist.items():
+            candidate = (hops, gateway)
+            if node not in best or candidate < best[node]:
+                best[node] = candidate
+    return {n: best[n][1] if n in best else None for n in sorted(node_set)}

@@ -52,11 +52,19 @@ class MeshTopology:
         self.graph = graph
         self.positions = positions or {}
         self.name = name
+        #: Monotone mutation counter: bumped by every in-place structural
+        #: change made through :meth:`apply_edge_changes`, so derived caches
+        #: (e.g. the engine's memoized topology fingerprint) can detect that
+        #: this object is no longer the graph they were computed from.
+        self.mutations = 0
+        self._rebuild_links()
+
+    def _rebuild_links(self) -> None:
         #: Canonical ordering of directed links: sorted (u, v) pairs, both
         #: directions of every undirected edge.
         self.links: list[Link] = sorted(
             itertools.chain.from_iterable(
-                ((u, v), (v, u)) for u, v in graph.edges))
+                ((u, v), (v, u)) for u, v in self.graph.edges))
         self._link_index = {link: i for i, link in enumerate(self.links)}
 
     # -- basic queries ----------------------------------------------------
@@ -97,6 +105,56 @@ class MeshTopology:
             raise ConfigurationError("topology has no positions for distance()")
         (xa, ya), (xb, yb) = self.positions[a], self.positions[b]
         return math.hypot(xa - xb, ya - yb)
+
+    @property
+    def has_positions(self) -> bool:
+        """True iff every node has a layout position."""
+        return all(n in self.positions for n in self.graph.nodes)
+
+    def position(self, node: int) -> tuple[float, float]:
+        """Layout position of ``node`` in metres.
+
+        Every generator in this module records the positions it placed
+        nodes at, so mobility models (:mod:`repro.mobility`) and
+        distance-based channel models can seed from the real layout.
+        """
+        try:
+            return self.positions[node]
+        except KeyError:
+            raise ConfigurationError(
+                f"{self.name} has no position for node {node}") from None
+
+    # -- in-place mutation ------------------------------------------------
+
+    def apply_edge_changes(self, add: Iterable[tuple[int, int]] = (),
+                           remove: Iterable[tuple[int, int]] = ()) -> None:
+        """Mutate connectivity in place, keeping every invariant intact.
+
+        This is the *only* supported way to change a topology after
+        construction: it revalidates connectivity (rolling back on
+        failure), rebuilds the canonical link ordering, and bumps
+        :attr:`mutations` so memoized derived state -- most importantly the
+        engine's cached topology fingerprint -- is invalidated instead of
+        silently served stale.  Mutating :attr:`graph` directly leaves
+        :attr:`links` and cached fingerprints stale; don't.
+        """
+        candidate = self.graph.copy()
+        for u, v in remove:
+            if candidate.has_edge(u, v):
+                candidate.remove_edge(u, v)
+        for u, v in add:
+            if u not in candidate or v not in candidate:
+                raise ConfigurationError(
+                    f"cannot add edge ({u}, {v}): unknown node")
+            if u == v:
+                raise ConfigurationError(f"degenerate edge ({u}, {v})")
+            candidate.add_edge(u, v)
+        if not nx.is_connected(candidate):
+            raise ConfigurationError(
+                "edge changes would disconnect the topology")
+        self.graph = candidate
+        self.mutations += 1
+        self._rebuild_links()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"MeshTopology({self.name!r}, nodes={self.num_nodes()}, "
@@ -225,11 +283,13 @@ def random_disk_topology(num_nodes: int, radio_range: float,
         "increase radio_range or decrease area")
 
 
-def from_edges(edges: Iterable[tuple[int, int]], name: str = "custom") -> MeshTopology:
+def from_edges(edges: Iterable[tuple[int, int]], name: str = "custom",
+               positions: Optional[dict[int, tuple[float, float]]] = None,
+               ) -> MeshTopology:
     """Build a topology from an explicit undirected edge list."""
     graph = nx.Graph()
     graph.add_edges_from(edges)
-    return MeshTopology(graph, name=name)
+    return MeshTopology(graph, positions, name=name)
 
 
 def surviving_topology(topology: MeshTopology,

@@ -57,6 +57,7 @@ SHARD_AXES: dict[str, str] = {
     "E17": "churn_rates",
     "E18": "loss_rates",
     "E19": "disciplines",
+    "E20": "speeds",
 }
 
 

@@ -32,13 +32,14 @@ PUBLIC_MODULES = [
     "repro.traffic",
     "repro.faults",
     "repro.resilience",
+    "repro.mobility",
     "repro.runtime",
 ]
 
 #: Methods of facade/result classes that are part of the contract.
 PUBLIC_CLASS_METHODS = {
     "repro.api.Scenario": ["__init__", "route", "schedule", "simulate",
-                           "simulate_qos"],
+                           "simulate_qos", "simulate_mobility"],
     "repro.core.minslots.MinSlotResult": [],
     "repro.core.engine.SolverEngine": [
         "__init__", "conflict_index", "interference_index", "solve",

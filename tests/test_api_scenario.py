@@ -191,3 +191,48 @@ class TestServiceFlowScenario:
         assert result.discipline == "drr"
         assert result.stats_for(ServiceClass.UGS).latency_violations == 0
         assert scenario.service_flows.get("voip0").is_routed
+
+
+class TestScenarioMobility:
+    def _stream(self):
+        from repro.mobility import TopologyStream
+        from repro.mobility.models import ConstantVelocityModel
+
+        positions = {0: (0.0, 0.0), 1: (80.0, 0.0), 2: (0.0, 80.0),
+                     3: (80.0, 80.0), 4: (160.0, 40.0)}
+        velocities = {n: (0.0, 0.0) for n in positions}
+        velocities[4] = (-10.0, 0.0)
+        model = ConstantVelocityModel(positions, velocities, 10.0)
+        return TopologyStream(model, 100.0, dt=1.0)
+
+    def test_mobility_derives_the_union_topology(self):
+        scenario = Scenario(mobility=self._stream(),
+                            flows=[Flow("f0", src=4, dst=0,
+                                        rate_bps=64_000,
+                                        delay_budget_s=0.5)])
+        assert sorted(scenario.topology.graph.nodes) == [0, 1, 2, 3, 4]
+        assert scenario.mobility is not None
+
+    def test_mobility_and_topology_are_mutually_exclusive(self):
+        with pytest.raises(ConfigurationError, match="not both"):
+            Scenario(chain_topology(3), flows=_flows(),
+                     mobility=self._stream())
+        with pytest.raises(ConfigurationError, match="topology= or"):
+            Scenario(flows=_flows())
+
+    def test_simulate_mobility_end_to_end(self):
+        from repro.mobility.run import MobilityRunResult
+
+        scenario = Scenario(mobility=self._stream(),
+                            flows=[Flow("f0", src=3, dst=0,
+                                        rate_bps=64_000,
+                                        delay_budget_s=0.5)])
+        result = scenario.simulate_mobility()
+        assert isinstance(result, MobilityRunResult)
+        assert result.conflict_ok and result.guarantee_ok
+        assert scenario.engine.stats["index_builds"] > 0
+
+    def test_simulate_mobility_needs_the_stream(self):
+        scenario = Scenario(chain_topology(3), flows=_flows())
+        with pytest.raises(ConfigurationError, match="mobility="):
+            scenario.simulate_mobility()

@@ -246,3 +246,93 @@ def test_scenario_shares_engine_across_properties():
     assert search.feasible
     assert scenario.engine.stats["index_builds"] == 1
     assert scenario.engine.stats["index_hits"] >= 2
+
+
+# -- delta updates and in-place mutation ------------------------------------
+
+
+def test_fingerprint_invalidated_by_in_place_mutation():
+    topology = grid_topology(3, 3)
+    before = topology_fingerprint(topology)
+    topology.apply_edge_changes(remove=[(0, 1)])
+    after = topology_fingerprint(topology)
+    assert after != before
+    topology.apply_edge_changes(add=[(0, 1)])
+    assert topology_fingerprint(topology) == before
+
+
+def test_fingerprint_survives_equal_count_edge_swap():
+    # remove one edge and add another in a single call: node and edge
+    # counts are unchanged, so only the mutation counter can catch it
+    topology = grid_topology(3, 3)
+    before = topology_fingerprint(topology)
+    topology.apply_edge_changes(add=[(0, 4)], remove=[(0, 1)])
+    assert topology_fingerprint(topology) != before
+
+
+def test_engine_never_serves_a_stale_index_after_mutation(registry):
+    engine = SolverEngine()
+    topology = grid_topology(3, 3)
+    stale = engine.conflict_index(topology, hops=2)
+    topology.apply_edge_changes(remove=[(0, 1)])
+    fresh = engine.conflict_index(topology, hops=2)
+    assert fresh is not stale
+    expected = conflict_graph(topology, hops=2)
+    assert set(map(frozenset, fresh.graph.edges)) == \
+        set(map(frozenset, expected.edges))
+
+
+def test_delta_update_matches_cold_rebuild_bitwise(registry):
+    import numpy as np
+
+    topology = grid_topology(4, 5)
+    engine = SolverEngine()
+    engine.conflict_index(topology, hops=2)
+    topology.apply_edge_changes(remove=[(0, 1)])
+    delta_idx = engine.conflict_index(topology, hops=2)
+    assert engine.stats["delta_updates"] == 1
+    assert engine.stats["index_builds"] == 1
+    cold = SolverEngine().conflict_index(topology, hops=2)
+    assert list(delta_idx.graph.nodes) == list(cold.graph.nodes)
+    assert list(delta_idx.graph.edges) == list(cold.graph.edges)
+    assert np.array_equal(delta_idx.indptr, cold.indptr)
+    assert np.array_equal(delta_idx.indices, cold.indices)
+    snap = registry.snapshot()
+    assert snap["counters"]["core.engine.delta_updates"] == 1
+
+
+def test_delta_updates_can_be_disabled():
+    topology = grid_topology(4, 5)
+    engine = SolverEngine(delta_updates=False)
+    engine.conflict_index(topology, hops=2)
+    topology.apply_edge_changes(remove=[(0, 1)])
+    engine.conflict_index(topology, hops=2)
+    assert engine.stats["delta_updates"] == 0
+    assert engine.stats["index_builds"] == 2
+
+
+def test_delta_bases_keep_subset_and_full_lineages_apart():
+    # repair asks for demand-link subsets while validation asks for the
+    # whole topology; interleaving the two must not poison either
+    # lineage's delta base
+    topology = grid_topology(4, 5)
+    engine = SolverEngine()
+    engine.conflict_index(topology, hops=2)
+    subset = sorted(tuple(sorted(l)) for l in topology.graph.edges)[:6]
+    engine.conflict_index(topology, hops=2, links=subset)
+    topology.apply_edge_changes(remove=[(0, 1)])
+    before = engine.stats["delta_updates"]
+    engine.conflict_index(topology, hops=2)
+    assert engine.stats["delta_updates"] == before + 1
+
+
+def test_delta_rejected_when_most_links_are_dirty():
+    # a chain is so small that any edge change dirties over half the
+    # links; the engine must fall back to a full rebuild
+    topology = chain_topology(5)
+    engine = SolverEngine()
+    engine.conflict_index(topology, hops=2)
+    topology.apply_edge_changes(add=[(0, 2)])
+    engine.conflict_index(topology, hops=2)
+    assert engine.stats["delta_updates"] == 0
+    assert engine.stats["index_builds"] == 2
