@@ -1,0 +1,34 @@
+"""E21: zoned/greedy scaling vs the exact ILP on city-scale meshes.
+
+Expected shape: the exact arm stops being tractable within a few
+hundred links while the zoned and greedy arms keep producing validated
+(S8 + S30) schedules; where the exact optimum exists the heuristic gap
+stays within the policy's advertised 10% tolerance.
+"""
+
+from conftest import run_experiment
+
+from repro.analysis.experiments import e21_zoned_scaling
+
+GAP = 9  # column index of zoned_gap_pct
+EXACT_STATUS = 13
+
+
+def test_bench_e21_zoned_scaling(benchmark):
+    result = run_experiment(benchmark, e21_zoned_scaling,
+                            sizes=((24, 16), (80, 60), (240, 180)),
+                            exact_link_cap=120)
+    exact_rows = [r for r in result.rows if r[EXACT_STATUS] == "ok"]
+    dnf_rows = [r for r in result.rows if r[EXACT_STATUS] != "ok"]
+    assert exact_rows, "at least one size must be exactly solvable"
+    assert dnf_rows, "at least one size must defeat the exact ILP"
+    for row in result.rows:
+        assert row[11] is True, "every schedule must be S8 conflict-free"
+        assert row[12] is True, "every schedule must meet S30 guarantees"
+        assert row[6] is not None, "zoned arm must always produce a schedule"
+        assert row[7] is not None, "greedy arm must always produce a schedule"
+    for row in exact_rows:
+        assert row[GAP] <= 10.0, \
+            "zoned gap must stay within the advertised tolerance"
+        assert row[GAP + 1] <= 15.0, \
+            "greedy gap should stay moderate where exact is tractable"

@@ -55,15 +55,20 @@ from repro.core import (
     SchedulingProblem,
     SlotBlock,
     SolverEngine,
+    SolverPolicy,
     TransmissionOrder,
+    ZonePartition,
     conflict_graph,
+    greedy_minimum_slots,
     greedy_schedule,
     min_delay_tree_order,
     minimum_slots,
+    partition_zones,
     path_delay_slots,
     path_wraps,
     schedule_from_order,
     solve_schedule_ilp,
+    zoned_minimum_slots,
 )
 from repro.core.ilp import DelayConstraint
 from repro.errors import (
@@ -157,19 +162,23 @@ __all__ = [
     "SlotBlock",
     "SolverEngine",
     "SolverError",
+    "SolverPolicy",
     "TopologyStream",
     "TrafficContract",
     "TransmissionOrder",
     "VoipCodec",
+    "ZonePartition",
     "chain_topology",
     "conflict_graph",
     "default_frame_config",
     "gateway_tree",
+    "greedy_minimum_slots",
     "greedy_schedule",
     "grid_topology",
     "make_scheduler",
     "min_delay_tree_order",
     "minimum_slots",
+    "partition_zones",
     "path_delay_slots",
     "path_wraps",
     "random_disk_topology",

@@ -22,6 +22,7 @@ exploration.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import pathlib
 import sys
@@ -59,6 +60,13 @@ def _build_parser() -> argparse.ArgumentParser:
                              "serial; 0 = one per CPU)")
     parser.add_argument("--no-cache", action="store_true",
                         help="neither read nor write the result cache")
+    parser.add_argument("--param", action="append", default=[],
+                        metavar="KEY=VALUE", dest="params",
+                        help="experiment keyword override, value parsed "
+                             "as JSON with a plain-string fallback (e.g. "
+                             "--param sizes=[[24,16]]); applies to every "
+                             "requested experiment and is part of the "
+                             "cache key")
     parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
                         metavar="DIR",
                         help="cache/ledger directory (default %(default)s)")
@@ -144,6 +152,18 @@ def main(argv: list[str] | None = None) -> int:
         print(format_ledger_summary(summarize_ledger(ledger_path)))
         return 0
 
+    params = {}
+    for item in args.params:
+        key, sep, raw = item.partition("=")
+        if not sep or not key:
+            print(f"error: --param needs KEY=VALUE, got {item!r}",
+                  file=sys.stderr)
+            return 2
+        try:
+            params[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            params[key] = raw
+
     if args.jobs < 0:
         print("error: --jobs must be >= 0", file=sys.stderr)
         return 2
@@ -213,7 +233,8 @@ def main(argv: list[str] | None = None) -> int:
         run_experiments(requested, jobs=jobs, use_cache=not args.no_cache,
                         cache_dir=args.cache_dir,
                         ledger_path=str(ledger_path),
-                        resume=args.resume, on_experiment=on_experiment,
+                        resume=args.resume, params=params or None,
+                        on_experiment=on_experiment,
                         metrics=registry, trace=trace)
     finally:
         if trace is not None:

@@ -28,8 +28,10 @@ from __future__ import annotations
 
 from typing import Iterable, Optional, Union
 
+from repro._deprecation import warn_once
 from repro.core.engine import SolverEngine
 from repro.core.minslots import MinSlotResult, minimum_slots
+from repro.core.policy import SolverPolicy
 from repro.errors import ConfigurationError
 from repro.mesh16.frame import MeshFrameConfig, default_frame_config
 from repro.net.flows import Flow, FlowSet
@@ -64,6 +66,14 @@ class Scenario:
         :meth:`schedule` calls reuse the cached conflict index and
         solved-problem table without leaking state between scenarios;
         pass one explicitly to share caches across scenarios.
+    solver:
+        The :class:`~repro.core.policy.SolverPolicy` (or mode string:
+        ``"exact"``, ``"zoned"``, ``"greedy"``, ``"auto"``) governing
+        how :meth:`schedule` solves.  Defaults to the engine's policy
+        when ``engine=`` is given, else to the ``"auto"`` policy --
+        exact at paper scale, zoned above the link threshold.  This
+        replaces the old per-call ``schedule(search=, max_region=,
+        time_limit_per_probe=)`` kwargs, which still work but warn once.
     mobility:
         Optional :class:`~repro.mobility.stream.TopologyStream`
         describing a *moving* mesh.  Mutually exclusive with
@@ -78,7 +88,8 @@ class Scenario:
                  frame: Optional[MeshFrameConfig] = None,
                  gateway: int = 0, hops: int = 2,
                  engine: Optional[SolverEngine] = None,
-                 service_flows=None, mobility=None) -> None:
+                 service_flows=None, mobility=None,
+                 solver: Union[SolverPolicy, str, None] = None) -> None:
         if (flows is None) == (service_flows is None):
             raise ConfigurationError(
                 "pass exactly one of flows= or service_flows=")
@@ -112,7 +123,14 @@ class Scenario:
         self.gateway = gateway
         self.hops = hops
         #: solver engine owning this scenario's caches
-        self.engine = engine if engine is not None else SolverEngine()
+        if engine is not None:
+            self.engine = engine
+            #: the policy :meth:`schedule` solves under
+            self.solver = (engine.policy if solver is None
+                           else SolverPolicy.coerce(solver))
+        else:
+            self.solver = SolverPolicy.coerce(solver)
+            self.engine = SolverEngine(policy=self.solver)
         #: result of the last :meth:`schedule` call
         self.minslots: Optional[MinSlotResult] = None
 
@@ -130,26 +148,49 @@ class Scenario:
         self.flows = route_all(self.topology, self.flows)
         return self
 
-    def schedule(self, search: str = "linear",
+    def schedule(self, search: Optional[str] = None,
                  enforce_delay: bool = True,
                  max_region: Optional[int] = None,
                  time_limit_per_probe: Optional[float] = None
                  ) -> MinSlotResult:
         """Run the minimum-slot search for the routed flows.
 
+        *How* to solve -- exact, zoned, greedy or auto, plus the probe
+        search and region/time knobs -- is the scenario's ``solver=``
+        policy.  The pre-policy per-call ``search=`` / ``max_region=`` /
+        ``time_limit_per_probe=`` arguments still apply as overrides but
+        emit a once-per-process :class:`DeprecationWarning`; pass a
+        :class:`~repro.core.policy.SolverPolicy` instead.
+
         Returns the :class:`~repro.core.minslots.MinSlotResult`; its
         ``.schedule`` / ``.order`` / ``.slots`` are the solution.  The
         result is also kept on ``self.minslots`` so :meth:`simulate`
         can pick it up.
         """
+        if search is not None:
+            warn_once(
+                "Scenario.schedule.search",
+                "Scenario.schedule(search=...) is deprecated; pass "
+                "Scenario(solver=SolverPolicy(search=...)) instead")
+        if max_region is not None:
+            warn_once(
+                "Scenario.schedule.max_region",
+                "Scenario.schedule(max_region=...) is deprecated; pass "
+                "Scenario(solver=SolverPolicy(max_region=...)) instead")
+        if time_limit_per_probe is not None:
+            warn_once(
+                "Scenario.schedule.time_limit_per_probe",
+                "Scenario.schedule(time_limit_per_probe=...) is "
+                "deprecated; pass Scenario(solver=SolverPolicy("
+                "time_limit_per_probe=...)) instead")
+        policy = self.solver.with_overrides(search, max_region,
+                                            time_limit_per_probe)
         self._require_routed("schedule")
         self.minslots = minimum_slots(
             self.conflicts, self.demands, self.frame.data_slots,
             delay_constraints=(self.delay_constraints
                                if enforce_delay else ()),
-            search=search, max_region=max_region,
-            time_limit_per_probe=time_limit_per_probe,
-            engine=self.engine)
+            engine=self.engine, policy=policy)
         return self.minslots
 
     def simulate(self, duration_s: float = 5.0, *,

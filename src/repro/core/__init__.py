@@ -19,7 +19,10 @@ This package implements the paper line's algorithmic contribution:
 - online schedule repair under fault churn (:mod:`repro.core.repair`);
 - the incremental solver engine front end -- shared conflict indexes,
   warm-started probe searches, problem caching
-  (:mod:`repro.core.engine`).
+  (:mod:`repro.core.engine`);
+- the solver-policy seam selecting between the exact search and the
+  large-topology arms (:mod:`repro.core.policy`), and the zoned /
+  greedy arms themselves (:mod:`repro.core.zones`).
 """
 
 from repro.core.admission import AdmissionController, AdmissionDecision
@@ -37,9 +40,16 @@ from repro.core.guarantees import GuaranteeReport, check_guarantees
 from repro.core.ilp import ILPResult, SchedulingProblem, solve_schedule_ilp
 from repro.core.minslots import MinSlotResult, minimum_slots
 from repro.core.ordering import TransmissionOrder, schedule_from_order
+from repro.core.policy import SolverPolicy
 from repro.core.repair import RepairEngine, RepairOutcome
 from repro.core.schedule import Schedule, SlotBlock
 from repro.core.tree_order import min_delay_tree_order
+from repro.core.zones import (
+    ZonePartition,
+    greedy_minimum_slots,
+    partition_zones,
+    zoned_minimum_slots,
+)
 
 __all__ = [
     "AdmissionController",
@@ -55,7 +65,9 @@ __all__ = [
     "SchedulingProblem",
     "SlotBlock",
     "SolverEngine",
+    "SolverPolicy",
     "TransmissionOrder",
+    "ZonePartition",
     "GuaranteeReport",
     "TwoClassSchedule",
     "check_guarantees",
@@ -64,12 +76,15 @@ __all__ = [
     "conflict_graph",
     "conflicting_pairs",
     "default_engine",
+    "greedy_minimum_slots",
     "greedy_schedule",
     "min_delay_tree_order",
     "minimum_slots",
+    "partition_zones",
     "path_delay_slots",
     "path_wraps",
     "schedule_from_order",
     "solve_schedule_ilp",
     "worst_case_delay_slots",
+    "zoned_minimum_slots",
 ]

@@ -82,6 +82,7 @@ from repro.core.ilp import (
     solve_schedule_ilp,
 )
 from repro.core.ordering import TransmissionOrder, schedule_from_order
+from repro.core.policy import SolverPolicy
 from repro.core.schedule import Schedule
 from repro.errors import (
     ConfigurationError,
@@ -167,22 +168,27 @@ def _cache_salt() -> str:
 
 
 def canonical_problem_key(problem: SchedulingProblem,
-                          time_limit: Optional[float] = None) -> str:
+                          time_limit: Optional[float] = None,
+                          node_limit: Optional[int] = None) -> str:
     """Content hash identifying a ``(problem, K)`` pair.
 
     Two problems share a key iff they have the same conflict edges, the
     same demands, the same frame geometry (frame length *and* region), the
-    same delay constraints and objective, and the same solver time limit.
-    The key is salted with the package version and source fingerprint, the
-    same invalidation discipline as :func:`repro.runtime.tasks.task_key`,
-    so it stays meaningful if persisted next to runtime artifacts.
+    same delay constraints and objective, and the same solver budgets
+    (wall-clock ``time_limit`` and branch-and-cut ``node_limit``) -- a
+    budget change can flip a verdict, so budget-distinct solves must not
+    share a cache entry.  The key is salted with the package version and
+    source fingerprint, the same invalidation discipline as
+    :func:`repro.runtime.tasks.task_key`, so it stays meaningful if
+    persisted next to runtime artifacts.
     """
     digest = hashlib.sha256()
     digest.update(_cache_salt().encode())
     digest.update(_edges_fingerprint(problem.conflicts).encode())
     digest.update(repr(sorted(problem.demands.items())).encode())
     digest.update(repr((problem.frame_slots, problem.effective_region,
-                        problem.minimize_max_delay, time_limit)).encode())
+                        problem.minimize_max_delay, time_limit,
+                        node_limit)).encode())
     digest.update(repr([(c.name, c.route, c.budget_slots)
                         for c in problem.delay_constraints]).encode())
     return digest.hexdigest()[:24]
@@ -428,18 +434,33 @@ class SolverEngine:
         (the stateless default engine never delta-updates).  ``False``
         gives the rebuild-always reference behaviour -- the baseline arm
         of experiment E20.
+    policy:
+        The engine's default :class:`~repro.core.policy.SolverPolicy`
+        (also accepts a mode string or ``None`` for the default
+        ``"auto"`` policy).  Searches run through this engine without an
+        explicit ``policy=``/``solver=`` use it; per-call arguments still
+        win.
     """
 
     def __init__(self, warm_start: bool = True, max_indexes: int = 32,
                  max_problems: int = 128,
-                 delta_updates: bool = True) -> None:
+                 delta_updates: bool = True,
+                 policy: "SolverPolicy | str | None" = None) -> None:
         if max_indexes < 0 or max_problems < 0:
             raise ConfigurationError("cache sizes must be non-negative")
         self.warm_start = warm_start
         self.max_indexes = max_indexes
         self.max_problems = max_problems
         self.delta_updates = delta_updates
+        self.policy = SolverPolicy.coerce(policy)
         self._indexes: OrderedDict[tuple, ConflictIndex] = OrderedDict()
+        #: Zone-subproblem indexes live in their own LRU: a city-scale
+        #: zoned solve requests dozens of small subindexes per search, and
+        #: routing them through ``_indexes`` would evict the full-mesh
+        #: index that repair and validation share (and poison the
+        #: ``_delta_bases`` lineage).  Keyed by (base fingerprint, zone
+        #: fingerprint) so identical zones of identical meshes hit.
+        self._zone_indexes: OrderedDict[tuple, ConflictIndex] = OrderedDict()
         self._problems: OrderedDict[str, ILPResult] = OrderedDict()
         #: most recently used protocol-model index per (hops, full-links?)
         #: lineage: the base the next cache miss is diffed against.  Churny
@@ -456,6 +477,7 @@ class SolverEngine:
         self.stats = {
             "index_builds": 0, "index_hits": 0,
             "delta_updates": 0,
+            "zone_index_builds": 0, "zone_index_hits": 0,
             "ilp_solves": 0, "problem_hits": 0,
             "ilp_probes": 0, "bf_shortcuts": 0,
         }
@@ -519,6 +541,47 @@ class SolverEngine:
             self._delta_bases[(hops, link_key is None)] = index
         return index
 
+    def zone_index(self, base: ConflictIndex,
+                   links: Sequence[Link]) -> ConflictIndex:
+        """The (cached) conflict subindex induced by a zone's links.
+
+        ``base`` is the full-mesh index the zone was partitioned from;
+        the subindex wraps the conflict subgraph induced by ``links``
+        (canonical node and edge insertion order, so it is
+        indistinguishable from a direct build).  Zone requests are keyed
+        by ``(base.key, zone fingerprint)`` in a **dedicated LRU** --
+        zoned solves touch dozens of zones per search, and sharing the
+        main index cache would evict the full-mesh entry every consumer
+        relies on.  ``stats["zone_index_hits"]`` and the
+        ``core.engine.zone_index_hits`` counter record the re-partitions
+        answered from cache.
+        """
+        zone = tuple(sorted(set(links)))
+        digest = hashlib.sha256(repr(zone).encode()).hexdigest()[:16]
+        key = ("zone", base.key, digest)
+        cached = self._zone_indexes.get(key)
+        if cached is not None:
+            self._zone_indexes.move_to_end(key)
+            self.stats["zone_index_hits"] += 1
+            obs.counter("core.engine.zone_index_hits").inc()
+            return cached
+        for link in zone:
+            base.position(link)  # membership check with the usual error
+        members = set(zone)
+        edges = {(a, b) if a <= b else (b, a)
+                 for a in zone for b in base.neighbors(a) if b in members}
+        index = ConflictIndex("/".join(map(repr, key)), base.hops,
+                              _graph_from_conflicts(zone, edges))
+        self.stats["zone_index_builds"] += 1
+        obs.counter("core.engine.zone_index_builds").inc()
+        if self.max_indexes > 0:
+            self._zone_indexes[key] = index
+            # Zones are small and numerous; give them headroom without
+            # letting a 5000-link sweep hold every subindex forever.
+            while len(self._zone_indexes) > 4 * self.max_indexes:
+                self._zone_indexes.popitem(last=False)
+        return index
+
     def interference_index(self, topology: MeshTopology) -> ConflictIndex:
         """The (cached) index of the exact interference relation.
 
@@ -553,22 +616,27 @@ class SolverEngine:
     # -- cached ILP layer -----------------------------------------------------
 
     def solve(self, problem: SchedulingProblem,
-              time_limit: Optional[float] = None) -> ILPResult:
+              time_limit: Optional[float] = None,
+              node_limit: Optional[int] = None) -> ILPResult:
         """:func:`~repro.core.ilp.solve_schedule_ilp` through the problem cache.
 
         Cache hits return a private copy (fresh :class:`Schedule` /
         :class:`TransmissionOrder` objects), so callers may mutate results
         freely; only deterministic fields are shared, and ``solve_seconds``
-        reports the original solve's wall clock.
+        reports the original solve's wall clock.  ``node_limit`` caps the
+        branch-and-cut tree deterministically (see
+        :func:`~repro.core.ilp.solve_schedule_ilp`); both budgets are part
+        of the cache key.
         """
-        key = canonical_problem_key(problem, time_limit)
+        key = canonical_problem_key(problem, time_limit, node_limit)
         cached = self._problems.get(key)
         if cached is not None:
             self._problems.move_to_end(key)
             self.stats["problem_hits"] += 1
             obs.counter("core.engine.problem_hits").inc()
             return _copy_result(cached)
-        result = solve_schedule_ilp(problem, time_limit=time_limit)
+        result = solve_schedule_ilp(problem, time_limit=time_limit,
+                                    node_limit=node_limit)
         self.stats["ilp_solves"] += 1
         if self.max_problems > 0:
             self._problems[key] = _copy_result(result)
@@ -614,11 +682,17 @@ class SolverEngine:
     def minimum_slots(self, conflicts: nx.Graph, demands: Mapping[Link, int],
                       frame_slots: int,
                       delay_constraints: Sequence[DelayConstraint] = (),
-                      search: str = "linear",
+                      search: Optional[str] = None,
                       max_region: Optional[int] = None,
                       time_limit_per_probe: Optional[float] = None,
-                      warm_order: Optional[TransmissionOrder] = None):
-        """:func:`~repro.core.minslots.minimum_slots` through this engine."""
+                      warm_order: Optional[TransmissionOrder] = None,
+                      policy: "SolverPolicy | str | None" = None):
+        """:func:`~repro.core.minslots.minimum_slots` through this engine.
+
+        With no ``policy=`` the engine's own :attr:`policy` governs the
+        solve; explicit ``search=``/``max_region=``/``time_limit_per_probe=``
+        arguments override the matching policy knobs either way.
+        """
         from repro.core.minslots import minimum_slots
 
         return minimum_slots(
@@ -626,14 +700,15 @@ class SolverEngine:
             delay_constraints=delay_constraints, search=search,
             max_region=max_region,
             time_limit_per_probe=time_limit_per_probe,
-            engine=self, warm_order=warm_order)
+            engine=self, warm_order=warm_order, policy=policy)
 
     def run_search(self, conflicts: nx.Graph, demands: Mapping[Link, int],
                    frame_slots: int,
                    delay_constraints: Sequence[DelayConstraint],
                    search: str, ceiling: int,
                    time_limit_per_probe: Optional[float],
-                   warm_order: Optional[TransmissionOrder] = None):
+                   warm_order: Optional[TransmissionOrder] = None,
+                   node_limit_per_probe: Optional[int] = None):
         """The probe loop behind :func:`~repro.core.minslots.minimum_slots`.
 
         Identical search structure and probe log as the pre-engine code;
@@ -641,6 +716,13 @@ class SolverEngine:
         and the canonical re-solve of a BF-certified winner.  Callers go
         through :func:`repro.core.minslots.minimum_slots`, which owns the
         argument validation and search-level telemetry.
+
+        ``node_limit_per_probe`` bounds each ILP probe's branch-and-cut
+        tree instead of (or in addition to) the wall clock; a probe that
+        exhausts either budget undecided is treated as infeasible.  The
+        node budget is *deterministic* -- the same probe reaches the same
+        verdict regardless of machine load -- which is what keeps zoned
+        solves bitwise-identical between serial and parallel runs.
         """
         from repro.core.minslots import MinSlotResult, demand_lower_bound
 
@@ -670,16 +752,17 @@ class SolverEngine:
             self.stats["ilp_probes"] += 1
             obs.counter("core.engine.ilp_probes").inc()
             try:
-                result = self.solve(problem, time_limit=time_limit_per_probe)
+                result = self.solve(problem, time_limit=time_limit_per_probe,
+                                    node_limit=node_limit_per_probe)
             except SolverError:
-                # Undecided within the probe's time limit: treat as
-                # infeasible.  Conservative for admission control (a call
-                # is rejected, never wrongly admitted); the probe log
-                # records it like any miss.
+                # Undecided within the probe's budget (wall clock or node
+                # count): treat as infeasible.  Conservative for admission
+                # control (a call is rejected, never wrongly admitted);
+                # the probe log records it like any miss.
                 obs.counter("core.minslots.probe_timeouts").inc()
                 result = ILPResult(False, None, None, None,
                                    time_limit_per_probe or 0.0,
-                                   "probe time limit", 0, 0)
+                                   "probe budget exhausted", 0, 0)
             if not result.feasible:
                 obs.counter("core.minslots.probes_infeasible").inc()
             elif self.warm_start and result.order is not None:
@@ -708,7 +791,8 @@ class SolverEngine:
                     region_slots=slots if region is None else region)
                 try:
                     ilp = self.solve(problem,
-                                     time_limit=time_limit_per_probe)
+                                     time_limit=time_limit_per_probe,
+                                     node_limit=node_limit_per_probe)
                 except SolverError:
                     # The certificate *is* a valid feasible solution; keep
                     # it rather than fail the search on a solver timeout.

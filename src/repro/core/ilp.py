@@ -121,17 +121,24 @@ DEFAULT_TIME_LIMIT_S = 120.0
 
 
 def solve_schedule_ilp(problem: SchedulingProblem,
-                       time_limit: Optional[float] = None) -> ILPResult:
+                       time_limit: Optional[float] = None,
+                       node_limit: Optional[int] = None) -> ILPResult:
     """Solve the joint slot/order scheduling ILP.
 
     Returns an :class:`ILPResult`; infeasibility is reported in the result
     (``feasible=False``), while unexpected solver failures -- including
     exceeding ``time_limit`` (default :data:`DEFAULT_TIME_LIMIT_S`) without
     an answer -- raise :class:`~repro.errors.SolverError`.
+
+    ``node_limit`` caps the branch-and-cut tree instead of the wall
+    clock.  Unlike a time limit it is *deterministic*: the same problem
+    under the same node limit reaches the same verdict on any machine at
+    any load, which is what lets budgeted probes (the zoned arm's zone
+    sub-searches) stay bitwise-reproducible.
     """
     obs.counter("core.ilp.solves").inc()
     with obs.span("core.ilp.solve", frame_slots=problem.frame_slots):
-        result = _solve(problem, time_limit)
+        result = _solve(problem, time_limit, node_limit)
     obs.histogram("core.ilp.variables").observe(result.num_variables)
     obs.histogram("core.ilp.constraints").observe(result.num_constraints)
     if not result.feasible:
@@ -140,7 +147,8 @@ def solve_schedule_ilp(problem: SchedulingProblem,
 
 
 def _solve(problem: SchedulingProblem,
-           time_limit: Optional[float]) -> ILPResult:
+           time_limit: Optional[float],
+           node_limit: Optional[int] = None) -> ILPResult:
     frame = problem.frame_slots
     if frame <= 0:
         raise ConfigurationError("frame_slots must be positive")
@@ -264,6 +272,8 @@ def _solve(problem: SchedulingProblem,
     options: dict[str, object] = {"presolve": True}
     options["time_limit"] = float(DEFAULT_TIME_LIMIT_S if time_limit is None
                                   else time_limit)
+    if node_limit is not None:
+        options["node_limit"] = int(node_limit)
 
     started = time.perf_counter()
     result = milp(c=objective, constraints=constraints,

@@ -54,6 +54,10 @@ class MinSlotResult:
     lower_bound: int
     #: (candidate K, feasible?) pairs in the order they were probed.
     probes: list[tuple[int, bool]] = field(default_factory=list)
+    #: Solver-arm diagnostics (zone count/sizes, measured optimality gap,
+    #: greedy strategy, ...).  ``None`` on the exact arm, whose result is
+    #: fully described by the fields above.
+    meta: Optional[dict] = None
 
     @property
     def feasible(self) -> bool:
@@ -97,11 +101,12 @@ def demand_lower_bound(conflicts: nx.Graph, demands: Mapping[Link, int]) -> int:
 def minimum_slots(conflicts: nx.Graph, demands: Mapping[Link, int],
                   frame_slots: int,
                   delay_constraints: Sequence[DelayConstraint] = (),
-                  search: str = "linear",
+                  search: Optional[str] = None,
                   max_region: Optional[int] = None,
                   time_limit_per_probe: Optional[float] = None,
                   engine: Optional["SolverEngine"] = None,
-                  warm_order: Optional[TransmissionOrder] = None
+                  warm_order: Optional[TransmissionOrder] = None,
+                  policy: "SolverPolicy | str | None" = None
                   ) -> MinSlotResult:
     """Find the minimum guaranteed region ``K`` supporting the demands.
 
@@ -113,6 +118,8 @@ def minimum_slots(conflicts: nx.Graph, demands: Mapping[Link, int],
     search:
         ``"linear"`` (the paper's search, upward from the lower bound) or
         ``"binary"`` (extension; exploits monotonicity in ``K``).
+        ``None`` (the default) defers to the policy's ``search`` knob,
+        which itself defaults to ``"linear"``.
     max_region:
         Largest region to consider (default: the whole frame).
     engine:
@@ -126,23 +133,50 @@ def minimum_slots(conflicts: nx.Graph, demands: Mapping[Link, int],
         Optional transmission order to seed the warm start with (e.g. a
         pre-fault schedule's order during repair); ignored by cold
         engines.
+    policy:
+        The :class:`~repro.core.policy.SolverPolicy` (or mode string)
+        governing *how* to solve: the exact probe search, the zoned
+        large-topology arm, the greedy arm, or ``"auto"``.  Default: the
+        engine's own policy (itself defaulting to ``"auto"``, which is
+        exact at paper scale).  The explicit ``search`` /
+        ``max_region`` / ``time_limit_per_probe`` arguments override the
+        matching policy knobs.
     """
-    if search not in ("linear", "binary"):
-        raise ConfigurationError(f"unknown search mode {search!r}")
-    ceiling = frame_slots if max_region is None else max_region
-    if ceiling > frame_slots:
-        raise ConfigurationError("max_region cannot exceed frame_slots")
     if engine is None:
         from repro.core.engine import default_engine
 
         engine = default_engine()
-    with obs.span("core.minslots.search", search=search,
-                  frame_slots=frame_slots):
+    from repro.core.policy import SolverPolicy
+
+    base_policy = (engine.policy if policy is None
+                   else SolverPolicy.coerce(policy))
+    eff = base_policy.with_overrides(search, max_region,
+                                     time_limit_per_probe)
+    ceiling = frame_slots if eff.max_region is None else eff.max_region
+    if ceiling > frame_slots:
+        raise ConfigurationError("max_region cannot exceed frame_slots")
+    demanded = sum(1 for d in demands.values() if d > 0)
+    mode = eff.resolve_mode(demanded)
+    if mode == "exact":
+        with obs.span("core.minslots.search", search=eff.search,
+                      frame_slots=frame_slots):
+            obs.counter("core.minslots.searches").inc()
+            outcome = engine.run_search(
+                conflicts, demands, frame_slots, delay_constraints,
+                eff.search, ceiling, eff.time_limit_per_probe,
+                warm_order=warm_order,
+                node_limit_per_probe=eff.node_limit_per_probe)
+    else:
+        from repro.core.zones import (
+            greedy_minimum_slots,
+            zoned_minimum_slots,
+        )
+
+        arm = zoned_minimum_slots if mode == "zoned" else greedy_minimum_slots
         obs.counter("core.minslots.searches").inc()
-        outcome = engine.run_search(conflicts, demands, frame_slots,
-                                    delay_constraints, search, ceiling,
-                                    time_limit_per_probe,
-                                    warm_order=warm_order)
+        outcome = arm(conflicts, demands, frame_slots,
+                      delay_constraints=delay_constraints, engine=engine,
+                      policy=eff)
     obs.histogram("core.minslots.probes_per_search").observe(
         outcome.iterations)
     if not outcome.feasible:

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import pathlib
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+from typing import Any, Callable, Mapping, Optional, Sequence
 
 from repro import obs
 from repro.runtime.cache import DEFAULT_CACHE_DIR, ResultCache
@@ -68,6 +68,7 @@ def run_experiments(ids: Sequence[str], *,
                     retries: int = 1,
                     backoff_s: float = 0.5,
                     shard: bool = True,
+                    params: Optional[Mapping[str, Any]] = None,
                     on_experiment: Optional[
                         Callable[[int, ExperimentOutcome], None]] = None,
                     metrics: Optional[obs.MetricsRegistry] = None,
@@ -81,6 +82,11 @@ def run_experiments(ids: Sequence[str], *,
     Failures never raise: they come back as ``outcome="failed"`` with
     the (deduplicated) shard error strings, so one broken experiment
     cannot take down the rest of a long suite run.
+
+    ``params`` overrides experiment keyword arguments -- applied to
+    every requested id, so it is most useful running one experiment
+    (``python -m repro E21 --param sizes=[[24,16]]``).  Sharding
+    honours overridden axis values and cache keys include the params.
 
     ``metrics`` turns on collection: every fresh task runs inside its
     own registry, the deterministic snapshots are merged into the given
@@ -101,11 +107,11 @@ def run_experiments(ids: Sequence[str], *,
     # Expand every experiment into its shard tasks; remember the map
     # from flat task index back to (experiment, shard slot).
     if shard:
-        shard_lists = [shard_experiment(exp_id) for exp_id in ids]
+        shard_lists = [shard_experiment(exp_id, params) for exp_id in ids]
     else:
         from repro.runtime.tasks import make_task
 
-        shard_lists = [[make_task(exp_id)] for exp_id in ids]
+        shard_lists = [[make_task(exp_id, params)] for exp_id in ids]
     flat_tasks = []
     flat_owner: list[tuple[int, int]] = []  # (experiment idx, shard idx)
     for exp_index, shard_tasks in enumerate(shard_lists):

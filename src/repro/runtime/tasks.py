@@ -58,6 +58,7 @@ SHARD_AXES: dict[str, str] = {
     "E18": "loss_rates",
     "E19": "disciplines",
     "E20": "speeds",
+    "E21": "sizes",
 }
 
 

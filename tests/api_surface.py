@@ -42,8 +42,10 @@ PUBLIC_CLASS_METHODS = {
                            "simulate_qos", "simulate_mobility"],
     "repro.core.minslots.MinSlotResult": [],
     "repro.core.engine.SolverEngine": [
-        "__init__", "conflict_index", "interference_index", "solve",
-        "certify_order", "minimum_slots"],
+        "__init__", "conflict_index", "interference_index", "zone_index",
+        "solve", "certify_order", "minimum_slots"],
+    "repro.core.policy.SolverPolicy": [
+        "__init__", "coerce", "resolve_mode", "with_overrides"],
 }
 
 

@@ -236,3 +236,96 @@ class TestScenarioMobility:
         scenario = Scenario(chain_topology(3), flows=_flows())
         with pytest.raises(ConfigurationError, match="mobility="):
             scenario.simulate_mobility()
+
+
+class TestSolverPolicySeam:
+    """Scenario(solver=) and the deprecated schedule() kwargs (ISSUE 8)."""
+
+    def _disk(self):
+        from repro.net.topology import random_disk_topology
+
+        topo = random_disk_topology(16, radio_range=120.0, area=350.0,
+                                    seed=11)
+        nodes = sorted(topo.nodes)
+        return topo, [Flow(f"f{i}", src=nodes[i], dst=nodes[-1 - i],
+                           rate_bps=60_000, delay_budget_s=0.1)
+                      for i in range(4)]
+
+    def test_solver_accepts_policy_mode_string(self):
+        topo, flows = self._disk()
+        scenario = Scenario(topo, flows, solver="greedy")
+        result = scenario.route().schedule()
+        assert result.meta["mode"] == "greedy"
+        assert scenario.solver.mode == "greedy"
+
+    def test_solver_accepts_full_policy(self):
+        from repro import SolverPolicy
+
+        topo, flows = self._disk()
+        policy = SolverPolicy(mode="zoned", max_zone_links=6)
+        scenario = Scenario(topo, flows, solver=policy)
+        result = scenario.route().schedule()
+        assert result.meta["mode"] == "zoned"
+        assert result.schedule.violations(scenario.conflicts) == []
+
+    def test_default_solver_is_auto_and_exact_at_paper_scale(self):
+        topo, flows = self._disk()
+        default = Scenario(topo, list(flows)).route().schedule()
+        exact = Scenario(topo, list(flows),
+                         solver="exact").route().schedule()
+        assert default.meta is None
+        assert default.slots == exact.slots
+        assert default.probes == exact.probes
+        assert default.schedule.to_dict() == exact.schedule.to_dict()
+
+    def test_shared_engine_policy_flows_into_the_scenario(self):
+        from repro import SolverEngine
+
+        topo, flows = self._disk()
+        engine = SolverEngine(policy="greedy")
+        scenario = Scenario(topo, flows, engine=engine)
+        assert scenario.solver is engine.policy
+        assert scenario.route().schedule().meta["mode"] == "greedy"
+
+    def test_explicit_solver_wins_over_the_engine_policy(self):
+        from repro import SolverEngine
+
+        topo, flows = self._disk()
+        engine = SolverEngine(policy="greedy")
+        scenario = Scenario(topo, flows, engine=engine, solver="exact")
+        assert scenario.route().schedule().meta is None
+
+    def test_deprecated_schedule_kwargs_warn_once_and_still_work(self):
+        import warnings
+
+        from repro import _deprecation
+
+        topo, flows = self._disk()
+        scenario = Scenario(topo, list(flows)).route()
+        plain = scenario.schedule()
+        _deprecation.reset_warned()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            shimmed = scenario.schedule(search="binary")
+            scenario.schedule(search="binary")
+        deprecations = [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 1
+        assert "SolverPolicy" in str(deprecations[0].message)
+        assert shimmed.slots == plain.slots  # binary finds the same K
+
+    def test_deprecated_max_region_kwarg_folds_into_the_policy(self):
+        import warnings
+
+        from repro import _deprecation
+
+        topo, flows = self._disk()
+        scenario = Scenario(topo, list(flows)).route()
+        baseline = scenario.schedule()
+        _deprecation.reset_warned()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            capped = scenario.schedule(max_region=baseline.slots)
+        assert any(issubclass(w.category, DeprecationWarning)
+                   for w in caught)
+        assert capped.slots == baseline.slots

@@ -67,6 +67,12 @@ def test_problem_key_sensitive_to_every_field():
     assert len(keys) == len(variants)
     assert canonical_problem_key(base, time_limit=5.0) \
         != canonical_problem_key(base)
+    # Solver budgets are part of the identity: a node-limited solve may
+    # reach a different verdict, so it must not share a cache entry.
+    assert canonical_problem_key(base, node_limit=100) \
+        != canonical_problem_key(base)
+    assert canonical_problem_key(base, node_limit=100) \
+        != canonical_problem_key(base, time_limit=5.0)
 
 
 # -- ConflictIndex ---------------------------------------------------------
