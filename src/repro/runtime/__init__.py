@@ -10,19 +10,29 @@ benchmarks, and the ``python -m repro`` CLI:
 - :mod:`repro.runtime.pool` -- process-pool fan-out with bounded
   retries, backoff, per-task timeouts, and an in-process serial mode.
 - :mod:`repro.runtime.cache` -- content-addressed JSON result cache
-  under ``.repro_cache/`` (invalidated by version or source changes).
-- :mod:`repro.runtime.ledger` -- append-only JSONL run ledger plus a
-  summary reader.
+  under ``.repro_cache/`` (invalidated by version or source changes),
+  safe for concurrent writers via per-key lockfiles and atomic renames.
+- :mod:`repro.runtime.ledger` -- append-only run ledger with two
+  backends (JSONL and sqlite-WAL), a query interface, and a summary
+  reader.
+- :mod:`repro.runtime.chaos` -- deterministic seeded fault injection
+  (worker crashes, hangs, transient errors, torn writes, full disk)
+  for hardening the runtime itself.
 - :mod:`repro.runtime.runner` -- experiment-level orchestration used
   by the CLI.
 """
 
 from repro.runtime.cache import DEFAULT_CACHE_DIR, CachedEntry, ResultCache
+from repro.runtime.chaos import ChaosPolicy, chaos_probe, deterministic_unit
 from repro.runtime.ledger import (
     DEFAULT_LEDGER_NAME,
+    DEFAULT_SQLITE_LEDGER_NAME,
+    LEDGER_BACKENDS,
     LedgerSummary,
     RunLedger,
     format_ledger_summary,
+    infer_backend,
+    parse_query,
     summarize_ledger,
 )
 from repro.runtime.pool import default_jobs, run_tasks
@@ -36,6 +46,7 @@ from repro.runtime.tasks import (
     SHARD_AXES,
     Task,
     TaskResult,
+    classify_error,
     make_task,
     merge_experiment_results,
     resolve_target,
@@ -48,7 +59,10 @@ from repro.runtime.tasks import (
 __all__ = [
     "DEFAULT_CACHE_DIR",
     "DEFAULT_LEDGER_NAME",
+    "DEFAULT_SQLITE_LEDGER_NAME",
+    "LEDGER_BACKENDS",
     "CachedEntry",
+    "ChaosPolicy",
     "ExperimentOutcome",
     "LedgerSummary",
     "ResultCache",
@@ -57,10 +71,15 @@ __all__ = [
     "Sweep",
     "Task",
     "TaskResult",
+    "chaos_probe",
+    "classify_error",
     "dedupe_ids",
     "default_jobs",
+    "deterministic_unit",
     "format_ledger_summary",
+    "infer_backend",
     "make_task",
+    "parse_query",
     "merge_experiment_results",
     "resolve_target",
     "run_experiments",

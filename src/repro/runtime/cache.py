@@ -21,6 +21,18 @@ but does not parse (or lacks the expected payload shape) is *quarantined*
 on read: moved aside into ``<root>/quarantine/`` and counted on the
 ``runtime.cache.quarantined`` metric, and the lookup reports a plain
 miss so the pool transparently recomputes and rewrites the entry.
+
+The cache is safe under **concurrent writers**: every store takes a
+per-key lockfile (``O_CREAT | O_EXCL``) before the temp-write/rename
+pair, so two sweeps racing over one cache directory serialize per
+entry.  Because keys are content hashes, both racers would write the
+same bytes -- a writer that cannot get the lock within
+``lock_timeout_s`` therefore *skips* the store (counted on
+``runtime.cache.lock_contended``) instead of blocking the sweep.  A
+lockfile left behind by a dead process (stale mtime, or a recorded pid
+that no longer exists) is broken and stolen
+(``runtime.cache.stale_locks_broken``), so one crashed writer can
+never wedge every future run.
 """
 
 from __future__ import annotations
@@ -29,8 +41,9 @@ import json
 import os
 import pathlib
 import tempfile
+import time
 from dataclasses import dataclass
-from typing import Any, Optional
+from typing import Any, Callable, Optional
 
 from repro import obs
 from repro.runtime.tasks import Task, source_fingerprint, task_key
@@ -42,6 +55,107 @@ DEFAULT_CACHE_DIR = ".repro_cache"
 
 #: Subdirectory (under the cache root) damaged entries are moved into.
 QUARANTINE_DIR_NAME = "quarantine"
+
+#: Seconds a writer waits for a contended per-key lock before skipping.
+DEFAULT_LOCK_TIMEOUT_S = 5.0
+
+#: Age past which a lockfile is presumed orphaned by a dead writer.
+DEFAULT_STALE_LOCK_S = 60.0
+
+
+class FileLock:
+    """A per-key advisory lockfile (``O_CREAT | O_EXCL``).
+
+    The lockfile records the owner's pid.  Acquisition polls until the
+    exclusive create succeeds or ``timeout_s`` passes; a lock whose
+    owner is provably dead (pid gone) or whose file is older than
+    ``stale_s`` is broken and retaken, so a SIGKILLed writer cannot
+    permanently wedge the key.  Use as a context manager; ``acquired``
+    reports whether the lock was actually taken (callers that lose the
+    race may legitimately proceed without it).
+    """
+
+    def __init__(self, path: str | os.PathLike, *,
+                 timeout_s: float = DEFAULT_LOCK_TIMEOUT_S,
+                 stale_s: float = DEFAULT_STALE_LOCK_S,
+                 poll_s: float = 0.05,
+                 sleep: Callable[[float], None] = time.sleep,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.path = pathlib.Path(path)
+        self.timeout_s = timeout_s
+        self.stale_s = stale_s
+        self.poll_s = poll_s
+        self._sleep = sleep
+        self._clock = clock
+        self.acquired = False
+
+    def _try_acquire(self) -> bool:
+        try:
+            fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        except OSError:
+            return False  # unwritable directory: behave as contended
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(f"{os.getpid()}\n")
+        return True
+
+    def _holder_dead(self) -> bool:
+        """Whether the current lockfile belongs to a dead/stale writer."""
+        try:
+            age = time.time() - self.path.stat().st_mtime
+        except OSError:
+            return False  # vanished: next acquire attempt will settle it
+        if age > self.stale_s:
+            return True
+        try:
+            pid = int(self.path.read_text(encoding="utf-8").strip())
+        except (OSError, ValueError):
+            return False  # mid-write by the owner; not provably dead
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return True
+        except OSError:
+            return False
+        return False
+
+    def _break_stale(self) -> None:
+        try:
+            os.unlink(self.path)
+        except OSError:
+            return
+        obs.counter("runtime.cache.stale_locks_broken").inc()
+
+    def acquire(self) -> bool:
+        deadline = self._clock() + self.timeout_s
+        while True:
+            if self._try_acquire():
+                self.acquired = True
+                return True
+            if self._holder_dead():
+                self._break_stale()
+                continue
+            if self._clock() >= deadline:
+                obs.counter("runtime.cache.lock_contended").inc()
+                return False
+            self._sleep(self.poll_s)
+
+    def release(self) -> None:
+        if not self.acquired:
+            return
+        self.acquired = False
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+
+    def __enter__(self) -> "FileLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
 
 
 def encode_value(value: Any) -> Any:
@@ -89,7 +203,9 @@ class ResultCache:
 
     def __init__(self, root: str | os.PathLike = DEFAULT_CACHE_DIR, *,
                  version: Optional[str] = None,
-                 fingerprint: Optional[str] = None) -> None:
+                 fingerprint: Optional[str] = None,
+                 lock_timeout_s: float = DEFAULT_LOCK_TIMEOUT_S,
+                 stale_lock_s: float = DEFAULT_STALE_LOCK_S) -> None:
         import repro
 
         self.root = pathlib.Path(root)
@@ -98,6 +214,8 @@ class ResultCache:
         self.version = version if version is not None else repro.__version__
         self.fingerprint = (fingerprint if fingerprint is not None
                             else source_fingerprint())
+        self.lock_timeout_s = lock_timeout_s
+        self.stale_lock_s = stale_lock_s
 
     def key_for(self, task: Task) -> str:
         return task_key(task, version=self.version,
@@ -105,6 +223,15 @@ class ResultCache:
 
     def _path(self, key: str) -> pathlib.Path:
         return self.results_dir / f"{key}.json"
+
+    def path_for(self, key: str) -> pathlib.Path:
+        """On-disk location of ``key``'s result entry (may not exist)."""
+        return self._path(key)
+
+    def _lock(self, key: str) -> FileLock:
+        return FileLock(self.results_dir / f"{key}.lock",
+                        timeout_s=self.lock_timeout_s,
+                        stale_s=self.stale_lock_s)
 
     def _quarantine(self, path: pathlib.Path) -> Optional[pathlib.Path]:
         """Move a damaged cache file into the quarantine directory.
@@ -154,25 +281,37 @@ class ResultCache:
                            wall_s=float(payload.get("wall_s", 0.0)))
 
     def put(self, task: Task, value: Any, wall_s: float = 0.0) -> str:
-        """Store ``value``; atomic (write-temp-then-rename); returns key."""
+        """Store ``value``; returns the key.
+
+        Lock-guarded write-temp-then-atomic-rename.  A writer that
+        cannot take the per-key lock in time skips the store: the
+        holder is writing the identical (content-addressed) bytes, so
+        skipping is always safe and never blocks the sweep.
+        """
         key = self.key_for(task)
         payload = {"task": task.spec(), "version": self.version,
                    "fingerprint": self.fingerprint, "wall_s": wall_s,
                    "value": encode_value(value)}
         self.results_dir.mkdir(parents=True, exist_ok=True)
+        with self._lock(key) as lock:
+            if not lock.acquired:
+                return key
+            self._write_atomic(self._path(key), json.dumps(payload))
+        return key
+
+    def _write_atomic(self, destination: pathlib.Path, text: str) -> None:
         fd, tmp_name = tempfile.mkstemp(dir=self.results_dir,
                                         suffix=".tmp")
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle)
-            os.replace(tmp_name, self._path(key))
+                handle.write(text)
+            os.replace(tmp_name, destination)
         except BaseException:
             try:
                 os.unlink(tmp_name)
             except OSError:
                 pass
             raise
-        return key
 
     # -- metrics sidecars ---------------------------------------------------
 
@@ -189,19 +328,12 @@ class ResultCache:
         key = self.key_for(task)
         deterministic = {k: v for k, v in snapshot.items() if k != "timings"}
         self.results_dir.mkdir(parents=True, exist_ok=True)
-        fd, tmp_name = tempfile.mkstemp(dir=self.results_dir,
-                                        suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                handle.write(json.dumps(deterministic, sort_keys=True,
-                                        separators=(",", ":")))
-            os.replace(tmp_name, self._metrics_path(key))
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        with self._lock(f"{key}.metrics") as lock:
+            if not lock.acquired:
+                return key
+            self._write_atomic(self._metrics_path(key),
+                               json.dumps(deterministic, sort_keys=True,
+                                          separators=(",", ":")))
         return key
 
     def get_metrics(self, task: Task) -> Optional[dict]:

@@ -63,10 +63,15 @@ def run_experiments(ids: Sequence[str], *,
                     use_cache: bool = True,
                     cache_dir: str = DEFAULT_CACHE_DIR,
                     ledger_path: Optional[str] = None,
+                    ledger_backend: Optional[str] = None,
                     resume: bool = False,
                     timeout_s: Optional[float] = None,
                     retries: int = 1,
                     backoff_s: float = 0.5,
+                    jitter: float = 0.0,
+                    retry_timeouts: bool = False,
+                    chaos=None,
+                    heartbeat_s: float = 5.0,
                     shard: bool = True,
                     params: Optional[Mapping[str, Any]] = None,
                     on_experiment: Optional[
@@ -97,12 +102,25 @@ def run_experiments(ids: Sequence[str], *,
     the same registry.  ``trace`` (a
     :class:`~repro.obs.tracing.TraceWriter`) streams spans, serial mode
     only.
+
+    ``ledger_backend`` picks ``"jsonl"`` or ``"sqlite"`` explicitly
+    (default: inferred from the path suffix).  ``chaos`` threads a
+    :class:`~repro.runtime.chaos.ChaosPolicy` into the pool;
+    ``retry_timeouts`` and ``jitter`` are forwarded to
+    :func:`~repro.runtime.pool.run_tasks` unchanged.
     """
     ids = dedupe_ids(ids)
     cache = ResultCache(cache_dir) if use_cache else None
     ledger = RunLedger(ledger_path if ledger_path is not None
-                       else pathlib.Path(cache_dir) / DEFAULT_LEDGER_NAME)
+                       else pathlib.Path(cache_dir) / DEFAULT_LEDGER_NAME,
+                       backend=ledger_backend)
     completed_keys = ledger.completed_keys() if resume else set()
+    if resume:
+        # Tasks a previous run started but never finished (crash,
+        # SIGKILL) are orphans: they are absent from completed_keys, so
+        # they re-run below; surfacing them here feeds the
+        # runtime.ledger.orphans_detected counter and the summary view.
+        ledger.orphans()
 
     # Expand every experiment into its shard tasks; remember the map
     # from flat task index back to (experiment, shard slot).
@@ -159,12 +177,17 @@ def run_experiments(ids: Sequence[str], *,
             to_run.append(task)
             to_run_index.append(flat_index)
 
-    if to_run:
-        run_tasks(to_run, jobs=jobs, timeout_s=timeout_s, retries=retries,
-                  backoff_s=backoff_s, cache=cache, ledger=ledger,
-                  on_result=lambda i, r: track(to_run_index[i], r),
-                  collect_metrics=metrics is not None,
-                  trace=trace if (jobs == 1) else None)
+    try:
+        if to_run:
+            run_tasks(to_run, jobs=jobs, timeout_s=timeout_s,
+                      retries=retries, backoff_s=backoff_s, jitter=jitter,
+                      retry_timeouts=retry_timeouts, chaos=chaos,
+                      heartbeat_s=heartbeat_s, cache=cache, ledger=ledger,
+                      on_result=lambda i, r: track(to_run_index[i], r),
+                      collect_metrics=metrics is not None,
+                      trace=trace if (jobs == 1) else None)
+    finally:
+        ledger.close()
 
     if metrics is not None:
         # Merge in flat-task order, not completion order: float sums are

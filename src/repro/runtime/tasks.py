@@ -59,6 +59,7 @@ SHARD_AXES: dict[str, str] = {
     "E19": "disciplines",
     "E20": "speeds",
     "E21": "sizes",
+    "E22": "intensities",
 }
 
 
@@ -214,6 +215,23 @@ def run_task(task: Task) -> Any:
     from repro.sim.random import RngRegistry
 
     return fn(RngRegistry(seed=task.seed), **task.kwargs)
+
+
+def classify_error(exc: BaseException) -> str:
+    """``"permanent"`` or ``"transient"`` for retry purposes.
+
+    Only failures that retrying provably cannot fix are permanent:
+    :class:`~repro.errors.PermanentTaskError` and configuration errors
+    (bad target, bad parameters).  Everything else -- including
+    exceptions the runtime has never heard of -- stays transient,
+    preserving the original retry-everything behavior for task code
+    that predates the taxonomy.
+    """
+    from repro.errors import PermanentTaskError
+
+    if isinstance(exc, (PermanentTaskError, ConfigurationError)):
+        return "permanent"
+    return "transient"
 
 
 @dataclass

@@ -59,3 +59,28 @@ def flaky(sentinel_dir: str, fail_times: int = 2) -> str:
 def unpicklable_value() -> object:
     """Returns something no JSON encoder or pickler wants to touch."""
     return lambda: None
+
+
+def permanent_boom() -> None:
+    """Fails with an error the pool must never spend retries on."""
+    from repro.errors import PermanentTaskError
+
+    raise PermanentTaskError("input can never work")
+
+
+def cache_writer_sweep(cache_dir: str, num_tasks: int, seed: int) -> int:
+    """Run a probe sweep against a (possibly shared) cache directory.
+
+    Used by the concurrent-writer race test: two processes call this
+    simultaneously with the *same* arguments, so both compute the same
+    keys and race on every cache write.  Returns the number of ok/cached
+    results so the parent can assert the sweep itself succeeded.
+    """
+    from repro.runtime.cache import ResultCache
+    from repro.runtime.pool import run_tasks
+    from repro.runtime.tasks import make_task
+
+    tasks = [make_task("repro.runtime.chaos:chaos_probe",
+                       {"x": x, "seed": seed}) for x in range(num_tasks)]
+    results = run_tasks(tasks, jobs=1, cache=ResultCache(cache_dir))
+    return sum(1 for r in results if r.ok)

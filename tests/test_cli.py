@@ -154,9 +154,12 @@ def test_ledger_summary_flag(capsys):
 def test_ledger_records_every_shard(tmp_path, capsys):
     assert main(["E9", "--cache-dir", str(tmp_path / "cache")]) == 0
     ledger = tmp_path / "cache" / "ledger.jsonl"
-    entries = [json.loads(line) for line in
+    records = [json.loads(line) for line in
                ledger.read_text().splitlines()]
+    entries = [r for r in records if "event" not in r]
+    starts = [r for r in records if r.get("event") == "start"]
     assert len(entries) == 6
+    assert len(starts) == 6  # one dispatch event per shard
     assert {e["outcome"] for e in entries} == {"ok"}
     assert all(e["target"] == "E9" and e["wall_s"] >= 0 for e in entries)
 
@@ -167,3 +170,44 @@ def test_resume_skips_completed_work(capsys):
     # Cache intact: --resume serves the cached table like a normal run.
     assert main(["E9", "--resume"]) == 0
     assert "cached" in capsys.readouterr().out
+
+
+def test_sqlite_ledger_backend(capsys):
+    assert main(["E9", "--ledger-backend", "sqlite"]) == 0
+    capsys.readouterr()
+    import pathlib
+    assert (pathlib.Path(".repro_cache") / "ledger.sqlite").exists()
+    assert not (pathlib.Path(".repro_cache") / "ledger.jsonl").exists()
+    assert main(["--ledger-summary", "--ledger-backend", "sqlite"]) == 0
+    out = capsys.readouterr().out
+    assert "ok=6" in out  # E9 shards into six tasks
+
+
+def test_ledger_query_flag(capsys):
+    assert main(["E9"]) == 0
+    capsys.readouterr()
+    assert main(["--ledger-query", "outcome=ok,limit=1"]) == 0
+    lines = [l for l in capsys.readouterr().out.splitlines() if l]
+    assert len(lines) == 1
+    record = json.loads(lines[0])
+    assert record["outcome"] == "ok"
+    assert record["target"] == "E9"
+
+
+def test_ledger_query_rejects_nonsense(capsys):
+    assert main(["--ledger-query", "no-equals-sign"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_chaos_flag_produces_identical_tables(capsys):
+    assert main(["E9", "--no-cache"]) == 0
+    clean = capsys.readouterr().out
+    assert main(["E9", "--no-cache", "--chaos", "0.8",
+                 "--chaos-seed", "3"]) == 0
+    chaotic = capsys.readouterr().out
+    assert clean == chaotic
+
+
+def test_chaos_rejects_bad_intensity(capsys):
+    assert main(["E9", "--chaos", "1.5"]) == 2
+    assert "error" in capsys.readouterr().err

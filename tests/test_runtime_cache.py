@@ -144,3 +144,108 @@ def test_corrupt_metrics_sidecar_quarantined(cache):
     assert cache.get_metrics(task) is None
     assert not path.exists()
     assert (cache.quarantine_dir / f"{key}.metrics.json").exists()
+
+
+# ---------------------------------------------------------------------------
+# Concurrent writers
+# ---------------------------------------------------------------------------
+
+def test_filelock_mutual_exclusion_and_contention_counter(tmp_path):
+    from repro.runtime.cache import FileLock
+
+    path = tmp_path / "key.lock"
+    holder = FileLock(path)
+    assert holder.acquire() is True
+    with obs.use_registry(obs.MetricsRegistry()) as registry:
+        loser = FileLock(path, timeout_s=0.05, poll_s=0.01)
+        assert loser.acquire() is False
+        counters = registry.snapshot()["counters"]
+    assert counters["runtime.cache.lock_contended"] == 1
+    holder.release()
+    assert not path.exists()
+    retaken = FileLock(path, timeout_s=0.05)
+    assert retaken.acquire() is True
+    retaken.release()
+
+
+def test_stale_lock_from_dead_writer_is_broken(tmp_path):
+    import os
+
+    from repro.runtime.cache import FileLock
+
+    path = tmp_path / "key.lock"
+    # A lockfile naming a pid that no longer exists: provably dead.
+    dead_pid = 2 ** 22 + 1234  # beyond default pid_max
+    path.write_text(f"{dead_pid}\n")
+    with obs.use_registry(obs.MetricsRegistry()) as registry:
+        lock = FileLock(path, timeout_s=0.5, poll_s=0.01)
+        assert lock.acquire() is True
+        counters = registry.snapshot()["counters"]
+    assert counters["runtime.cache.stale_locks_broken"] == 1
+    assert path.read_text().strip() == str(os.getpid())
+    lock.release()
+
+
+def test_old_lockfile_is_broken_by_age(tmp_path):
+    import os
+    import time as time_mod
+
+    from repro.runtime.cache import FileLock
+
+    path = tmp_path / "key.lock"
+    path.write_text(f"{os.getpid()}\n")  # our own (live) pid...
+    old = time_mod.time() - 3600.0  # ...but an hour-old file
+    os.utime(path, (old, old))
+    lock = FileLock(path, timeout_s=0.5, stale_s=60.0, poll_s=0.01)
+    assert lock.acquire() is True
+    lock.release()
+
+
+def test_put_skips_write_when_lock_contended(cache, tmp_path):
+    from repro.runtime.cache import FileLock
+
+    task = make_task("tests.runtime_helpers:add", {"a": 5, "b": 5})
+    key = cache.key_for(task)
+    cache.lock_timeout_s = 0.05
+    cache.results_dir.mkdir(parents=True, exist_ok=True)
+    holder = FileLock(cache.results_dir / f"{key}.lock")
+    assert holder.acquire()
+    assert cache.put(task, 10) == key  # returns the key, writes nothing
+    holder.release()
+    assert cache.get(task) is None
+    cache.put(task, 10)  # lock free again: the write lands
+    assert cache.get(task).value == 10
+
+
+def test_two_processes_race_on_one_cache_dir(tmp_path):
+    """Two sweeps over identical tasks share one cache directory.
+
+    Every write races; per-key lockfiles plus atomic renames must leave
+    a fully consistent cache -- no torn entries, no leftover locks.
+    """
+    import json
+    import multiprocessing
+
+    from tests.runtime_helpers import cache_writer_sweep
+
+    cache_dir = str(tmp_path / "shared")
+    context = multiprocessing.get_context("fork")
+    with context.Pool(2) as pool:
+        counts = pool.starmap(cache_writer_sweep,
+                              [(cache_dir, 8, 5), (cache_dir, 8, 5)])
+    assert counts == [8, 8]
+
+    shared = ResultCache(cache_dir)
+    from repro.runtime.tasks import make_task as mk
+    tasks = [mk("repro.runtime.chaos:chaos_probe",
+                {"x": x, "seed": 5}) for x in range(8)]
+    values = [shared.get(task) for task in tasks]
+    assert all(entry is not None for entry in values)
+    # Every on-disk entry parses (no torn writes survived the race).
+    entry_files = list(shared.results_dir.glob("*.json"))
+    assert len(entry_files) == 8
+    for path in entry_files:
+        json.loads(path.read_text())
+    assert not list(shared.results_dir.glob("*.lock"))
+    assert not shared.quarantine_dir.exists() or \
+        not any(shared.quarantine_dir.iterdir())

@@ -1,0 +1,176 @@
+"""The sqlite-WAL ledger backend and backend parity with JSONL.
+
+Both backends sit behind the same :class:`RunLedger` facade and must
+agree record-for-record: same entries, same completed keys, same query
+results.  The sqlite-specific hardening -- contended-append retries and
+damaged-database quarantine -- is exercised directly.
+"""
+
+import sqlite3
+
+import pytest
+
+from repro import obs
+from repro.errors import ConfigurationError
+from repro.runtime.chaos import ChaosPolicy
+from repro.runtime.ledger import (
+    RunLedger,
+    infer_backend,
+    parse_query,
+    summarize_ledger,
+)
+from repro.runtime.tasks import TaskResult, make_task, task_key
+
+
+def result_for(x, outcome="ok", attempts=1, wall_s=0.5, error=None):
+    task = make_task("repro.runtime.chaos:chaos_probe", {"x": x})
+    return TaskResult(task=task, key=task_key(task), outcome=outcome,
+                      value={"x": x}, wall_s=wall_s, attempts=attempts,
+                      worker="serial", error=error)
+
+
+def fill(ledger):
+    ledger.record(result_for(0, wall_s=0.1))
+    ledger.record(result_for(1, outcome="failed", attempts=3,
+                             wall_s=2.0, error="RuntimeError: kaboom"))
+    ledger.record(result_for(2, outcome="cached", wall_s=0.0))
+    ledger.record(result_for(3, attempts=2, wall_s=5.0))
+
+
+def test_infer_backend():
+    assert infer_backend("ledger.jsonl") == "jsonl"
+    assert infer_backend("anything.log") == "jsonl"
+    assert infer_backend("ledger.sqlite") == "sqlite"
+    assert infer_backend("ledger.sqlite3") == "sqlite"
+    assert infer_backend("runs.db") == "sqlite"
+    assert infer_backend("ledger.jsonl", backend="sqlite") == "sqlite"
+    with pytest.raises(ConfigurationError):
+        infer_backend("x", backend="postgres")
+
+
+def test_backends_agree_on_entries_keys_and_queries(tmp_path):
+    jsonl = RunLedger(tmp_path / "ledger.jsonl")
+    sqlite_ledger = RunLedger(tmp_path / "ledger.sqlite")
+    fill(jsonl)
+    fill(sqlite_ledger)
+
+    def strip_ts(rows):
+        return [{k: v for k, v in row.items() if k != "ts"}
+                for row in rows]
+
+    assert strip_ts(jsonl.entries()) == strip_ts(sqlite_ledger.entries())
+    assert jsonl.completed_keys() == sqlite_ledger.completed_keys()
+    for query in ({"outcome": "failed"}, {"attempts": 2}, {}):
+        for order, limit in ((None, None), ("-wall_s", 2),
+                             ("attempts", None), ("-error", 3)):
+            left = jsonl.query(query, order=order, limit=limit)
+            right = sqlite_ledger.query(query, order=order, limit=limit)
+            assert strip_ts(left) == strip_ts(right), \
+                (query, order, limit)
+    sqlite_ledger.close()
+
+
+def test_sqlite_persists_across_reopen(tmp_path):
+    path = tmp_path / "ledger.sqlite"
+    ledger = RunLedger(path)
+    fill(ledger)
+    ledger.close()
+    reopened = RunLedger(path)
+    assert len(reopened.entries()) == 4
+    assert len(reopened.completed_keys()) == 3
+    reopened.close()
+
+
+def test_sqlite_torn_append_retries_and_lands(tmp_path):
+    ledger = RunLedger(tmp_path / "ledger.sqlite")
+    chaos = ChaosPolicy(seed=0, torn_ledger_rate=1.0)
+    with obs.use_registry(obs.MetricsRegistry()) as registry:
+        ledger.record(result_for(0), chaos=chaos)
+        counters = registry.snapshot()["counters"]
+    assert counters["runtime.ledger.write_retries"] == 1
+    assert counters["runtime.chaos.torn_ledger_writes"] == 1
+    assert len(ledger.entries()) == 1  # exactly once, not zero or twice
+    ledger.close()
+
+
+def test_damaged_database_is_quarantined_not_fatal(tmp_path):
+    path = tmp_path / "ledger.sqlite"
+    path.write_bytes(b"this is not a sqlite database at all.........")
+    with obs.use_registry(obs.MetricsRegistry()) as registry:
+        ledger = RunLedger(path)
+        ledger.record(result_for(0))
+        counters = registry.snapshot()["counters"]
+    assert counters["runtime.ledger.db_recovered"] == 1
+    assert len(ledger.entries()) == 1
+    corpses = list(tmp_path.glob("ledger.sqlite.corrupt*"))
+    assert len(corpses) == 1
+    assert corpses[0].read_bytes().startswith(b"this is not")
+    ledger.close()
+    # The recreated file is a real database now.
+    connection = sqlite3.connect(path)
+    count = connection.execute(
+        "SELECT COUNT(*) FROM task_runs").fetchone()[0]
+    connection.close()
+    assert count == 1
+
+
+@pytest.mark.parametrize("name", ["ledger.jsonl", "ledger.sqlite"])
+def test_orphans_and_heartbeats(tmp_path, name):
+    ledger = RunLedger(tmp_path / name)
+    alive_task = make_task("repro.runtime.chaos:chaos_probe", {"x": 1})
+    dead_task = make_task("repro.runtime.chaos:chaos_probe", {"x": 2})
+    done_task = make_task("repro.runtime.chaos:chaos_probe", {"x": 3})
+    ledger.start(alive_task, "key-alive")
+    ledger.start(dead_task, "key-dead")
+    ledger.start(done_task, "key-done")
+    ledger.heartbeat(["key-alive"])
+    ledger.record(TaskResult(task=done_task, key="key-done",
+                             outcome="ok", value=1))
+    orphans = ledger.orphans()
+    assert sorted(o["key"] for o in orphans) == ["key-alive", "key-dead"]
+    # With a staleness window, the heartbeat keeps key-alive off the list.
+    fresh = ledger.orphans(stale_s=3600.0)
+    assert [o["key"] for o in fresh] == ["key-dead"] or fresh == []
+    ledger.close()
+
+
+def test_summary_counts_retries_orphans_and_quarantine(tmp_path):
+    ledger = RunLedger(tmp_path / "ledger.sqlite")
+    fill(ledger)
+    ledger.start(make_task("repro.runtime.chaos:chaos_probe", {"x": 9}),
+                 "key-orphan")
+    ledger.close()
+    quarantine = tmp_path / "quarantine"
+    quarantine.mkdir()
+    (quarantine / "deadbeef.json").write_text("torn")
+    summary = summarize_ledger(tmp_path / "ledger.sqlite",
+                               quarantine_dir=quarantine)
+    assert summary.total == 4
+    assert summary.retried == 2
+    assert summary.orphaned == 1
+    assert summary.quarantined == 1
+    assert summary.by_outcome["ok"] == 2
+
+
+def test_parse_query():
+    where, order, limit = parse_query(
+        "outcome=failed,attempts=2,order=-wall_s,limit=5")
+    assert where == {"outcome": "failed", "attempts": 2}
+    assert order == "-wall_s"
+    assert limit == 5
+    assert parse_query("") == ({}, None, None)
+    with pytest.raises(ConfigurationError):
+        parse_query("just-a-word")
+    with pytest.raises(ConfigurationError):
+        parse_query("limit=soon")
+
+
+def test_query_rejects_unknown_fields(tmp_path):
+    for name in ("ledger.jsonl", "ledger.sqlite"):
+        ledger = RunLedger(tmp_path / name)
+        fill(ledger)
+        with pytest.raises(ConfigurationError):
+            ledger.query({"nonsense": 1})
+        with pytest.raises(ConfigurationError):
+            ledger.query({}, order="nonsense")
+        ledger.close()

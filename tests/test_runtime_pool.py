@@ -133,11 +133,98 @@ def test_ledger_gets_one_entry_per_task(tmp_path):
     assert [e["outcome"] for e in ledger.entries()[4:]] == ["cached"] * 3
 
 
+def test_timeouts_not_retried_by_default():
+    task = make_task(SLEEP, {"seconds": 2.0})
+    results = run_tasks([task], jobs=2, timeout_s=0.2, retries=2,
+                        backoff_s=0.01)
+    assert results[0].outcome == "timeout"
+    assert results[0].attempts == 1
+
+
+def test_retry_timeouts_spends_the_retry_budget():
+    from repro import obs
+
+    task = make_task(SLEEP, {"seconds": 1.0})
+    with obs.use_registry(obs.MetricsRegistry()) as registry:
+        results = run_tasks([task], jobs=2, timeout_s=0.15, retries=2,
+                            backoff_s=0.01, retry_timeouts=True)
+        counters = registry.snapshot()["counters"]
+    assert results[0].outcome == "timeout"
+    assert results[0].attempts == 3
+    assert counters["runtime.pool.timeout_retries"] == 2
+
+
+def test_injected_clock_and_sleep_run_backoff_instantly(tmp_path):
+    """A 10 s exponential backoff schedule finishes in milliseconds."""
+    slept = []
+    now = [0.0]
+
+    def fake_sleep(seconds):
+        slept.append(seconds)
+        now[0] += seconds
+
+    task = make_task(FLAKY, {"sentinel_dir": str(tmp_path / "s"),
+                             "fail_times": 3})
+    started = time.perf_counter()
+    results = run_tasks([task], jobs=1, retries=3, backoff_s=10.0,
+                        clock=lambda: now[0], sleep=fake_sleep)
+    wall = time.perf_counter() - started
+    assert results[0].outcome == "ok"
+    assert results[0].attempts == 4
+    assert slept == [10.0, 20.0, 40.0]  # backoff_s * 2**(attempt-1)
+    assert wall < 2.0, f"backoff really slept: {wall:.2f}s"
+
+
+def test_backoff_jitter_is_deterministic_and_bounded(tmp_path):
+    import shutil
+
+    sentinel = tmp_path / "s"
+    task = make_task(FLAKY, {"sentinel_dir": str(sentinel),
+                             "fail_times": 2})
+
+    def delays_for_run():
+        shutil.rmtree(sentinel, ignore_errors=True)
+        slept = []
+        now = [0.0]
+
+        def fake_sleep(seconds):
+            slept.append(seconds)
+            now[0] += seconds
+
+        run_tasks([task], jobs=1, retries=2, backoff_s=1.0, jitter=0.5,
+                  clock=lambda: now[0], sleep=fake_sleep)
+        return slept
+
+    first = delays_for_run()
+    second = delays_for_run()
+    assert first == second  # keyed by (task, attempt), not randomness
+    for attempt, delay in enumerate(first, start=1):
+        base = 1.0 * 2 ** (attempt - 1)
+        assert base <= delay <= 1.5 * base
+
+
+def test_permanent_errors_skip_the_retry_budget():
+    from repro import obs
+
+    task = make_task("tests.runtime_helpers:permanent_boom")
+    for jobs in (1, 2):
+        with obs.use_registry(obs.MetricsRegistry()) as registry:
+            results = run_tasks([task], jobs=jobs, retries=3,
+                                backoff_s=0.01)
+            counters = registry.snapshot()["counters"]
+        assert results[0].outcome == "failed"
+        assert results[0].attempts == 1, f"jobs={jobs}"
+        assert "PermanentTaskError" in results[0].error
+        assert counters["runtime.pool.permanent_failures"] == 1
+
+
 def test_bad_arguments_rejected():
     with pytest.raises(ConfigurationError):
         run_tasks([], jobs=0)
     with pytest.raises(ConfigurationError):
         run_tasks([], retries=-1)
+    with pytest.raises(ConfigurationError):
+        run_tasks([], jitter=-0.1)
 
 
 def test_on_result_fires_per_task():
