@@ -15,6 +15,7 @@ from repro.core.ordering import schedule_from_order
 from repro.core.tree_order import min_delay_tree_order
 from repro.net.routing import gateway_tree
 from repro.net.topology import grid_topology
+from repro.phy.interference import interference_graph
 
 TOPOLOGY = grid_topology(4, 4)
 DEMANDS = {link: 1 for link in TOPOLOGY.links}
@@ -30,6 +31,14 @@ ROUTE = tuple((i, i + 1) for i in (0, 1, 2))  # 0-1-2-3 along the top row
 def test_bench_micro_conflict_graph(benchmark):
     graph = benchmark(conflict_graph, TOPOLOGY, 2)
     assert graph.number_of_nodes() == TOPOLOGY.num_links()
+
+
+def test_bench_micro_interference_graph(benchmark):
+    # Incidence-map construction: work scales with actual interference
+    # edges, not with all O(L^2) link pairs (see repro.phy.interference).
+    graph = benchmark(interference_graph, TOPOLOGY)
+    assert graph.number_of_nodes() == TOPOLOGY.num_links()
+    assert graph.number_of_edges() > 0
 
 
 def test_bench_micro_bellman_ford_recovery(benchmark):

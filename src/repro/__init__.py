@@ -102,6 +102,13 @@ from repro.net import (
     star_topology,
 )
 from repro.overlay import required_guard_s
+from repro.phy import (
+    InterferenceModel,
+    McsTable,
+    PathLossModel,
+    ProtocolModel,
+    SinrModel,
+)
 from repro.qos import (
     QosAdmissionController,
     QosRunResult,
@@ -137,9 +144,13 @@ __all__ = [
     "G729",
     "HealthMonitor",
     "InfeasibleScheduleError",
+    "InterferenceModel",
+    "McsTable",
     "MeshFrameConfig",
     "MeshTopology",
     "MobilityTrace",
+    "PathLossModel",
+    "ProtocolModel",
     "QosAdmissionController",
     "RadioRangeModel",
     "RandomWaypointModel",
@@ -158,6 +169,7 @@ __all__ = [
     "ServiceFlow",
     "ServiceFlowSet",
     "SimulationError",
+    "SinrModel",
     "Simulator",
     "SlotBlock",
     "SolverEngine",

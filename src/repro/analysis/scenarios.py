@@ -88,7 +88,7 @@ def schedule_for_flows(topology: MeshTopology, flows: FlowSet,
                        method: str = "ilp",
                        enforce_delay: bool = True,
                        gateway: int = 0,
-                       engine=None) -> Schedule:
+                       engine=None, interference=None) -> Schedule:
     """Build a conflict-free TDMA schedule carrying ``flows``.
 
     Methods: ``"ilp"`` (delay-aware joint ILP, min-max delay objective),
@@ -96,7 +96,8 @@ def schedule_for_flows(topology: MeshTopology, flows: FlowSet,
     ``"tree"`` (wrap-free ordering on the gateway tree + Bellman-Ford,
     valid when all routes follow tree links).  ``engine`` optionally
     shares a :class:`~repro.core.engine.SolverEngine` (conflict index +
-    solved-problem cache) across calls.
+    solved-problem cache) across calls.  ``interference=`` swaps the
+    conflict backend (default: the 2-hop protocol model).
     """
     from repro.core.engine import SolverEngine
     from repro.core.greedy import greedy_schedule
@@ -108,7 +109,9 @@ def schedule_for_flows(topology: MeshTopology, flows: FlowSet,
     eng = engine if engine is not None else SolverEngine()
     demands = flows.link_demands(frame_config.frame_duration_s,
                                  frame_config.data_slot_capacity_bits)
-    conflicts = eng.conflict_index(topology, hops=2,
+    conflicts = eng.conflict_index(topology,
+                                   hops=None if interference else 2,
+                                   interference=interference,
                                    links=demands.keys()).graph
     slots = frame_config.data_slots
 
@@ -138,7 +141,8 @@ def schedule_for_flows(topology: MeshTopology, flows: FlowSet,
 def admit_flows(topology: MeshTopology, flows: FlowSet,
                 frame_config: MeshFrameConfig,
                 time_limit_s: float = 20.0,
-                engine=None) -> tuple[FlowSet, Schedule]:
+                engine=None,
+                interference=None) -> tuple[FlowSet, Schedule]:
     """Greedy admission: keep each flow only if the set stays schedulable.
 
     This is how the emulated mesh handles offered load beyond capacity:
@@ -159,7 +163,9 @@ def admit_flows(topology: MeshTopology, flows: FlowSet,
         candidate = FlowSet(list(admitted) + [flow])
         demands = candidate.link_demands(frame_config.frame_duration_s,
                                          frame_config.data_slot_capacity_bits)
-        conflicts = eng.conflict_index(topology, hops=2,
+        conflicts = eng.conflict_index(topology,
+                                       hops=None if interference else 2,
+                                       interference=interference,
                                        links=demands.keys()).graph
         problem = SchedulingProblem(
             conflicts=conflicts, demands=demands,
@@ -324,15 +330,24 @@ def run_dcf_scenario(topology: MeshTopology, flows: FlowSet,
                      codec: VoipCodec = G711,
                      warmup_s: float = 0.5,
                      channel_error_rate: float = 0.0,
-                     seed: Optional[int] = None) -> ScenarioResult:
+                     seed: Optional[int] = None,
+                     interference=None) -> ScenarioResult:
     """Run the routed ``flows`` over native 802.11 DCF.
 
-    Randomness follows the standard ``rngs=``/``seed=`` pair.
+    Randomness follows the standard ``rngs=``/``seed=`` pair.  With
+    ``interference=`` an :class:`~repro.phy.models.SinrModel`, the
+    channel is widened with that model's physical couplings
+    (:meth:`~repro.phy.models.SinrModel.channel_couplings`): carrier
+    sense reaches past radio neighbours and hidden-node transmitters
+    corrupt in-flight receptions (counted in the ``"jams"`` extra).
     """
     rngs = resolve_rngs(rngs, seed, what="run_dcf_scenario")
     sim = Simulator()
     trace = Trace(capacity=200_000)
     channel = BroadcastChannel(sim, topology, params.phy, trace)
+    if interference is not None:
+        channel.set_physical_couplings(
+            interference.channel_couplings(topology))
     if channel_error_rate > 0.0:
         channel.set_error_model(rngs.stream("channel_error"),
                                 channel_error_rate)
@@ -376,6 +391,7 @@ def run_dcf_scenario(topology: MeshTopology, flows: FlowSet,
         qos=qos, trace=trace, duration_s=duration_s,
         extras={
             "collisions": trace.count("phy.rx_collision"),
+            "jams": trace.count("phy.jam"),
             "mac_drops": trace.count("mac.drop"),
             "queue_drops": trace.count("mac.queue_drop"),
         })

@@ -59,7 +59,16 @@ class Scenario:
         Anchor node for tree orderings and the emulation's timebase.
     hops:
         Conflict distance of the protocol interference model
-        (2 = the 802.16 mesh default).
+        (2 = the 802.16 mesh default).  Shorthand for
+        ``interference=ProtocolModel(hops=...)``; mutually exclusive
+        with ``interference=``.
+    interference:
+        The :class:`~repro.phy.models.InterferenceModel` backend the
+        conflict graph is built with -- a
+        :class:`~repro.phy.models.ProtocolModel` (the default, via
+        ``hops=``) or an :class:`~repro.phy.models.SinrModel` for
+        physical-model interference with adaptive MCS (needs node
+        positions).  See ``docs/interference.md``.
     engine:
         Optional shared :class:`~repro.core.engine.SolverEngine`.  Each
         scenario gets its own engine by default, so repeated
@@ -86,13 +95,34 @@ class Scenario:
     def __init__(self, topology: Optional[MeshTopology] = None,
                  flows: Optional[FlowsLike] = None,
                  frame: Optional[MeshFrameConfig] = None,
-                 gateway: int = 0, hops: int = 2,
+                 gateway: int = 0, hops: Optional[int] = None,
                  engine: Optional[SolverEngine] = None,
                  service_flows=None, mobility=None,
-                 solver: Union[SolverPolicy, str, None] = None) -> None:
+                 solver: Union[SolverPolicy, str, None] = None,
+                 interference=None) -> None:
+        from repro.phy.models import ProtocolModel, coerce_interference
+
         if (flows is None) == (service_flows is None):
             raise ConfigurationError(
                 "pass exactly one of flows= or service_flows=")
+        if hops is not None and interference is not None:
+            raise ConfigurationError(
+                "pass either hops= or interference=, not both")
+        if isinstance(interference, int) and not isinstance(interference,
+                                                            bool):
+            warn_once(
+                "Scenario.interference.int",
+                "Scenario(interference=<int>) is deprecated; pass "
+                "hops=<int> or interference=ProtocolModel(hops=<int>) "
+                "instead")
+        #: the interference-model backend conflict graphs come from
+        self.interference = coerce_interference(
+            interference, default_hops=2 if hops is None else hops)
+        #: protocol-model conflict distance (None under a non-protocol
+        #: backend such as SinrModel)
+        self.hops = (self.interference.hops
+                     if isinstance(self.interference, ProtocolModel)
+                     else None)
         if mobility is not None:
             if topology is not None:
                 raise ConfigurationError(
@@ -121,7 +151,6 @@ class Scenario:
                       else FlowSet(list(flows)))
         self.frame = frame if frame is not None else default_frame_config()
         self.gateway = gateway
-        self.hops = hops
         #: solver engine owning this scenario's caches
         if engine is not None:
             self.engine = engine
@@ -237,7 +266,7 @@ class Scenario:
                 "service_flows=")
         schedule, routed = grant_schedule_for(
             self.topology, self.service_flows, self.frame,
-            conflict_hops=self.hops, engine=self.engine)
+            interference=self.interference, engine=self.engine)
         self.service_flows = routed
         self.flows = routed.to_flow_set()
         return simulate_service_flows(routed, schedule, self.frame,
@@ -249,7 +278,7 @@ class Scenario:
         ``mobility=``.
 
         Delegates to :func:`repro.mobility.run.run_mobility` with this
-        scenario's frame, gateway, conflict hops and engine; remaining
+        scenario's frame, gateway, interference model and engine; remaining
         keyword arguments (``gateways``, ``packet_interval_s``, ...)
         pass through.  Flows need no prior :meth:`route` -- the repair
         engine routes and re-routes them as the mesh morphs.  Returns
@@ -262,7 +291,8 @@ class Scenario:
         from repro.mobility.run import run_mobility
 
         return run_mobility(self.mobility, list(self.flows), self.frame,
-                            gateway=self.gateway, hops=self.hops,
+                            gateway=self.gateway,
+                            interference=self.interference,
                             engine=self.engine, **kwargs)
 
     # -- inspectable intermediates ------------------------------------------
@@ -278,7 +308,7 @@ class Scenario:
     def conflicts(self):
         """Conflict graph over the demanded links (engine-cached)."""
         return self.engine.conflict_index(
-            self.topology, hops=self.hops,
+            self.topology, interference=self.interference,
             links=sorted(self.demands)).graph
 
     @property

@@ -69,6 +69,24 @@ def conflict_graph(topology: MeshTopology, hops: int = 2,
             nx.single_source_shortest_path_length(
                 topology.graph, node, cutoff=hops - 1))
 
+    # A widened model (hops > 2) whose reach spans the whole mesh from
+    # every link is degenerate: all links pairwise conflict, the schedule
+    # serialises, and the caller almost certainly mistook ``hops`` for a
+    # distance in metres.  hops <= 2 is exempt -- on tiny meshes the
+    # 802.16-mandated default legitimately yields a complete conflict
+    # graph.
+    if hops > 2 and link_list:
+        num_nodes = topology.graph.number_of_nodes()
+        if all(len(reach[u] | reach[v]) == num_nodes
+               for u, v in link_list):
+            raise ConfigurationError(
+                f"hops={hops} reaches the whole {num_nodes}-node mesh "
+                "from every link (hops >= network diameter): the "
+                "conflict graph is complete and the schedule degenerates "
+                "to one link per slot. Use a smaller hops value, or an "
+                "SinrModel if you need wider-than-communication "
+                "interference (see docs/interference.md)")
+
     for i, link_a in enumerate(link_list):
         endpoints_a = set(link_a)
         near_a = reach[link_a[0]] | reach[link_a[1]]

@@ -484,20 +484,46 @@ class SolverEngine:
 
     # -- conflict-graph layer -------------------------------------------------
 
-    def conflict_index(self, topology: MeshTopology, hops: int = 2,
-                       links: Optional[Sequence[Link]] = None
-                       ) -> ConflictIndex:
-        """The (cached) :class:`ConflictIndex` for a topology/links/hops key.
+    def conflict_index(self, topology: MeshTopology,
+                       hops: Optional[int] = None,
+                       links: Optional[Sequence[Link]] = None,
+                       interference=None) -> ConflictIndex:
+        """The (cached) :class:`ConflictIndex` for a topology/links/model key.
 
-        Misses are answered by the cheapest correct path: an incremental
-        delta update against the last index of the same ``hops`` when the
-        diff is small (see ``delta_updates``), a full
-        :func:`~repro.core.conflict.conflict_graph` build otherwise.
-        Either way the result is identical and lands in the same LRU.
+        The interference backend is either ``hops`` (the k-hop protocol
+        model; default 2, the pre-seam behaviour) or ``interference=`` --
+        an :class:`~repro.phy.models.InterferenceModel` or a bare hops
+        integer.  A :class:`~repro.phy.models.ProtocolModel` routes
+        through exactly the pre-seam path: same cache key (the bare hops
+        int), same delta lineage, same
+        :func:`~repro.core.conflict.conflict_graph` build -- bitwise
+        identical.  Other models (e.g.
+        :class:`~repro.phy.models.SinrModel`) are keyed by their
+        :meth:`~repro.phy.models.InterferenceModel.cache_token` (which
+        folds in positions and parameters -- the topology fingerprint
+        covers connectivity only) and always build through the model;
+        they never join the protocol delta lineage.
+
+        Protocol-path misses are answered by the cheapest correct path:
+        an incremental delta update against the last index of the same
+        ``hops`` when the diff is small (see ``delta_updates``), a full
+        build otherwise.  Either way the result is identical and lands
+        in the same LRU.
         """
-        if hops < 1:
+        from repro.phy.models import ProtocolModel, coerce_interference
+
+        if hops is not None and interference is not None:
+            raise ConfigurationError(
+                "pass either hops= or interference=, not both")
+        if hops is not None and (not isinstance(hops, int)
+                                 or isinstance(hops, bool) or hops < 1):
             raise ConfigurationError(
                 f"interference model needs hops >= 1, got {hops}")
+        model = coerce_interference(interference,
+                                    default_hops=2 if hops is None else hops)
+        if not isinstance(model, ProtocolModel):
+            return self._model_index(model, topology, links)
+        hops = model.hops
         link_key = None if links is None else tuple(sorted(set(links)))
         key = ("conflict", topology_fingerprint(topology), hops, link_key)
         cached = self._indexes.get(key)
@@ -534,11 +560,46 @@ class SolverEngine:
                 *_topology_snapshot(topology))
             self.stats["index_builds"] += 1
             obs.counter("core.engine.index_builds").inc()
+        obs.counter("core.interference.protocol_edges").inc(
+            index.num_conflicts)
         if self.max_indexes > 0:
             self._indexes[key] = index
             while len(self._indexes) > self.max_indexes:
                 self._indexes.popitem(last=False)
             self._delta_bases[(hops, link_key is None)] = index
+        return index
+
+    def _model_index(self, model, topology: MeshTopology,
+                     links: Optional[Sequence[Link]]) -> ConflictIndex:
+        """Index for a non-protocol interference backend (e.g. SINR).
+
+        Keyed by the model's content token next to the connectivity
+        fingerprint; built through the model, cached in the same LRU as
+        protocol indexes but kept out of the delta lineage (there is no
+        delta rule for SINR conflicts -- a position change can touch any
+        pair).  ``index.hops`` is ``None``, like the exact interference
+        relation's.
+        """
+        link_key = None if links is None else tuple(sorted(set(links)))
+        key = ("conflict", topology_fingerprint(topology),
+               model.cache_token(topology), link_key)
+        cached = self._indexes.get(key)
+        if cached is not None:
+            self._indexes.move_to_end(key)
+            self.stats["index_hits"] += 1
+            obs.counter("core.engine.index_hits").inc()
+            return cached
+        graph = model.conflict_graph(
+            topology, links=None if link_key is None else list(link_key))
+        index = ConflictIndex("/".join(map(repr, key)), None, graph)
+        self.stats["index_builds"] += 1
+        obs.counter("core.engine.index_builds").inc()
+        obs.counter(f"core.interference.{model.kind}_edges").inc(
+            index.num_conflicts)
+        if self.max_indexes > 0:
+            self._indexes[key] = index
+            while len(self._indexes) > self.max_indexes:
+                self._indexes.popitem(last=False)
         return index
 
     def zone_index(self, base: ConflictIndex,

@@ -98,7 +98,7 @@ def demand_lower_bound(conflicts: nx.Graph, demands: Mapping[Link, int]) -> int:
     return max(largest, max_conflict_clique_demand(conflicts, demands))
 
 
-def minimum_slots(conflicts: nx.Graph, demands: Mapping[Link, int],
+def minimum_slots(conflicts: Optional[nx.Graph], demands: Mapping[Link, int],
                   frame_slots: int,
                   delay_constraints: Sequence[DelayConstraint] = (),
                   search: Optional[str] = None,
@@ -106,15 +106,20 @@ def minimum_slots(conflicts: nx.Graph, demands: Mapping[Link, int],
                   time_limit_per_probe: Optional[float] = None,
                   engine: Optional["SolverEngine"] = None,
                   warm_order: Optional[TransmissionOrder] = None,
-                  policy: "SolverPolicy | str | None" = None
-                  ) -> MinSlotResult:
+                  policy: "SolverPolicy | str | None" = None,
+                  topology=None, hops: Optional[int] = None,
+                  interference=None) -> MinSlotResult:
     """Find the minimum guaranteed region ``K`` supporting the demands.
 
     Parameters
     ----------
     conflicts, demands, frame_slots, delay_constraints:
         As in :class:`~repro.core.ilp.SchedulingProblem`; ``frame_slots`` is
-        the *fixed* frame length (wrap cost).
+        the *fixed* frame length (wrap cost).  ``conflicts`` may be
+        ``None`` when ``topology=`` is given -- the conflict graph over
+        the demanded links is then built through the engine's
+        interference seam (``hops=`` or ``interference=``, the same pair
+        :meth:`~repro.core.engine.SolverEngine.conflict_index` takes).
     search:
         ``"linear"`` (the paper's search, upward from the lower bound) or
         ``"binary"`` (extension; exploits monotonicity in ``K``).
@@ -146,6 +151,18 @@ def minimum_slots(conflicts: nx.Graph, demands: Mapping[Link, int],
         from repro.core.engine import default_engine
 
         engine = default_engine()
+    if conflicts is None:
+        if topology is None:
+            raise ConfigurationError(
+                "minimum_slots needs conflicts= (a prebuilt graph) or "
+                "topology= (to build one through the interference seam)")
+        conflicts = engine.conflict_index(
+            topology, hops=hops, interference=interference,
+            links=sorted(demands)).graph
+    elif topology is not None or hops is not None or interference is not None:
+        raise ConfigurationError(
+            "pass either a prebuilt conflicts= graph or the "
+            "topology=/hops=/interference= triple, not both")
     from repro.core.policy import SolverPolicy
 
     base_policy = (engine.policy if policy is None

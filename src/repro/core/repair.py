@@ -100,6 +100,12 @@ class RepairEngine:
         (protect it in the fault plan).
     hops:
         Conflict distance of the protocol model (2 = 802.16 mesh default).
+        Mutually exclusive with ``interference=``.
+    interference:
+        Optional :class:`~repro.phy.models.InterferenceModel` replacing
+        the protocol model -- e.g. an
+        :class:`~repro.phy.models.SinrModel` so repairs schedule against
+        physical-model interference (needs node positions).
     search, time_limit_per_probe_s:
         Passed to :func:`minimum_slots` for full re-solves.
     engine:
@@ -112,19 +118,33 @@ class RepairEngine:
     """
 
     def __init__(self, topology: MeshTopology, frame_config: MeshFrameConfig,
-                 gateway: int = 0, hops: int = 2, search: str = "binary",
+                 gateway: int = 0, hops: Optional[int] = None,
+                 search: str = "binary",
                  time_limit_per_probe_s: Optional[float] = 15.0,
                  engine: Optional[SolverEngine] = None,
                  shed_key=None,
                  dead_nodes: Iterable[int] = (),
-                 dead_edges: Iterable[tuple[int, int]] = ()) -> None:
+                 dead_edges: Iterable[tuple[int, int]] = (),
+                 interference=None) -> None:
+        from repro.phy.models import ProtocolModel, coerce_interference
+
         if gateway not in topology.graph:
             raise ConfigurationError(f"gateway {gateway} not in topology")
+        if hops is not None and interference is not None:
+            raise ConfigurationError(
+                "pass either hops= or interference=, not both")
         self.engine = engine if engine is not None else SolverEngine()
         self.base_topology = topology
         self.frame = frame_config
         self.gateway = gateway
-        self.hops = hops
+        #: interference-model backend for all conflict graphs this
+        #: engine builds (repairs and full re-solves alike)
+        self.interference = coerce_interference(
+            interference, default_hops=2 if hops is None else hops)
+        #: protocol conflict distance (None under a non-protocol backend)
+        self.hops = (self.interference.hops
+                     if isinstance(self.interference, ProtocolModel)
+                     else None)
         self.search = search
         self.time_limit_per_probe_s = time_limit_per_probe_s
         #: initial fault state: a mobility stream's world at t=0 rarely has
@@ -264,7 +284,8 @@ class RepairEngine:
         flows = list(carried.values())
         demands = self._demands(flows)
         conflicts = self.engine.conflict_index(
-            alive, hops=self.hops, links=sorted(demands)).graph
+            alive, interference=self.interference,
+            links=sorted(demands)).graph
 
         # 1. unchanged routes: the old schedule restricted to the demanded
         #    links may simply still be valid (down events only ever shrink
@@ -409,7 +430,8 @@ class RepairEngine:
         topo = topology if topology is not None else self.alive
         demands = self._demands(flows)
         conflicts = self.engine.conflict_index(
-            topo, hops=self.hops, links=sorted(demands)).graph
+            topo, interference=self.interference,
+            links=sorted(demands)).graph
         warm_order = (self._spliced_order(flows, demands)
                       if self.schedule is not None else None)
         return minimum_slots(

@@ -21,6 +21,20 @@ stations set their NAV (virtual carrier sense) for the duration advertised
 in the RTS/CTS, which protects the data frame from hidden terminals that
 cannot physically sense the transmitter.  A lost CTS is handled exactly
 like a lost ACK (backoff doubling, retry accounting).
+
+Hidden nodes: on the bare :class:`~repro.phy.channel.BroadcastChannel`
+carrier sense is graph-perfect -- a station defers to any transmitting
+radio neighbour, so classic hidden-terminal collisions cannot happen.
+When the channel is widened with
+:meth:`~repro.phy.channel.BroadcastChannel.set_physical_couplings` (from
+:meth:`~repro.phy.models.SinrModel.channel_couplings`), two extra
+physical effects appear without any change to this MAC: *sense pairs*
+make the medium read busy for non-neighbour stations inside the carrier
+sense range (more deferral), and *jam pairs* let a non-neighbour
+transmitter corrupt in-flight receptions at its victims (hidden-node
+collisions, traced as ``phy.jam`` / loss reason ``"interference"``).
+E23 runs the DCF baseline both ways to quantify the hidden-node tax the
+protocol-model abstraction hides.
 """
 
 from __future__ import annotations

@@ -112,10 +112,11 @@ def run_mobility(stream: TopologyStream, flows: Iterable[Flow],
                  frame: Optional[MeshFrameConfig] = None, *,
                  gateway: int = 0,
                  gateways: Optional[Sequence[int]] = None,
-                 hops: int = 2,
+                 hops: Optional[int] = None,
                  engine: Optional[SolverEngine] = None,
                  packet_interval_s: float = 0.02,
-                 search: str = "binary") -> MobilityRunResult:
+                 search: str = "binary",
+                 interference=None) -> MobilityRunResult:
     """Carry ``flows`` across the moving mesh described by ``stream``.
 
     ``gateway`` anchors repair (it must be present in every snapshot);
@@ -126,6 +127,9 @@ def run_mobility(stream: TopologyStream, flows: Iterable[Flow],
     ``index_builds`` counters isolate the incremental-index effect.
     ``packet_interval_s`` converts convergence windows and parked time
     into lost packets (default 20 ms, the G.729 VoIP cadence).
+    ``hops=`` / ``interference=`` select the interference backend the
+    repair engine schedules against (protocol hops or any
+    :class:`~repro.phy.models.InterferenceModel`); at most one of them.
     """
     if frame is None:
         frame = default_frame_config()
@@ -142,7 +146,8 @@ def run_mobility(stream: TopologyStream, flows: Iterable[Flow],
                 "the gateway's component")
     solver = engine if engine is not None else SolverEngine()
     repair = RepairEngine(world.topology, frame, gateway=gateway,
-                          hops=hops, search=search, engine=solver,
+                          hops=hops, interference=interference,
+                          search=search, engine=solver,
                           dead_nodes=world.dead_nodes,
                           dead_edges=world.dead_edges)
     repair.install(flows)
@@ -222,7 +227,8 @@ def run_mobility(stream: TopologyStream, flows: Iterable[Flow],
         # schedule is only safe if no scheduled link conflicts with any
         # link the mesh could activate, and the full-topology index is
         # exactly the shape the engine's delta updates answer cheaply.
-        conflicts = solver.conflict_index(repair.alive, hops=hops).graph
+        conflicts = solver.conflict_index(
+            repair.alive, interference=repair.interference).graph
         conflict_ok = not repair.schedule.violations(conflicts)
         guarantee_ok = True
         for flow in repair.carried_flows:

@@ -63,6 +63,23 @@ class RadioRangeModel:
         self.range_m = float(range_m)
         self.hysteresis = float(hysteresis)
 
+    @classmethod
+    def from_path_loss(cls, path_loss, tx_power_dbm: float,
+                       sensitivity_dbm: float,
+                       hysteresis: float = 0.1) -> "RadioRangeModel":
+        """The disk range implied by a link budget.
+
+        ``path_loss`` is any object with a ``range_m(tx_power_dbm,
+        rss_dbm)`` inverse (a :class:`~repro.phy.models.PathLossModel`):
+        the disk radius is the distance at which the received power
+        falls to ``sensitivity_dbm``.  This is how an
+        :class:`~repro.phy.models.SinrModel` and a mobility stream share
+        one set of radio physics instead of two hand-picked ranges --
+        see :meth:`~repro.phy.models.SinrModel.radio_range_model`.
+        """
+        return cls(path_loss.range_m(tx_power_dbm, sensitivity_dbm),
+                   hysteresis=hysteresis)
+
     def initial(self, distance: float) -> bool:
         """Nominal disk rule for the very first snapshot."""
         return distance <= self.range_m
@@ -143,8 +160,11 @@ class TopologyStream:
         Any motion-interface object (:mod:`repro.mobility.models` model
         or :class:`~repro.mobility.trace.MobilityTrace`).
     radio:
-        A :class:`RadioRangeModel`, or a bare range in metres (default
-        hysteresis applies).
+        A :class:`RadioRangeModel`, a bare range in metres (default
+        hysteresis applies), or an object with a ``radio_range_model()``
+        method -- e.g. an :class:`~repro.phy.models.SinrModel`, whose
+        link budget then drives connectivity, so the stream and the
+        SINR conflict backend agree on the communication range.
     dt:
         Sampling period, seconds.  Also the delta timestamp grain.
     horizon_s:
@@ -157,7 +177,10 @@ class TopologyStream:
         if dt <= 0:
             raise ConfigurationError("dt must be positive")
         if not isinstance(radio, RadioRangeModel):
-            radio = RadioRangeModel(float(radio))
+            if hasattr(radio, "radio_range_model"):
+                radio = radio.radio_range_model()
+            else:
+                radio = RadioRangeModel(float(radio))
         self.motion = motion
         self.radio = radio
         self.dt = float(dt)

@@ -1,4 +1,5 @@
-"""Radio/PHY substrate (system S3 in DESIGN.md)."""
+"""Radio/PHY substrate (system S3 in DESIGN.md) and the pluggable
+interference-model seam (S39)."""
 
 from repro.phy.channel import BroadcastChannel, Reception
 from repro.phy.frames import FrameKind, PhyFrame
@@ -7,17 +8,35 @@ from repro.phy.interference import (
     overcautious_pairs,
     uncovered_interference,
 )
+from repro.phy.models import (
+    ChannelCouplings,
+    InterferenceModel,
+    McsEntry,
+    McsTable,
+    PathLossModel,
+    ProtocolModel,
+    SinrModel,
+    coerce_interference,
+)
 from repro.phy.radio import DOT11A_6M, DOT11B_11M, DOT11G_54M, PhyParams
 
 __all__ = [
     "BroadcastChannel",
+    "ChannelCouplings",
     "DOT11A_6M",
     "DOT11B_11M",
     "DOT11G_54M",
     "FrameKind",
+    "InterferenceModel",
+    "McsEntry",
+    "McsTable",
+    "PathLossModel",
     "PhyFrame",
     "PhyParams",
+    "ProtocolModel",
     "Reception",
+    "SinrModel",
+    "coerce_interference",
     "interference_graph",
     "overcautious_pairs",
     "uncovered_interference",

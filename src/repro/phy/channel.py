@@ -4,9 +4,13 @@ The channel implements the classic protocol interference model on the
 topology's connectivity graph: every transmission is heard by all radio
 neighbours of the transmitter; two receptions overlapping in time at the
 same receiver corrupt each other; a node cannot receive while transmitting
-(half-duplex).  Carrier sense range equals communication range (the 802.16
-mesh 2-hop conflict model in :mod:`repro.core.conflict` is the scheduling
-abstraction of exactly this channel).
+(half-duplex).  By default carrier sense range equals communication range
+(the 802.16 mesh 2-hop conflict model in :mod:`repro.core.conflict` is the
+scheduling abstraction of exactly this channel);
+:meth:`BroadcastChannel.set_physical_couplings` widens the medium with
+SINR-derived sense and jamming pairs so the DCF baseline exhibits real
+hidden-node collisions (see :mod:`repro.phy.models` and
+docs/interference.md).
 
 MAC layers attach a :class:`ChannelClient` per node and get two callbacks:
 
@@ -64,6 +68,13 @@ class _NodeState:
     receptions: list[Reception] = field(default_factory=list)
     #: (start, end) transmission intervals, pruned lazily
     transmissions: list[tuple[float, float]] = field(default_factory=list)
+    #: (start, end) sensed-but-undecodable energy from carrier-sense-range
+    #: transmitters (physical couplings); busies the medium, harms nothing
+    noise: list[tuple[float, float]] = field(default_factory=list)
+    #: (start, end) corrupting energy from out-of-decode-range interferers
+    #: (hidden-node couplings); busies the medium *and* corrupts overlapping
+    #: receptions
+    jam: list[tuple[float, float]] = field(default_factory=list)
 
 
 class BroadcastChannel:
@@ -102,6 +113,52 @@ class BroadcastChannel:
         #: fault-injection state; see :meth:`set_node_down` / :meth:`set_link_down`
         self._down_nodes: set[int] = set()
         self._down_links: set[frozenset[int]] = set()
+        #: physical-model couplings beyond the connectivity graph; see
+        #: :meth:`set_physical_couplings`
+        self._sense_extra: dict[int, set[int]] = {}
+        self._jam_extra: dict[int, set[int]] = {}
+
+    def set_physical_couplings(self, couplings=None, *,
+                               sense_pairs=None, jam_pairs=None) -> None:
+        """Widen the channel beyond the graph with SINR-derived couplings.
+
+        ``couplings`` is a :class:`~repro.phy.models.ChannelCouplings`
+        (e.g. from :meth:`~repro.phy.models.SinrModel.channel_couplings`);
+        alternatively pass the pair sets directly.  ``sense_pairs`` are
+        undirected non-neighbour node pairs within carrier-sense range:
+        each hears the other's transmissions as busy medium (so CSMA
+        defers) without receiving anything.  ``jam_pairs`` are directed
+        ``(interferer, victim)`` pairs whose transmissions additionally
+        corrupt receptions overlapping them at the victim -- the
+        hidden-node failure mode the 2-hop protocol channel cannot
+        express.  Replaces any previously installed couplings; with none
+        installed the channel is exactly the protocol-model medium.
+        """
+        if couplings is not None:
+            if sense_pairs is not None or jam_pairs is not None:
+                raise ConfigurationError(
+                    "pass couplings= or explicit pair sets, not both")
+            sense_pairs = couplings.sense_pairs
+            jam_pairs = couplings.jam_pairs
+        sense: dict[int, set[int]] = {}
+        jam: dict[int, set[int]] = {}
+        for u, v in (sense_pairs or ()):
+            self._state(u), self._state(v)  # validate node ids
+            if v in self.topology.graph[u]:
+                raise ConfigurationError(
+                    f"sense pair ({u}, {v}) are radio neighbours; the "
+                    "graph already delivers between them")
+            sense.setdefault(u, set()).add(v)
+            sense.setdefault(v, set()).add(u)
+        for tx, victim in (jam_pairs or ()):
+            self._state(tx), self._state(victim)
+            if victim in self.topology.graph[tx] or tx == victim:
+                raise ConfigurationError(
+                    f"jam pair ({tx}, {victim}) are radio neighbours; "
+                    "the graph already collides between them")
+            jam.setdefault(tx, set()).add(victim)
+        self._sense_extra = sense
+        self._jam_extra = jam
 
     def set_error_model(self, rng, default_error_rate: float = 0.0,
                         per_link: Optional[dict[tuple[int, int], float]]
@@ -255,12 +312,21 @@ class BroadcastChannel:
                    for start, end in self._state(node).transmissions)
 
     def medium_busy(self, node: int) -> bool:
-        """Carrier-sense result at ``node``: any energy on air it can hear."""
+        """Carrier-sense result at ``node``: any energy on air it can hear.
+
+        With physical couplings installed, sensed energy includes noise
+        from carrier-sense-range transmitters and jamming interferers --
+        not just decodable receptions.
+        """
         now = self.sim.now
         if self.transmitting(node):
             return True
-        return any(rec.start <= now < rec.end
-                   for rec in self._state(node).receptions)
+        state = self._state(node)
+        if any(rec.start <= now < rec.end for rec in state.receptions):
+            return True
+        return any(start <= now < end
+                   for start, end in state.noise) \
+            or any(start <= now < end for start, end in state.jam)
 
     def busy_until(self, node: int) -> float:
         """Latest end time of anything currently on air at ``node``.
@@ -269,12 +335,19 @@ class BroadcastChannel:
         """
         now = self.sim.now
         latest = now
-        for start, end in self._state(node).transmissions:
+        state = self._state(node)
+        for start, end in state.transmissions:
             if start <= now < end:
                 latest = max(latest, end)
-        for rec in self._state(node).receptions:
+        for rec in state.receptions:
             if rec.start <= now < rec.end:
                 latest = max(latest, rec.end)
+        for start, end in state.noise:
+            if start <= now < end:
+                latest = max(latest, end)
+        for start, end in state.jam:
+            if start <= now < end:
+                latest = max(latest, end)
         return latest
 
     # -- transmission ---------------------------------------------------------
@@ -334,9 +407,50 @@ class BroadcastChannel:
                     other.corrupt_reason = other.corrupt_reason or "collision"
                     reception.corrupted = True
                     reception.corrupt_reason = "collision"
+            # Jamming energy already on air at this receiver (from an
+            # out-of-decode-range interferer) corrupts the new reception.
+            if not reception.corrupted:
+                for start, end in receiver_state.jam:
+                    if reception.overlaps(start, end):
+                        reception.corrupted = True
+                        reception.corrupt_reason = "interference"
+                        self.trace.emit(now, "phy.jam", node=neighbor)
+                        break
             receiver_state.receptions.append(reception)
             self.sim.schedule_at(arrival_start, self._notify, neighbor)
             self.sim.schedule_at(arrival_end, self._deliver, reception)
+        # Physical couplings beyond the graph: jamming interferers corrupt
+        # in-flight receptions at their victims; carrier-sense-range
+        # watchers merely see a busy medium.  Both get notify edges so
+        # CSMA backoff reacts to the energy appearing and clearing.
+        arrival_start, arrival_end = tx_start + prop, tx_end + prop
+        for victim in self._jam_extra.get(node, ()):
+            if victim in self._down_nodes:
+                continue
+            victim_state = self._state(victim)
+            self._prune(victim_state, now)
+            victim_state.jam.append((arrival_start, arrival_end))
+            # phy.jam traces actual damage (a reception corrupted by
+            # out-of-decode-range energy), not every jam interval -- the
+            # E23 jam column would otherwise count harmless energy.
+            for rec in victim_state.receptions:
+                if rec.overlaps(arrival_start, arrival_end) \
+                        and not rec.corrupted:
+                    rec.corrupted = True
+                    rec.corrupt_reason = "interference"
+                    self.trace.emit(now, "phy.jam", node=victim,
+                                    source=node)
+            self.sim.schedule_at(arrival_start, self._notify, victim)
+            self.sim.schedule_at(arrival_end, self._notify, victim)
+        for watcher in self._sense_extra.get(node, ()):
+            if watcher in self._down_nodes \
+                    or watcher in self._jam_extra.get(node, ()):
+                continue  # jam energy already busies the victim's medium
+            watcher_state = self._state(watcher)
+            self._prune(watcher_state, now)
+            watcher_state.noise.append((arrival_start, arrival_end))
+            self.sim.schedule_at(arrival_start, self._notify, watcher)
+            self.sim.schedule_at(arrival_end, self._notify, watcher)
         # Transmitter's own medium goes idle at tx_end.
         self.sim.schedule_at(tx_end, self._notify, node)
         return duration
@@ -409,3 +523,7 @@ class BroadcastChannel:
         if state.transmissions and state.transmissions[0][1] < horizon:
             state.transmissions = [
                 (s, e) for s, e in state.transmissions if e >= horizon]
+        if state.noise and state.noise[0][1] < horizon:
+            state.noise = [(s, e) for s, e in state.noise if e >= horizon]
+        if state.jam and state.jam[0][1] < horizon:
+            state.jam = [(s, e) for s, e in state.jam if e >= horizon]

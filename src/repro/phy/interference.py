@@ -1,14 +1,22 @@
-"""Cross-validation between the conflict model and the channel physics.
+"""Cross-validation between conflict models and channel/SINR physics.
 
-The scheduler's conflict graph (:mod:`repro.core.conflict`) is an
-*abstraction* of the channel (:mod:`repro.phy.channel`): two links it
-declares non-conflicting must genuinely be unable to corrupt each other's
-receptions.  This module derives the exact "can actually interfere" relation
-from the channel's rules and checks containment -- the safety argument for
-running the 2-hop model on this PHY (used by the ablation tests and by E11's
-interpretation).
+The scheduler's conflict graph (:mod:`repro.core.conflict`, or any
+:class:`~repro.phy.models.InterferenceModel`) is an *abstraction* of the
+channel: two links it declares non-conflicting must genuinely be unable
+to corrupt each other's receptions.  This module is the **containment
+validator** between backends -- it derives a ground-truth "can actually
+interfere" relation and checks the abstraction against it:
 
-Under the channel's physics, simultaneous transmissions on directed links
+- with no ``truth=``, the ground truth is the broadcast channel's exact
+  collision rule (:func:`interference_graph`) -- the safety argument for
+  running the 2-hop protocol model on this PHY (asserted by the test
+  suite for every generator topology, interpreted by E11);
+- with ``truth=`` an :class:`~repro.phy.models.SinrModel`, the ground
+  truth is physical-model interference, and
+  :func:`uncovered_interference` lists the hidden-node-style pairs the
+  protocol abstraction misses (E23's headline column).
+
+Under the channel's rules, simultaneous transmissions on directed links
 ``a = (ta, ra)`` and ``b = (tb, rb)`` damage at least one *intended*
 reception iff any of:
 
@@ -20,56 +28,110 @@ reception iff any of:
 
 from __future__ import annotations
 
+from typing import Optional, Union
+
 import networkx as nx
 
 from repro.core.conflict import conflict_graph
 from repro.net.topology import Link, MeshTopology
 
+ModelLike = Union[int, "InterferenceModel", None]  # noqa: F821
+
 
 def interference_graph(topology: MeshTopology) -> nx.Graph:
-    """The exact link-interference relation implied by the channel model."""
+    """The exact link-interference relation implied by the channel model.
+
+    Built from the node -> links incidence maps, so the work is
+    proportional to the actual interference edges (the old
+    all-pairs double loop was O(L^2) regardless of the answer --
+    ``test_bench_micro_interference_graph`` tracks the difference).
+    Vertex set, edge set and insertion order are identical to the
+    pairwise scan's.
+    """
+    links = topology.links  # sorted directed links
     graph = nx.Graph()
-    graph.add_nodes_from(topology.links)
-    links = topology.links
-    neighbor_sets = {node: set(topology.neighbors(node))
-                     for node in topology.nodes}
-    for i, (ta, ra) in enumerate(links):
-        for tb, rb in links[i + 1:]:
-            link_a, link_b = (ta, ra), (tb, rb)
-            shares_node = bool({ta, ra} & {tb, rb})
-            hits_a = tb in neighbor_sets[ra]
-            hits_b = ta in neighbor_sets[rb]
-            if shares_node or hits_a or hits_b:
-                graph.add_edge(link_a, link_b)
+    graph.add_nodes_from(links)
+    out_links: dict[int, list[Link]] = {}
+    in_links: dict[int, list[Link]] = {}
+    for link in links:
+        out_links.setdefault(link[0], []).append(link)
+        in_links.setdefault(link[1], []).append(link)
+    for ta, ra in links:
+        link_a = (ta, ra)
+        candidates: set[Link] = set()
+        for node in (ta, ra):  # shared-radio conflicts
+            candidates.update(out_links.get(node, ()))
+            candidates.update(in_links.get(node, ()))
+        for nb in topology.graph[ra]:  # tb in N(ra): collides at a's receiver
+            candidates.update(out_links.get(nb, ()))
+        for nb in topology.graph[ta]:  # ta in N(rb): collides at b's receiver
+            candidates.update(in_links.get(nb, ()))
+        # Emit each undirected edge once, from its smaller endpoint, in
+        # sorted order -- the exact insertion order of an i < j pairwise
+        # scan over the sorted link list.
+        for link_b in sorted(c for c in candidates if c > link_a):
+            graph.add_edge(link_a, link_b)
     return graph
 
 
-def uncovered_interference(topology: MeshTopology,
-                           hops: int = 2) -> list[tuple[Link, Link]]:
-    """Interfering link pairs the k-hop conflict model fails to separate.
+def _model_graph(topology: MeshTopology, hops: int,
+                 model: ModelLike) -> nx.Graph:
+    """The abstraction under test: k-hop by default, or any model."""
+    if model is None:
+        return conflict_graph(topology, hops=hops)
+    from repro.phy.models import coerce_interference
+
+    return coerce_interference(model).conflict_graph(topology)
+
+
+def _truth_graph(topology: MeshTopology,
+                 truth: Optional[object]) -> nx.Graph:
+    """The ground-truth relation: channel-exact, a model, or a graph."""
+    if truth is None:
+        return interference_graph(topology)
+    if isinstance(truth, nx.Graph):
+        return truth
+    from repro.phy.models import coerce_interference
+
+    return coerce_interference(truth).conflict_graph(topology)
+
+
+def uncovered_interference(topology: MeshTopology, hops: int = 2,
+                           model: ModelLike = None,
+                           truth: Optional[object] = None
+                           ) -> list[tuple[Link, Link]]:
+    """Interfering link pairs the abstraction fails to separate.
 
     An empty list certifies that every schedule conflict-free under the
-    given model is collision-free on this channel.  The 1-hop model
-    typically leaves pairs uncovered (hidden-terminal style); the 2-hop
-    model must cover everything -- asserted by the test suite for every
-    generator topology.
+    abstraction (``hops``, or ``model=``) is collision-free under the
+    ground truth (the channel rule, or ``truth=`` -- an
+    :class:`~repro.phy.models.InterferenceModel`, a bare hops int, or a
+    prebuilt conflict graph).  The 1-hop model typically leaves pairs
+    uncovered (hidden-terminal style); the 2-hop model covers the
+    channel rule on every generator topology -- but *not* necessarily an
+    SINR ground truth, whose interference reaches past two hops: those
+    uncovered pairs are exactly what E23 measures.
     """
-    physical = interference_graph(topology)
-    model = conflict_graph(topology, hops=hops)
+    physical = _truth_graph(topology, truth)
+    abstraction = _model_graph(topology, hops, model)
     missing = [tuple(sorted(edge)) for edge in physical.edges
-               if not model.has_edge(*edge)]
+               if not abstraction.has_edge(*edge)]
     return sorted(missing)
 
 
-def overcautious_pairs(topology: MeshTopology,
-                       hops: int = 2) -> list[tuple[Link, Link]]:
-    """Pairs the model separates although the channel never corrupts them.
+def overcautious_pairs(topology: MeshTopology, hops: int = 2,
+                       model: ModelLike = None,
+                       truth: Optional[object] = None
+                       ) -> list[tuple[Link, Link]]:
+    """Pairs the abstraction separates although the truth never corrupts.
 
-    This is the price of the k-hop abstraction: lost spatial reuse.  E11's
-    1-hop vs 2-hop comparison quantifies it in slots.
+    This is the price of the abstraction: lost spatial reuse.  E11's
+    1-hop vs 2-hop comparison quantifies it in slots; under an SINR
+    truth it shows where the protocol model is *conservative* rather
+    than unsafe.
     """
-    physical = interference_graph(topology)
-    model = conflict_graph(topology, hops=hops)
-    extra = [tuple(sorted(edge)) for edge in model.edges
+    physical = _truth_graph(topology, truth)
+    abstraction = _model_graph(topology, hops, model)
+    extra = [tuple(sorted(edge)) for edge in abstraction.edges
              if not physical.has_edge(*edge)]
     return sorted(extra)

@@ -110,13 +110,17 @@ def waterfill_grants(conflicts: nx.Graph,
 def grant_schedule_for(topology: MeshTopology,
                        service_flows: ServiceFlowSet,
                        frame: MeshFrameConfig,
-                       conflict_hops: int = 2,
-                       engine=None) -> tuple[Schedule, ServiceFlowSet]:
+                       conflict_hops: Optional[int] = None,
+                       engine=None,
+                       interference=None) -> tuple[Schedule, ServiceFlowSet]:
     """A saturating-load grant schedule for a service-class workload.
 
     Routes the flows, reserves slots for the guaranteed minimums, then
     water-fills the leftover toward the *offered* rates (rtPS bursts and
     BE asks).  Returns the packed schedule and the routed flow set.
+    The conflict graph comes from the engine's interference seam:
+    ``conflict_hops=`` selects a protocol model (default 2), or pass
+    ``interference=`` any :class:`~repro.phy.models.InterferenceModel`.
     """
     from repro.core.engine import SolverEngine
 
@@ -140,6 +144,7 @@ def grant_schedule_for(topology: MeshTopology,
     if not all_links:
         raise ConfigurationError("no routed service flows to schedule")
     conflicts = engine.conflict_index(topology, hops=conflict_hops,
+                                      interference=interference,
                                       links=all_links).graph
     grants = waterfill_grants(conflicts, min_demands, asks,
                               frame.data_slots)

@@ -60,6 +60,7 @@ SHARD_AXES: dict[str, str] = {
     "E20": "speeds",
     "E21": "sizes",
     "E22": "intensities",
+    "E23": "cs_multipliers",
 }
 
 

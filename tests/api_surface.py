@@ -33,6 +33,7 @@ PUBLIC_MODULES = [
     "repro.faults",
     "repro.resilience",
     "repro.mobility",
+    "repro.phy",
     "repro.runtime",
 ]
 

@@ -234,4 +234,4 @@ def test_e17_shape():
 
 
 def test_registry_lists_all():
-    assert set(ex.ALL_EXPERIMENTS) == {f"E{i}" for i in range(1, 23)}
+    assert set(ex.ALL_EXPERIMENTS) == {f"E{i}" for i in range(1, 24)}

@@ -329,3 +329,98 @@ class TestSolverPolicySeam:
         assert any(issubclass(w.category, DeprecationWarning)
                    for w in caught)
         assert capped.slots == baseline.slots
+
+
+class TestInterferenceSeam:
+    """Scenario(interference=...) and its hops= interplay (ISSUE 10)."""
+
+    def test_hops_and_interference_are_mutually_exclusive(self):
+        from repro.phy.models import ProtocolModel
+
+        with pytest.raises(ConfigurationError, match="not both"):
+            Scenario(chain_topology(6), _flows(), hops=2,
+                     interference=ProtocolModel(2))
+
+    def test_default_is_the_two_hop_protocol_model(self):
+        from repro.phy.models import ProtocolModel
+
+        scenario = Scenario(chain_topology(6), _flows())
+        assert isinstance(scenario.interference, ProtocolModel)
+        assert scenario.interference.hops == 2
+        assert scenario.hops == 2
+
+    def test_hops_spelling_still_works(self):
+        scenario = Scenario(chain_topology(6), _flows(), hops=1)
+        assert scenario.interference.hops == 1
+        assert scenario.hops == 1
+
+    def test_bare_int_interference_warns_once_and_coerces(self):
+        from repro._deprecation import reset_warned
+
+        reset_warned()
+        with pytest.warns(DeprecationWarning, match="hops="):
+            scenario = Scenario(chain_topology(6), _flows(),
+                                interference=1)
+        assert scenario.interference.hops == 1
+
+    def test_sinr_backend_flows_through_conflicts(self):
+        from repro.phy.models import SinrModel
+
+        topo = chain_topology(8, spacing=90.0)
+        flows = [Flow("f", src=0, dst=7, rate_bps=80_000,
+                      delay_budget_s=0.2)]
+        proto = Scenario(topo, flows).route()
+        sinr = Scenario(topo, flows, interference=SinrModel()).route()
+        assert sinr.hops is None
+        # physical interference hears further on this spaced chain
+        assert (sinr.conflicts.number_of_edges()
+                > proto.conflicts.number_of_edges())
+
+    def test_sinr_backend_schedules_end_to_end(self):
+        from repro.phy.models import SinrModel
+
+        topo = chain_topology(6, spacing=90.0)
+        scenario = Scenario(topo, _flows(), interference=SinrModel())
+        result = scenario.route().schedule()
+        assert result.feasible
+        assert result.schedule.violations(scenario.conflicts) == []
+
+    def test_degenerate_hops_is_rejected_at_the_conflict_graph(self):
+        scenario = Scenario(chain_topology(4),
+                            [Flow("f", src=0, dst=3, rate_bps=1000)],
+                            hops=3)
+        scenario.route()
+        with pytest.raises(ConfigurationError, match="degenerates"):
+            scenario.conflicts
+
+    def test_minimum_slots_builds_conflicts_through_the_seam(self):
+        from repro.phy.models import SinrModel
+
+        topo = chain_topology(6, spacing=90.0)
+        frame = default_frame_config()
+        flows = route_all(topo, FlowSet(_flows()))
+        demands = flows.link_demands(frame.frame_duration_s,
+                                     frame.data_slot_capacity_bits)
+        via_topology = minimum_slots(None, demands, frame.data_slots,
+                                     topology=topo, hops=2)
+        prebuilt = minimum_slots(conflict_graph(topo, hops=2,
+                                                links=demands.keys()),
+                                 demands, frame.data_slots)
+        assert via_topology.slots == prebuilt.slots
+        sinr = minimum_slots(None, demands, frame.data_slots,
+                             topology=topo, interference=SinrModel())
+        assert sinr.slots is not None
+
+    def test_minimum_slots_rejects_mixed_spellings(self):
+        topo = chain_topology(4)
+        frame = default_frame_config()
+        flows = route_all(topo, FlowSet(
+            [Flow("f", src=0, dst=3, rate_bps=1000)]))
+        demands = flows.link_demands(frame.frame_duration_s,
+                                     frame.data_slot_capacity_bits)
+        with pytest.raises(ConfigurationError, match="needs conflicts"):
+            minimum_slots(None, demands, frame.data_slots)
+        conflicts = conflict_graph(topo, hops=2, links=demands.keys())
+        with pytest.raises(ConfigurationError, match="not both"):
+            minimum_slots(conflicts, demands, frame.data_slots,
+                          topology=topo)

@@ -118,3 +118,26 @@ class TestCliqueDemandBound:
         conflicts = conflict_graph(topo, hops=2)
         demands = {(0, 1): 1, (0, 2): 2, (0, 3): 1}
         assert max_conflict_clique_demand(conflicts, demands) == 4
+
+
+class TestDegenerateHopsGuard:
+    def test_whole_mesh_reach_is_rejected(self):
+        # hops=4 reaches every node of a 5-chain from every link: the
+        # conflict graph is complete and the schedule would serialise
+        with pytest.raises(ConfigurationError, match="degenerates"):
+            conflict_graph(chain_topology(5), hops=4)
+
+    def test_error_points_at_the_sinr_alternative(self):
+        with pytest.raises(ConfigurationError, match="SinrModel"):
+            conflict_graph(chain_topology(4), hops=3)
+
+    def test_two_hop_default_is_exempt_on_tiny_meshes(self):
+        # on a 3-chain even hops=2 yields a complete conflict graph;
+        # the 802.16-mandated default must never be rejected for it
+        graph = conflict_graph(chain_topology(3), hops=2)
+        assert graph.number_of_edges() > 0
+
+    def test_wide_hops_on_a_long_chain_is_fine(self):
+        # hops=3 on a 10-chain does not reach the whole mesh: accepted
+        graph = conflict_graph(chain_topology(10), hops=3)
+        assert graph.number_of_edges() > 0

@@ -118,3 +118,74 @@ class TestEndToEnd:
         for node, frame, success in received:
             if frame.payload[1] == node:  # the intended receiver
                 assert success, (frame.payload, node)
+
+
+class TestSinrTruth:
+    """The containment validator with an SINR ground truth (E23, S39)."""
+
+    def _spaced_chain(self):
+        return chain_topology(8, spacing=90.0)
+
+    def test_two_hop_model_leaves_sinr_pairs_uncovered(self):
+        from repro.phy.models import SinrModel
+
+        topology = self._spaced_chain()
+        missing = uncovered_interference(topology, hops=2,
+                                         truth=SinrModel())
+        assert missing
+        for a, b in missing:
+            assert not set(a) & set(b)  # only non-adjacent pairs escape
+
+    def test_sinr_model_covers_itself(self):
+        from repro.phy.models import SinrModel
+
+        topology = self._spaced_chain()
+        model = SinrModel()
+        assert uncovered_interference(topology, model=model,
+                                      truth=model) == []
+
+    def test_wide_protocol_model_can_cover_the_sinr_truth(self):
+        from repro.phy.models import SinrModel
+
+        # at 90 m spacing SINR interference reaches 3 hops; hops=4
+        # over-covers it (and the chain is long enough not to trip the
+        # degenerate-hops guard)
+        topology = self._spaced_chain()
+        assert uncovered_interference(topology, hops=4,
+                                      truth=SinrModel()) == []
+
+    def test_truth_accepts_a_prebuilt_graph(self):
+        topology = self._spaced_chain()
+        prebuilt = interference_graph(topology)
+        assert (uncovered_interference(topology, hops=2, truth=prebuilt)
+                == uncovered_interference(topology, hops=2))
+
+    def test_overcautious_pairs_against_sinr(self):
+        from repro.phy.models import SinrModel
+
+        # the 4-hop model over-separates relative to the SINR truth
+        topology = self._spaced_chain()
+        assert overcautious_pairs(topology, hops=4, truth=SinrModel())
+
+
+class TestIncidenceRewrite:
+    """The incidence-map interference_graph matches the pairwise scan."""
+
+    @pytest.mark.parametrize("topology", TOPOLOGIES,
+                             ids=[t.name for t in TOPOLOGIES])
+    def test_matches_naive_pairwise_scan(self, topology):
+        import networkx as nx
+
+        links = topology.links
+        naive = nx.Graph()
+        naive.add_nodes_from(links)
+        for i, a in enumerate(links):
+            for b in links[i + 1:]:
+                ta, ra = a
+                tb, rb = b
+                if (set(a) & set(b) or tb in topology.graph[ra]
+                        or ta in topology.graph[rb]):
+                    naive.add_edge(a, b)
+        fast = interference_graph(topology)
+        assert list(fast.nodes) == list(naive.nodes)
+        assert list(fast.edges) == list(naive.edges)
